@@ -1,0 +1,124 @@
+"""Figure 6 (Section 5.2): AR tagger conflict-checking time histogram.
+
+The paper generates 100 random taggers (1-95 states), checks all 4,950
+pairs, and plots, for each pipeline step (composition, input
+restriction, output restriction), how many checks complete within each
+time bucket [0,1), [1,2), [2,4), ... milliseconds.  It reports: all
+compositions < 250 ms (average 15 ms), input restrictions < 150 ms
+(average 3.5 ms), output restrictions with a long tail (average 175 ms,
+worst case driven by non-linear real constraints), and 222 conflicts.
+
+Default here: 40 taggers / 780 pairs (set FIG6_TAGGERS=100 for the full
+paper-scale run).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.apps.ar import check_conflict, double_tag_language, make_tagger, no_tags_language
+from repro.smt import Solver
+
+from conftest import env_int
+
+BUCKET_EDGES = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+
+
+def _bucket_label(i: int) -> str:
+    lo = BUCKET_EDGES[i]
+    hi = BUCKET_EDGES[i + 1] if i + 1 < len(BUCKET_EDGES) else None
+    return f"[{lo}-{hi})" if hi is not None else f"[{lo}+)"
+
+
+def _histogram(times_ms: list[float]) -> list[int]:
+    counts = [0] * len(BUCKET_EDGES)
+    for t in times_ms:
+        idx = 0
+        for i, lo in enumerate(BUCKET_EDGES):
+            if t >= lo:
+                idx = i
+        counts[idx] += 1
+    return counts
+
+
+@pytest.fixture(scope="module")
+def conflict_data():
+    n = env_int("FIG6_TAGGERS", 40)
+    solver = Solver()
+    taggers = [make_tagger(seed, solver)[0] for seed in range(n)]
+    specs = [make_tagger(seed, solver)[1] for seed in range(n)]
+    no_tags = no_tags_language(solver)
+    double = double_tag_language(solver)
+    results = []
+    for a, b in itertools.combinations(range(n), 2):
+        results.append(check_conflict(taggers[a], taggers[b], no_tags, double))
+    return n, specs, results
+
+
+def test_fig6_histogram(benchmark, conflict_data, report):
+    n, specs, results = conflict_data
+
+    def summarize():
+        return results
+
+    benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    steps = {
+        "Composition": [r.compose_time * 1e3 for r in results],
+        "Input restriction": [r.restrict_in_time * 1e3 for r in results],
+        "Output restriction": [r.restrict_out_time * 1e3 for r in results],
+    }
+    lines = [
+        f"taggers: {n} (states {min(s.states for s in specs)}-"
+        f"{max(s.states for s in specs)}), pairs: {len(results)}, "
+        f"conflicts: {sum(r.conflict for r in results)}",
+        "",
+        f"{'bucket (ms)':>14} | {'Compose':>8} | {'Restr-in':>8} | {'Restr-out':>9}",
+    ]
+    histos = {k: _histogram(v) for k, v in steps.items()}
+    for i in range(len(BUCKET_EDGES)):
+        if not any(h[i] for h in histos.values()):
+            continue
+        lines.append(
+            f"{_bucket_label(i):>14} | {histos['Composition'][i]:>8} "
+            f"| {histos['Input restriction'][i]:>8} "
+            f"| {histos['Output restriction'][i]:>9}"
+        )
+    lines.append("")
+    for name, ts in steps.items():
+        lines.append(
+            f"{name:>18}: avg={sum(ts)/len(ts):7.1f} ms   max={max(ts):7.1f} ms"
+        )
+    total = [r.total_time * 1e3 for r in results]
+    lines.append(
+        f"{'Whole check':>18}: avg={sum(total)/len(total):7.1f} ms "
+        f"(paper: 193 ms/pair average)"
+    )
+    report("Figure 6: AR conflict-check time distribution", "\n".join(lines))
+
+    # Shape assertions mirroring the paper's observations.
+    assert sum(r.conflict for r in results) > 0
+    compose_avg = sum(steps["Composition"]) / len(results)
+    rin_avg = sum(steps["Input restriction"]) / len(results)
+    rout_avg = sum(steps["Output restriction"]) / len(results)
+    assert rin_avg < compose_avg * 3  # input restriction is cheap
+    assert rout_avg >= rin_avg  # output restriction dominates (long tail)
+
+
+def test_fig6_single_pair_compose(benchmark):
+    """Micro-benchmark: one representative composition (paper avg 15 ms)."""
+    solver = Solver()
+    t1, _ = make_tagger(11, solver)
+    t2, _ = make_tagger(22, solver)
+    benchmark(lambda: t1.compose(t2))
+
+
+def test_fig6_single_pair_full_pipeline(benchmark):
+    solver = Solver()
+    t1, _ = make_tagger(5, solver)
+    t2, _ = make_tagger(17, solver)
+    no_tags = no_tags_language(solver)
+    double = double_tag_language(solver)
+    benchmark(lambda: check_conflict(t1, t2, no_tags, double))

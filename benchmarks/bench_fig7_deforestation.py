@@ -1,0 +1,88 @@
+"""Figure 7 (Section 5.3): deforestation on a 4,096-integer list.
+
+The paper runs ``map_caesar`` composed with itself n times, n up to 512:
+with Fast the composed transducer's runtime is "almost unchanged" while
+the naive pipeline "degrades linearly in the number of composed
+functions" (reported point: 1,313 ms vs 4,686 ms at n = 512 on their
+setup).  We reproduce the series and assert the shape: flat vs linear.
+
+Set FIG7_MAX_N to cap the sweep (default 512, the paper's maximum).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.deforestation import (
+    ILIST,
+    composed_n,
+    encode_list,
+    map_caesar,
+    measure,
+    random_list,
+    run_deforested,
+    run_naive,
+)
+from repro.smt import Solver
+
+from conftest import env_int
+
+LIST_LENGTH = 4096
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    max_n = env_int("FIG7_MAX_N", 512)
+    ns = [n for n in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512) if n <= max_n]
+    values = random_list(LIST_LENGTH, seed=7)
+    return ns, [measure(n, values) for n in ns]
+
+
+def test_fig7_series(benchmark, sweep, report):
+    ns, samples = sweep
+    benchmark.pedantic(lambda: samples, rounds=1, iterations=1)
+
+    lines = [
+        f"list length: {LIST_LENGTH} (the paper's 4,096)",
+        "",
+        f"{'n':>4} | {'Fast (composed)':>16} | {'No Fast (naive)':>16} | {'compose time':>12}",
+    ]
+    for n, s in zip(ns, samples):
+        lines.append(
+            f"{n:>4} | {s.deforested_seconds * 1e3:>13.1f} ms "
+            f"| {s.naive_seconds * 1e3:>13.1f} ms | {s.compose_seconds * 1e3:>9.1f} ms"
+        )
+    first, last = samples[0], samples[-1]
+    lines.append("")
+    lines.append(
+        f"naive grows {last.naive_seconds / first.naive_seconds:.0f}x from "
+        f"n={ns[0]} to n={ns[-1]}; composed grows "
+        f"{last.deforested_seconds / first.deforested_seconds:.1f}x "
+        f"(paper at n=512: 4,686 ms naive vs 1,313 ms Fast)"
+    )
+    report("Figure 7: deforestation, Fast vs no Fast", "\n".join(lines))
+
+    # Shape: naive is linear in n, composed stays (nearly) flat.
+    assert last.naive_seconds > first.naive_seconds * (ns[-1] / ns[0]) * 0.2
+    assert last.deforested_seconds < first.deforested_seconds * 8
+    assert last.naive_seconds > last.deforested_seconds * 4
+
+
+def test_fig7_composed_run(benchmark):
+    """Micro: one pass of the 64-fold composed transducer over the list."""
+    solver = Solver()
+    comp = composed_n(64, solver)
+    data = encode_list(random_list(LIST_LENGTH, seed=7), ILIST)
+    benchmark(lambda: run_deforested(comp, data))
+
+
+def test_fig7_naive_16_passes(benchmark):
+    solver = Solver()
+    base = map_caesar(solver)
+    data = encode_list(random_list(LIST_LENGTH, seed=7), ILIST)
+    benchmark(lambda: run_naive(base, data, 16))
+
+
+def test_fig7_composition_cost(benchmark):
+    """Composing 32 copies (the offline cost deforestation pays once)."""
+    benchmark(lambda: composed_n(32, Solver()))

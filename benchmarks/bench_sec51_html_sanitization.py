@@ -1,0 +1,107 @@
+"""Section 5.1 evaluation: HTML sanitization across page sizes.
+
+The paper picks 10 pages from 20 KB (Bing) to 409 KB (Facebook) and
+finds the Fast-based sanitizer "comparable" in speed to HTML Purifier,
+while being ~200 lines of Fast instead of ~10,000 lines of PHP, and —
+unlike PHP — precisely analyzable.  We sweep synthetic pages over the
+same size range (DESIGN.md documents the substitution), comparing:
+
+* the composed transducer (one traversal — the paper's design point),
+* the uncomposed two-pass pipeline (what composition saves),
+* the monolithic hand-fused DOM rewriter (the HTML Purifier shape).
+
+All three must agree on every output.  We also report the LoC of our
+Fast program vs. the Python substrate, the paper's maintainability
+argument.
+
+SEC51_PAGES limits how many of the 10 sizes run (default all 10).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps.html import (
+    FastHtmlSanitizer,
+    MonolithicSanitizer,
+    fast_sanitizer_source,
+    paper_page_suite,
+)
+
+from conftest import env_int
+
+
+@pytest.fixture(scope="module")
+def sanitizers():
+    return FastHtmlSanitizer(), MonolithicSanitizer()
+
+
+@pytest.fixture(scope="module")
+def page_sweep(sanitizers):
+    fast, mono = sanitizers
+    n_pages = env_int("SEC51_PAGES", 10)
+    rows = []
+    for name, html in paper_page_suite()[:n_pages]:
+        t0 = time.perf_counter()
+        out_fast = fast.sanitize(html)
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        out_two = fast.sanitize_two_pass(html)
+        t_two = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        out_mono = mono.sanitize(html)
+        t_mono = time.perf_counter() - t0
+        assert out_fast == out_two == out_mono, f"outputs disagree on {name}"
+        assert "<script" not in out_fast
+        rows.append((name, len(html), t_fast, t_two, t_mono))
+    return rows
+
+
+def test_sec51_page_sweep(benchmark, page_sweep, report):
+    benchmark.pedantic(lambda: page_sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'page':>12} | {'size':>7} | {'composed':>10} | {'two-pass':>10} | {'monolithic':>10}",
+    ]
+    for name, size, t_fast, t_two, t_mono in page_sweep:
+        lines.append(
+            f"{name:>12} | {size // 1000:>4} KB | {t_fast * 1e3:>7.0f} ms "
+            f"| {t_two * 1e3:>7.0f} ms | {t_mono * 1e3:>7.1f} ms"
+        )
+    speedups = [t_two / t_fast for _, _, t_fast, t_two, _ in page_sweep]
+    lines.append("")
+    lines.append(
+        f"composition saves one traversal: two-pass/composed = "
+        f"{sum(speedups) / len(speedups):.2f}x on average"
+    )
+    fast_loc = len(
+        [l for l in fast_sanitizer_source().splitlines() if l.strip()]
+    )
+    lines.append(
+        f"sanitizer size: {fast_loc} lines of Fast "
+        f"(paper: ~200 lines of Fast vs ~10,000 lines of PHP); the "
+        f"interpreter is pure Python, so absolute times trail a native "
+        f"rewriter — the paper's C# backend closed that gap"
+    )
+    report("Section 5.1: HTML sanitization across page sizes", "\n".join(lines))
+
+    # Shape assertions: all three agree (checked in fixture); composed
+    # beats two-pass; time grows roughly linearly with page size.
+    assert all(t_fast < t_two for _, _, t_fast, t_two, _ in page_sweep)
+    first, last = page_sweep[0], page_sweep[-1]
+    size_ratio = last[1] / first[1]
+    time_ratio = last[2] / first[2]
+    assert time_ratio < size_ratio * 4, "sanitization should scale ~linearly"
+
+
+def test_sec51_sanitize_20kb(benchmark, sanitizers):
+    fast, _ = sanitizers
+    _, html = paper_page_suite()[0]
+    benchmark(lambda: fast.sanitize(html))
+
+
+def test_sec51_monolithic_20kb(benchmark, sanitizers):
+    _, mono = sanitizers
+    _, html = paper_page_suite()[0]
+    benchmark(lambda: mono.sanitize(html))

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark reproduces one table or figure of the paper's evaluation
+(see DESIGN.md's experiment index).  Benchmarks register their
+paper-style tables via the ``report`` fixture; everything registered is
+dumped in the terminal summary, so ``pytest benchmarks/ --benchmark-only
+| tee bench_output.txt`` captures both pytest-benchmark's timing stats
+and the reproduced tables/series.
+
+Environment knobs (all optional):
+
+* ``FIG6_TAGGERS``  — taggers for the Figure 6 histogram (default 40;
+  the paper uses 100, which takes a few minutes: 4,950 pairs).
+* ``FIG7_MAX_N``    — largest composition count for Figure 7 (default 512).
+* ``SEC51_PAGES``   — how many of the 10 page sizes to sweep (default 10).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def add_report(title: str, body: str) -> None:
+    _REPORTS.append((title, body))
+
+
+@pytest.fixture()
+def report():
+    """Register a paper-style result table for the terminal summary."""
+    return add_report
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper tables & figures")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in body.rstrip().splitlines():
+            terminalreporter.write_line(line)
+
+
+def env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""CSS analysis with symbolic tree transducers (paper Section 5.5).
+
+Compiles CSS programs (tag + descendant selectors) into transducers over
+styled-document trees and checks, via pre-image emptiness, that no
+document can end up with unreadable black-on-black text.  The symbolic
+alphabet is what makes this practical: tree-logic encodings must
+enumerate the color/value space (the paper's Section 6 argument).
+
+Run:  python examples/css_analysis.py
+"""
+
+from repro.apps.css import check_unreadable_text, compile_css, element, parse_css
+from repro.smt import Solver
+
+solver = Solver()
+
+SAFE = """
+/* a typical, safe stylesheet */
+body   { background-color: white; }
+div p  { color: black; background-color: yellow; }
+p      { color: blue; }
+"""
+
+UNSAFE = """
+/* two rules that are individually harmless... */
+div p  { color: black; }
+p      { background-color: black; }
+"""
+
+for name, src in (("SAFE", SAFE), ("UNSAFE", UNSAFE)):
+    program = parse_css(src)
+    print("=" * 70)
+    print(f"{name} stylesheet:")
+    print(str(program))
+    trans = compile_css(program, solver)
+    print(f"compiled transducer size (states, rules): {trans.size()}")
+
+    doc = element("body", [element("div", [element("p")]), element("p")])
+    styled = trans.apply_one(doc)
+    print(f"styling <body><div><p/></div><p/></body>:\n  {styled}")
+
+    result = check_unreadable_text(program, solver)
+    if result.safe:
+        print("analysis: no document can show black-on-black text\n")
+    else:
+        print(f"analysis: UNSAFE — witness document: {result.bad_input}")
+        print(f"  (a p inside a div gets color=black from rule 1 and")
+        print(f"   background-color=black from rule 2)\n")
+
+# Inheritance-aware analysis: backgrounds visually paint whole subtrees.
+from repro.apps.css.inheritance import check_unreadable_text_inherited
+
+INHERITED = """
+div    { background-color: black; }
+div p  { color: black; }
+"""
+program = parse_css(INHERITED)
+print("=" * 70)
+print("INHERITED-BACKGROUND stylesheet:")
+print(str(program))
+flat = check_unreadable_text(program, solver)
+deep = check_unreadable_text_inherited(program, solver)
+print(f"flat analysis (per-node properties only): safe={flat.safe}  <- misses it")
+print(f"inheritance-aware analysis:               safe={deep.safe}")
+print(f"  witness: {deep.bad_input}")
+print("  (the div paints its subtree black; the p's text is also black)")

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Deforestation via transducer composition (paper Section 5.3, Figure 7).
+
+``map_caesar`` composed with itself n times: the naive pipeline
+materializes n intermediate lists; the composed transducer makes one
+pass, and its label expression simplifies to a single shift — so its
+runtime stays flat while the naive pipeline grows linearly.
+
+Run:  python examples/deforestation.py
+"""
+
+from repro.apps.deforestation import composed_n, measure, random_list
+from repro.smt import Solver
+
+values = random_list(4096, seed=42)
+print(f"input: list of {len(values)} random integers\n")
+
+print(f"{'n':>4} | {'deforested':>12} | {'naive':>12} | {'speedup':>8}")
+print("-" * 48)
+for n in (1, 2, 4, 8, 16, 32, 64, 128):
+    sample = measure(n, values)
+    speedup = sample.naive_seconds / sample.deforested_seconds
+    print(
+        f"{n:>4} | {sample.deforested_seconds * 1e3:>9.1f} ms "
+        f"| {sample.naive_seconds * 1e3:>9.1f} ms | {speedup:>7.1f}x"
+    )
+
+print()
+comp = composed_n(64, Solver())
+rule = comp.sttr.rules_from(comp.sttr.initial, "cons")[0]
+print("the composed transducer's cons rule after 64 compositions:")
+print(f"  output label expression: {rule.output.attr_exprs[0]!r}")
+print(f"  transducer size (states, rules): {comp.size()}")
+print("\ncomposition collapsed 64 passes into one traversal with a single")
+print("shift — the Figure 7 flat line.")

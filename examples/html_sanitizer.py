@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The HTML sanitization case study (paper Sections 2 and 5.1).
+
+Shows the full story: write the sanitization passes as independent Fast
+transformations, compose them into a single-traversal sanitizer, run it
+on real markup, and — the part no hand-written sanitizer offers —
+*verify* it: prove no input can smuggle a script node through, and
+reproduce the paper's counterexample for the buggy variant.
+
+Run:  python examples/html_sanitizer.py
+"""
+
+import pathlib
+import time
+
+from repro.apps.html import FastHtmlSanitizer, MonolithicSanitizer, generate_page
+from repro.fast import run_program
+
+EXAMPLES = pathlib.Path(__file__).parent / "fast_programs"
+
+print("=" * 70)
+print("1. Sanitizing markup with the composed transducer")
+print("=" * 70)
+sanitizer = FastHtmlSanitizer()
+html = """<div id='e"'>
+  <script>steal(document.cookie)</script>
+  <p onload=x>it's <b>fine</b></p>
+</div><br/>"""
+print("input: ", html.replace("\n", ""))
+print("output:", sanitizer.sanitize(html))
+
+print()
+print("=" * 70)
+print("2. The Section 2 security analysis (pre-image of bad outputs)")
+print("=" * 70)
+t0 = time.perf_counter()
+analysis = sanitizer.analyze()
+print(f"composed sanitizer provably script-free: {analysis.safe} "
+      f"({(time.perf_counter() - t0) * 1e3:.0f} ms)")
+
+print()
+print("The buggy Figure 2 variant (no recursion into the script's sibling):")
+report = run_program((EXAMPLES / "sanitizer_buggy.fast").read_text())
+print(report.render())
+
+print()
+print("=" * 70)
+print("3. Composed vs. monolithic on a synthetic page sweep")
+print("=" * 70)
+mono = MonolithicSanitizer()
+for size in (20_000, 60_000):
+    page = generate_page(size, seed=size)
+    t0 = time.perf_counter()
+    fast_out = sanitizer.sanitize(page)
+    t_fast = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    mono_out = mono.sanitize(page)
+    t_mono = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    two_pass = sanitizer.sanitize_two_pass(page)
+    t_two = time.perf_counter() - t0
+    agree = fast_out == mono_out == two_pass
+    print(
+        f"{size // 1000:3d} KB page: composed={t_fast * 1e3:7.0f} ms  "
+        f"two-pass={t_two * 1e3:7.0f} ms  monolithic={t_mono * 1e3:6.1f} ms  "
+        f"outputs agree={agree}"
+    )
+print()
+print("The composed transducer traverses once (vs. once per pass) and is")
+print("analyzable; the monolithic rewriter is fast but unverifiable —")
+print("the paper's maintainability argument (200 LoC Fast vs 10k LoC PHP).")

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Static analysis of functional programs (paper Section 5.4, Figure 8).
+
+Proves — not tests — that composing ``map_caesar`` and ``filter_ev``
+twice deletes every list element, by restricting the composed
+transduction to non-empty outputs and showing emptiness.  Also runs the
+same program through the Fast front-end, like the paper's web demo.
+
+Run:  python examples/program_analysis.py
+"""
+
+import pathlib
+
+from repro.apps.program_analysis import analyze_map_filter
+from repro.fast import run_program
+
+print("library API:")
+result = analyze_map_filter()
+print(f"  map;filter;map;filter always yields the empty list: "
+      f"{result.comp2_always_empties}")
+print(f"  one map;filter pass can yield a non-empty list:     "
+      f"{result.comp1_can_produce_nonempty}  (witness: {result.witness_comp1})")
+print(f"  whole analysis: {result.seconds * 1e3:.1f} ms "
+      f"(paper: 'less than 10 ms')")
+
+print()
+print("the same analysis as a Fast program (Figure 8):")
+src = (pathlib.Path(__file__).parent / "fast_programs" / "list_analysis.fast").read_text()
+report = run_program(src)
+print(report.render())

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: symbolic tree automata and transducers in five minutes.
+
+Builds the paper's running structures by hand — a tree type over an
+infinite (integer) alphabet, languages with symbolic guards, a
+transducer, and the analyses: composition, pre-image, emptiness with
+witnesses, and language equivalence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.automata import Language, rule
+from repro.smt import (
+    INT,
+    Solver,
+    mk_add,
+    mk_eq,
+    mk_gt,
+    mk_int,
+    mk_mod,
+    mk_var,
+)
+from repro.transducers import OutApply, OutNode, STTR, Transducer, trule
+from repro.trees import make_tree_type, node
+
+# 1. A tree type: binary trees with an integer label on every node.
+#    (Fast syntax:  type BT[x : Int]{L(0), N(2)} )
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+# 2. Languages = symbolic tree automata.  Guards are formulas over the
+#    node label, so the alphabet is genuinely infinite.
+rules = [
+    rule("pos", "L", mk_gt(x, mk_int(0))),
+    rule("pos", "N", None, [["pos"], ["pos"]]),
+    rule("odd", "L", mk_eq(mk_mod(x, 2), mk_int(1))),
+    rule("odd", "N", None, [["odd"], ["odd"]]),
+]
+pos = Language.build(BT, "pos", rules)  # every leaf positive
+odd = Language.build(BT, "odd", rules)  # every leaf odd
+
+t = node("N", 7, node("L", 1), node("L", 3))
+print("membership:", pos.accepts(t), odd.accepts(t))
+
+# 3. Boolean algebra with witnesses.
+both = pos.intersect(odd)
+print("a positive+odd tree:", both.witness())
+gap = pos.difference(odd).witness()
+print("positive but not odd:", gap)
+print("de morgan holds:",
+      pos.intersect(odd).complement().equals(pos.complement().union(odd.complement())))
+
+# 4. A transducer: increment every leaf (Fast: trans inc : BT -> BT ...).
+inc = Transducer(
+    STTR(
+        "inc",
+        BT,
+        BT,
+        "q",
+        (
+            trule("q", "L", OutNode("L", (mk_add(x, mk_int(1)),), ()), rank=0),
+            trule(
+                "q",
+                "N",
+                OutNode("N", (x,), (OutApply("q", 0), OutApply("q", 1))),
+                rank=2,
+            ),
+        ),
+    ),
+    Solver(),
+)
+print("inc:", inc.apply_one(t))
+
+# 5. Composition (the paper's Section 4 algorithm) and analysis.
+inc2 = inc.compose(inc)
+print("inc;inc:", inc2.apply_one(t))
+
+# Which inputs can inc;inc map into the odd-leaf language?  Leaves that
+# are odd after +2, i.e. odd leaves.
+pre = inc2.pre_image(odd)
+print("pre-image sample:", pre.witness())
+print("pre-image == odd:", pre.equals(odd))
+
+# Type checking: positive-leaved trees stay positive under inc;inc.
+print("type-checks:", inc2.type_check(pos, pos) is None)
+
+# Restriction: inc defined only on odd-leaved inputs.
+inc_odd = inc.restrict(odd)
+print("restricted on L[2]:", inc_odd.apply_one(node("L", 2)))
+print("restricted on L[3]:", inc_odd.apply_one(node("L", 3)))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""XPath queries as symbolic tree automata (the paper's planned extension).
+
+The paper's related-work section: "We plan to extend Fast to better
+handle XML processing and to identify a fragment of XPath expressible in
+Fast."  This example realizes the navigational fragment — child /
+descendant axes, wildcards, (negated) existential predicates — and runs
+the classical static analyses on it: satisfiability, containment, and
+disjointness, all via the automaton algebra.
+
+Run:  python examples/xpath_queries.py
+"""
+
+from repro.apps.xpath import (
+    compile_xpath,
+    contained_in,
+    disjoint,
+    satisfiable,
+    selects,
+)
+from repro.trees.unranked import Unranked
+
+
+def U(label, *children):
+    return Unranked(label, tuple(children))
+
+
+document = U(
+    "html",
+    U("body",
+      U("div", U("p"), U("span", U("p"))),
+      U("p"),
+      U("ul", U("li"), U("li"))),
+)
+
+print("document: html > body > {div > {p, span > p}, p, ul > 2x li}\n")
+
+queries = [
+    "/html/body",
+    "//p",
+    "//span/p",
+    "//div[p]",
+    "//div[not(table)]",
+    "//ul[p]",
+    "/html/li",
+]
+print("query evaluation (does the query select a node?):")
+for q in queries:
+    print(f"  {q:<22} -> {selects(q, document)}")
+
+print("\nstatic analysis over ALL documents:")
+checks = [
+    ("satisfiable('//div[p][not(table)]')", satisfiable("//div[p][not(table)]")),
+    ("satisfiable('//div[p][not(p)]')", satisfiable("//div[p][not(p)]")),
+    ("'/a/b' contained in '//b'", contained_in("/a/b", "//b") is None),
+    ("'//b' contained in '/a/b'", contained_in("//b", "/a/b") is None),
+    ("'//div[p]' contained in '//div'", contained_in("//div[p]", "//div") is None),
+    ("disjoint('//div', '//p')", disjoint("//div", "//p")),
+]
+for label, value in checks:
+    print(f"  {label:<40} -> {value}")
+
+gap = contained_in("//b", "/a/b")
+print(f"\ncontainment counterexample for '//b' vs '/a/b': {gap}")
+lang = compile_xpath("//div[p]")
+print(f"compiled '//div[p]' automaton size (states, rules): {lang.size()}")

@@ -1,0 +1,24 @@
+"""Reproduction of "Fast: a Transducer-Based Language for Tree
+Manipulation" (D'Antoni, Veanes, Livshits, Molnar — PLDI 2014).
+
+Public surface:
+
+* :mod:`repro.smt` — the label-theory solver (terms, formulas, Cooper /
+  Fourier-Motzkin / Sturm / string solvers, models, minterms);
+* :mod:`repro.trees` — ranked attributed trees and encodings;
+* :mod:`repro.automata` — alternating symbolic tree automata and the
+  :class:`~repro.automata.Language` facade;
+* :mod:`repro.transducers` — symbolic tree transducers with regular
+  lookahead, the Section 4 composition algorithm, and the
+  :class:`~repro.transducers.Transducer` facade;
+* :mod:`repro.fast` — the Fast language front-end and CLI;
+* :mod:`repro.apps` — the five case studies of the paper's Section 5
+  plus the XPath fragment extension.
+"""
+
+from .automata import Language
+from .transducers import Transducer
+
+__version__ = "1.0.0"
+
+__all__ = ["Language", "Transducer", "__version__"]

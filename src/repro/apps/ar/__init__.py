@@ -1,0 +1,24 @@
+"""Augmented-reality tagger conflict analysis (paper Section 5.2)."""
+
+from .conflicts import ConflictResult, check_conflict
+from .taggers import (
+    WORLD,
+    TaggerSpec,
+    decode_world,
+    double_tag_language,
+    make_tagger,
+    no_tags_language,
+    world_tree,
+)
+
+__all__ = [
+    "ConflictResult",
+    "TaggerSpec",
+    "WORLD",
+    "check_conflict",
+    "decode_world",
+    "double_tag_language",
+    "make_tagger",
+    "no_tags_language",
+    "world_tree",
+]

@@ -1,0 +1,218 @@
+"""Augmented-reality taggers (paper Section 5.2).
+
+The physical world is a list of elements, each with a list of tags: the
+tree type ``World[id : Int, score : Real]`` with
+
+* ``elem(tags, next)`` — one world element (a place, person, ...); ``id``
+  is a discrete property, ``score`` a continuous one;
+* ``tag(next)`` — one tag attached to an element;
+* ``nil`` — end of a list.
+
+A *tagger* is a transducer that walks the element list and attaches at
+most one tag to each element whose properties match its guards —
+the shape of Layar / Nokia City Lens style apps the paper describes.
+The seeded generator reproduces the evaluation's tagger statistics:
+1-95 states, ~3 nodes tagged on a random world, at most one tag per
+node, non-empty; a small fraction of guards are non-linear (cubic) real
+constraints, the source of the slow outliers in Figure 6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ...automata import Language, STA, rule as sta_rule
+from ...smt import builders as smt
+from ...smt.solver import Solver
+from ...smt.sorts import INT, REAL
+from ...smt.terms import Term
+from ...transducers import OutApply, OutNode, STTR, Transducer, trule
+from ...trees.tree import Tree
+from ...trees.types import TreeType, make_tree_type
+
+WORLD: TreeType = make_tree_type(
+    "World", [("id", INT), ("score", REAL)], {"nil": 0, "tag": 1, "elem": 2}
+)
+
+_ID = smt.mk_var("id", INT)
+_SCORE = smt.mk_var("score", REAL)
+_ATTR_VARS = (_ID, _SCORE)
+
+NIL_ATTRS = (0, smt.mk_real(0).value)
+
+
+def world_tree(elements: list[tuple[int, float, int]]) -> Tree:
+    """Build a world from ``(id, score, tag_count)`` triples."""
+    out = Tree("nil", (0, smt.mk_real(0).value))
+    for ident, score, tags in reversed(elements):
+        tag_list = Tree("nil", (0, smt.mk_real(0).value))
+        for t in range(tags):
+            tag_list = Tree("tag", (t, smt.mk_real(0).value), (tag_list,))
+        out = Tree("elem", (ident, smt.mk_real(score).value), (tag_list, out))
+    return out
+
+
+def decode_world(tree: Tree) -> list[tuple[int, int]]:
+    """Decode a world to ``(id, tag_count)`` pairs."""
+    out = []
+    while tree.ctor == "elem":
+        tags, tree_next = tree.children
+        count = 0
+        while tags.ctor == "tag":
+            count += 1
+            (tags,) = tags.children
+        out.append((tree.attrs[0], count))
+        tree = tree_next
+    return out
+
+
+def _random_guard(rng: random.Random, allow_nonlinear: bool) -> Term:
+    """A random *selective* predicate over (id, score).
+
+    Guards are narrow so that a random pair of taggers only rarely tags
+    the same element — the paper observes 222 real conflicts out of
+    4,950 pairs (~4.5%).
+    """
+    kind = rng.random()
+    if allow_nonlinear and kind < 0.03:
+        # the cubic real constraints of the paper's slow outliers
+        cube = smt.mk_mul(_SCORE, _SCORE, _SCORE)
+        lo = rng.randrange(-27, 20)
+        return smt.mk_and(
+            smt.mk_lt(smt.mk_real(lo), cube),
+            smt.mk_lt(cube, smt.mk_real(lo + rng.randrange(2, 8))),
+        )
+    if kind < 0.5:
+        k = rng.choice([5, 7, 11, 13])
+        return smt.mk_eq(smt.mk_mod(_ID, k), smt.mk_int(rng.randrange(k)))
+    if kind < 0.85:
+        lo = rng.randrange(-60, 55)
+        hi = lo + rng.randrange(2, 9)
+        return smt.mk_and(
+            smt.mk_le(smt.mk_int(lo), _ID), smt.mk_le(_ID, smt.mk_int(hi))
+        )
+    k = rng.choice([4, 6, 9])
+    lo = rng.randrange(-30, 25)
+    return smt.mk_and(
+        smt.mk_eq(smt.mk_mod(_ID, k), smt.mk_int(rng.randrange(k))),
+        smt.mk_le(smt.mk_int(lo), _ID),
+        smt.mk_le(_ID, smt.mk_int(lo + rng.randrange(10, 30))),
+    )
+
+
+def _copy_elem(this_state, next_state) -> OutNode:
+    """elem[id score](copy tags, continue on rest)."""
+    return OutNode("elem", _ATTR_VARS, (OutApply("copy", 0), OutApply(next_state, 1)))
+
+
+def _tag_elem(this_state, next_state, tag_id: int) -> OutNode:
+    """elem[id score](tag[k](copy tags), continue)."""
+    tagged = OutNode(
+        "tag",
+        (smt.mk_int(tag_id), smt.mk_real(0)),
+        (OutApply("copy", 0),),
+    )
+    return OutNode("elem", _ATTR_VARS, (tagged, OutApply(next_state, 1)))
+
+
+@dataclass
+class TaggerSpec:
+    """Metadata about a generated tagger (used by the benchmarks)."""
+
+    name: str
+    states: int
+    tag_id: int
+
+
+def make_tagger(
+    seed: int,
+    solver: Solver | None = None,
+    max_states: int = 95,
+    allow_nonlinear: bool = True,
+) -> tuple[Transducer, TaggerSpec]:
+    """A seeded random tagger with 1..``max_states`` chained states.
+
+    State ``s_i`` handles the ``i``-th element: if the element matches the
+    state's guard (and the state is a tagging state) a tag is prepended;
+    the walk then advances to ``s_{i+1}``, with the last state looping.
+    Every tagger is deterministic, linear, non-empty, and tags each node
+    at most once.
+    """
+    rng = random.Random(seed)
+    n_states = rng.randrange(1, max_states + 1)
+    tag_id = rng.randrange(1000)
+    # ~3 tagged nodes on average: pick a few tagging positions; the final
+    # looping state never tags, so each element gets at most one tag and
+    # the total number of tags is bounded by the chain length.
+    n_tagging = min(n_states, rng.choice([1, 2, 3, 3, 4]))
+    positions = set(rng.sample(range(n_states), n_tagging))
+    if n_states > 1:
+        positions.discard(n_states - 1)
+    rules = []
+    for i in range(n_states):
+        state = f"s{i}"
+        nxt = f"s{min(i + 1, n_states - 1)}"
+        tagging = i in positions
+        if tagging:
+            guard = _random_guard(rng, allow_nonlinear)
+            rules.append(
+                trule(state, "elem", _tag_elem(state, nxt, tag_id), guard=guard, rank=2)
+            )
+            rules.append(
+                trule(
+                    state,
+                    "elem",
+                    _copy_elem(state, nxt),
+                    guard=smt.mk_not(guard),
+                    rank=2,
+                )
+            )
+        else:
+            rules.append(trule(state, "elem", _copy_elem(state, nxt), rank=2))
+        rules.append(
+            trule(state, "nil", OutNode("nil", _ATTR_VARS, ()), rank=0)
+        )
+    # the copy state reproduces tag lists verbatim
+    for ctor in WORLD.constructors:
+        rules.append(
+            trule(
+                "copy",
+                ctor.name,
+                OutNode(
+                    ctor.name,
+                    _ATTR_VARS,
+                    tuple(OutApply("copy", i) for i in range(ctor.rank)),
+                ),
+                rank=ctor.rank,
+            )
+        )
+    sttr = STTR(f"tagger{seed}", WORLD, WORLD, "s0", tuple(rules))
+    spec = TaggerSpec(f"tagger{seed}", n_states, tag_id)
+    return Transducer(sttr, solver or Solver()), spec
+
+
+# ---------------------------------------------------------------------------
+# The two restriction languages of the conflict pipeline
+# ---------------------------------------------------------------------------
+
+
+def no_tags_language(solver: Solver | None = None) -> Language:
+    """Worlds where no element carries a tag (3 states, as in the paper)."""
+    rules = (
+        sta_rule("clean", "elem", None, [["notags"], ["clean"]]),
+        sta_rule("clean", "nil"),
+        sta_rule("notags", "nil"),
+    )
+    return Language(STA(WORLD, rules), "clean", solver or Solver())
+
+
+def double_tag_language(solver: Solver | None = None) -> Language:
+    """Worlds where some element carries at least two tags (5 states)."""
+    rules = (
+        sta_rule("conflict", "elem", None, [["two"], []]),
+        sta_rule("conflict", "elem", None, [[], ["conflict"]]),
+        sta_rule("two", "tag", None, [["one"]]),
+        sta_rule("one", "tag", None, [[]]),
+    )
+    return Language(STA(WORLD, rules), "conflict", solver or Solver())

@@ -1,0 +1,35 @@
+"""CSS analysis case study (paper Section 5.5)."""
+
+from .analysis import (
+    CssAnalysisResult,
+    black_on_black_language,
+    check_unreadable_text,
+    same_color_language,
+    unstyled_language,
+)
+from .compile import STYLED, compile_css, element
+from .inheritance import (
+    InheritedAnalysisResult,
+    check_unreadable_text_inherited,
+    compile_css_inherited,
+)
+from .model import CssParseError, CssProgram, CssRule, Selector, parse_css
+
+__all__ = [
+    "CssAnalysisResult",
+    "CssParseError",
+    "InheritedAnalysisResult",
+    "CssProgram",
+    "CssRule",
+    "STYLED",
+    "Selector",
+    "black_on_black_language",
+    "check_unreadable_text",
+    "check_unreadable_text_inherited",
+    "compile_css",
+    "compile_css_inherited",
+    "element",
+    "parse_css",
+    "same_color_language",
+    "unstyled_language",
+]

@@ -1,0 +1,96 @@
+"""CSS safety analyses (paper Section 5.5).
+
+The paper's example: verify that a CSS program can never produce a node
+whose ``color`` and ``background-color`` are both black — unreadable
+text.  Tree-logic approaches must enumerate the value alphabet and blow
+up; with symbolic transducers the property is a pre-image emptiness
+check, and the stronger "the two properties are never *equal*" (which
+the paper calls out as infeasible with explicit alphabets) is just an
+equality guard between two label variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...automata import Language, STA, rule as sta_rule
+from ...smt import builders as smt
+from ...smt.solver import Solver
+from ...trees.tree import Tree
+from .compile import STYLED, _BG, _COLOR, compile_css
+from .model import CssProgram
+
+
+def _containing_language(node_guard, solver: Solver) -> Language:
+    """Styled documents containing a node satisfying the guard."""
+    rules = (
+        sta_rule("bad", "node", node_guard, [[], []]),
+        sta_rule("bad", "node", None, [["bad"], []]),
+        sta_rule("bad", "node", None, [[], ["bad"]]),
+    )
+    return Language(STA(STYLED, rules), "bad", solver)
+
+
+def black_on_black_language(solver: Solver | None = None) -> Language:
+    """Documents with a black-text-on-black-background node."""
+    solver = solver or Solver()
+    guard = smt.mk_and(
+        smt.mk_eq(_COLOR, smt.mk_str("black")), smt.mk_eq(_BG, smt.mk_str("black"))
+    )
+    return _containing_language(guard, solver)
+
+
+def same_color_language(solver: Solver | None = None) -> Language:
+    """Documents where some node's text and background colors coincide.
+
+    The check "too large" for explicit-alphabet tree logic (Section 5.5):
+    here it is a single symbolic equality between two attribute fields.
+    """
+    solver = solver or Solver()
+    guard = smt.mk_and(
+        smt.mk_eq(_COLOR, _BG),
+        smt.mk_ne(_COLOR, smt.mk_str("")),  # both actually set
+    )
+    return _containing_language(guard, solver)
+
+
+@dataclass
+class CssAnalysisResult:
+    """Outcome of a CSS safety check."""
+
+    safe: bool
+    bad_input: Optional[Tree]
+
+
+def check_unreadable_text(
+    program: CssProgram,
+    solver: Solver | None = None,
+    inputs: Language | None = None,
+    bad: Language | None = None,
+) -> CssAnalysisResult:
+    """Can ``C(H)`` contain black-on-black text for some document ``H``?
+
+    ``inputs`` restricts the considered documents (default: documents
+    with no inline styles, i.e. all styling comes from the CSS program).
+    """
+    solver = solver or Solver()
+    trans = compile_css(program, solver)
+    bad = bad or black_on_black_language(solver)
+    inputs = inputs or unstyled_language(solver)
+    bad_inputs = trans.pre_image(bad).intersect(inputs)
+    witness = bad_inputs.witness()
+    return CssAnalysisResult(witness is None, witness)
+
+
+def unstyled_language(solver: Solver | None = None) -> Language:
+    """Documents whose inline ``color``/``bg`` attributes are empty."""
+    solver = solver or Solver()
+    clean = smt.mk_and(
+        smt.mk_eq(_COLOR, smt.mk_str("")), smt.mk_eq(_BG, smt.mk_str(""))
+    )
+    rules = (
+        sta_rule("u", "node", clean, [["u"], ["u"]]),
+        sta_rule("u", "nil"),
+    )
+    return Language(STA(STYLED, rules), "u", solver)

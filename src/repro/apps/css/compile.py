@@ -1,0 +1,151 @@
+"""Compiling CSS programs to symbolic tree transducers (Section 5.5).
+
+Styled documents are binary-encoded trees over
+
+    Styled[tag : String, color : String, bg : String]{nil(0), node(2)}
+
+with ``node(first-child, next-sibling)``.  Applying a CSS program ``C``
+to a document ``H`` (the paper's ``C(H)``) is a *deterministic* STTR:
+
+* a transducer state is the set of partial descendant-selector matches
+  active at the current depth (pairs ``(rule, position)``);
+* moving to the first child extends matches by the current node's tag,
+  moving to the next sibling keeps the parent's context — exactly the
+  two children of the binary encoding;
+* tags partition into the finitely many mentioned by selectors plus the
+  symbolic "any other tag" region, so each state emits one rule per
+  region with an equality/disequality guard — this is where the symbolic
+  alphabet pays off: tree-logic encodings of the value space blow up
+  (the paper's motivation), while here ``color`` and ``bg`` stay
+  unconstrained label variables.
+
+The cascade is source order: the last firing rule assigning a property
+wins; unassigned properties keep the input's (inline) value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...smt import builders as smt
+from ...smt.solver import Solver
+from ...smt.sorts import STRING
+from ...smt.terms import Term
+from ...transducers import OutApply, OutNode, STTR, Transducer, trule
+from ...trees.tree import Tree
+from ...trees.types import TreeType, make_tree_type
+from .model import CssProgram
+
+STYLED: TreeType = make_tree_type(
+    "Styled", [("tag", STRING), ("color", STRING), ("bg", STRING)], {"nil": 0, "node": 2}
+)
+
+_TAG = smt.mk_var("tag", STRING)
+_COLOR = smt.mk_var("color", STRING)
+_BG = smt.mk_var("bg", STRING)
+
+#: property name -> attribute variable
+_PROPS = {"color": _COLOR, "background-color": _BG}
+
+#: A partial match: (rule index, next selector position).
+Match = tuple[int, int]
+
+
+def element(tag: str, children: Iterable[Tree] = (), color: str = "", bg: str = "") -> Tree:
+    """An element as a sibling-chain head with nil continuation."""
+    first = Tree("nil", ("", "", ""))
+    for c in reversed(list(children)):
+        assert c.ctor == "node"
+        first = Tree("node", c.attrs, (c.children[0], first))
+    return Tree("node", (tag, color, bg), (first, Tree("nil", ("", "", ""))))
+
+
+def compile_css(program: CssProgram, solver: Solver | None = None) -> Transducer:
+    """The STTR computing ``C(H)`` for the given CSS program."""
+    solver = solver or Solver()
+    tags = sorted(program.mentioned_tags())
+    initial: frozenset[Match] = frozenset((i, 0) for i in range(len(program.rules)))
+
+    rules = []
+    done: set[frozenset[Match]] = set()
+    work: list[frozenset[Match]] = [initial]
+    state_names: dict[frozenset[Match], str] = {}
+
+    def name_of(state: frozenset[Match]) -> str:
+        if state not in state_names:
+            state_names[state] = f"ctx{len(state_names)}"
+        return state_names[state]
+
+    while work:
+        state = work.pop()
+        if state in done:
+            continue
+        done.add(state)
+        src = name_of(state)
+        rules.append(
+            trule(src, "nil", OutNode("nil", (_TAG, _COLOR, _BG), ()), rank=0)
+        )
+        # One transducer rule per tag region.
+        regions: list[tuple[Term, str | None]] = [
+            (smt.mk_eq(_TAG, smt.mk_str(t)), t) for t in tags
+        ]
+        other_guard = smt.mk_and(
+            *(smt.mk_ne(_TAG, smt.mk_str(t)) for t in tags)
+        )
+        regions.append((other_guard, None))
+        for guard, tag in regions:
+            fired, child_state = _step(program, state, tag)
+            attr_exprs = _apply_cascade(program, fired)
+            out = OutNode(
+                "node",
+                attr_exprs,
+                (OutApply(name_of(child_state), 0), OutApply(src, 1)),
+            )
+            rules.append(trule(src, "node", out, guard=guard, rank=2))
+            if child_state not in done:
+                work.append(child_state)
+
+    # The initial state also starts fresh matches at every depth because
+    # descendant selectors may begin anywhere: _step keeps (i, 0) alive.
+    sttr = STTR("css", STYLED, STYLED, name_of(initial), tuple(rules))
+    return Transducer(sttr, solver)
+
+
+def _matches(simple: str, tag: str | None) -> bool:
+    if simple == "*":
+        return True
+    return tag is not None and simple == tag
+
+
+def _step(
+    program: CssProgram, state: frozenset[Match], tag: str | None
+) -> tuple[list[int], frozenset[Match]]:
+    """Advance the partial matches by a node with the given tag.
+
+    Returns (rules firing on this node, the context for its children).
+    ``tag=None`` means "any tag not mentioned by the program".
+    """
+    fired: list[int] = []
+    child: set[Match] = set()
+    for i, pos in state:
+        chain = program.rules[i].selector.chain
+        child.add((i, pos))  # descendant combinator: matches persist
+        if _matches(chain[pos], tag):
+            if pos + 1 == len(chain):
+                fired.append(i)
+                # a completed match persists for nested descendants only
+                # through its shorter prefixes, which remain in `child`
+            else:
+                child.add((i, pos + 1))
+    fired.sort()
+    return fired, frozenset(child)
+
+
+def _apply_cascade(program: CssProgram, fired: list[int]) -> tuple[Term, Term, Term]:
+    """Attribute expressions after applying the firing rules in order."""
+    values: dict[str, Term] = {"color": _COLOR, "background-color": _BG}
+    for i in fired:  # source order; later assignments override
+        for prop, value in program.rules[i].assignments:
+            if prop in values:
+                values[prop] = smt.mk_str(value)
+    return (_TAG, values["color"], values["background-color"])

@@ -1,0 +1,127 @@
+"""CSS compilation with background inheritance.
+
+:The plain compiler (:mod:`repro.apps.css.compile`) assigns properties
+only where rules fire, so "black text inside a black-background
+*ancestor*" escapes the black-on-black check.  Visually, though,
+``background-color`` paints the whole subtree.  This variant tracks the
+**effective** background through the transducer state — the set of
+values a CSS program can assign is finite (the constants in the program,
+plus "unset"), so inheritance fits in the finite state space while the
+*text* color stays symbolic.
+
+The produced transducer writes, at every node, the node's computed
+color and its *effective* (possibly inherited) background, making the
+black-on-black pre-image check complete for program-styled documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...smt import builders as smt
+from ...smt.solver import Solver
+from ...smt.terms import Term
+from ...transducers import OutApply, OutNode, STTR, Transducer, trule
+from ...trees.tree import Tree
+from .analysis import black_on_black_language, unstyled_language
+from .compile import STYLED, _BG, _COLOR, _TAG, _apply_cascade, _step
+from .model import CssProgram
+
+#: Marker for "no background set anywhere up the chain".
+UNSET = ""
+
+
+def compile_css_inherited(
+    program: CssProgram, solver: Solver | None = None
+) -> Transducer:
+    """Like :func:`compile_css`, but the written ``bg`` attribute is the
+    *effective* background: the nearest explicitly-set value up the
+    ancestor chain (program-assigned values only; inline backgrounds on
+    unstyled documents are empty)."""
+    solver = solver or Solver()
+    tags = sorted(program.mentioned_tags())
+    initial = (
+        frozenset((i, 0) for i in range(len(program.rules))),
+        UNSET,
+    )
+
+    rules = []
+    done: set = set()
+    work = [initial]
+    names: dict = {}
+
+    def name_of(state) -> str:
+        if state not in names:
+            names[state] = f"ictx{len(names)}"
+        return names[state]
+
+    while work:
+        state = work.pop()
+        if state in done:
+            continue
+        done.add(state)
+        matches, inherited_bg = state
+        src = name_of(state)
+        rules.append(trule(src, "nil", OutNode("nil", (_TAG, _COLOR, _BG), ()), rank=0))
+
+        regions: list[tuple[Term, Optional[str]]] = [
+            (smt.mk_eq(_TAG, smt.mk_str(t)), t) for t in tags
+        ]
+        regions.append(
+            (smt.mk_and(*(smt.mk_ne(_TAG, smt.mk_str(t)) for t in tags)), None)
+        )
+        for guard, tag in regions:
+            fired, child_matches = _step(program, matches, tag)
+            tag_e, color_e, bg_e = _apply_cascade(program, fired)
+            # Effective background: the rule-assigned value if any rule
+            # set one here, else the inherited value (if set), else the
+            # node's own (inline) attribute.
+            if bg_e is not _BG:
+                # a rule assigned a constant background here
+                assert bg_e.sort.name == "String"
+                new_bg = bg_e
+                child_bg = _const_value(bg_e)
+            elif inherited_bg != UNSET:
+                new_bg = smt.mk_str(inherited_bg)
+                child_bg = inherited_bg
+            else:
+                new_bg = _BG  # keep the inline attribute
+                child_bg = UNSET
+            child_state = (child_matches, child_bg)
+            out = OutNode(
+                "node",
+                (tag_e, color_e, new_bg),
+                (OutApply(name_of(child_state), 0), OutApply(src, 1)),
+            )
+            rules.append(trule(src, "node", out, guard=guard, rank=2))
+            if child_state not in done:
+                work.append(child_state)
+
+    sttr = STTR("css-inherited", STYLED, STYLED, name_of(initial), tuple(rules))
+    return Transducer(sttr, solver)
+
+
+def _const_value(term: Term) -> str:
+    from ...smt.terms import Const
+
+    assert isinstance(term, Const)
+    return str(term.value)
+
+
+@dataclass
+class InheritedAnalysisResult:
+    safe: bool
+    bad_input: Optional[Tree]
+
+
+def check_unreadable_text_inherited(
+    program: CssProgram, solver: Solver | None = None
+) -> InheritedAnalysisResult:
+    """The black-on-black check with background inheritance modeled."""
+    solver = solver or Solver()
+    trans = compile_css_inherited(program, solver)
+    bad = black_on_black_language(solver)
+    inputs = unstyled_language(solver)
+    witness = trans.pre_image(bad).intersect(inputs).witness()
+    return InheritedAnalysisResult(witness is None, witness)

@@ -1,0 +1,102 @@
+"""A small CSS model (paper Section 5.5).
+
+A CSS program is a sequence of rules ``selector { property: value; }``.
+We support the fragment the paper sketches: tag selectors, the universal
+selector ``*``, and the descendant combinator (``div p``), with the
+cascade resolved by source order (later rules win).  The properties of
+interest to the analysis are ``color`` and ``background-color``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class CssParseError(Exception):
+    """Malformed CSS source."""
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A descendant chain of simple selectors, e.g. ``div p`` = ("div","p").
+
+    ``"*"`` matches any tag.
+    """
+
+    chain: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise CssParseError("empty selector")
+
+    def __str__(self) -> str:
+        return " ".join(self.chain)
+
+
+@dataclass(frozen=True)
+class CssRule:
+    """One rule: a selector plus property assignments (source order kept)."""
+
+    selector: Selector
+    assignments: tuple[tuple[str, str], ...]
+
+    def __str__(self) -> str:
+        body = " ".join(f"{k}: {v};" for k, v in self.assignments)
+        return f"{self.selector} {{ {body} }}"
+
+
+@dataclass(frozen=True)
+class CssProgram:
+    """An ordered list of rules (order matters for the cascade)."""
+
+    rules: tuple[CssRule, ...]
+
+    def mentioned_tags(self) -> frozenset[str]:
+        return frozenset(
+            t for r in self.rules for t in r.selector.chain if t != "*"
+        )
+
+    def properties(self) -> frozenset[str]:
+        return frozenset(k for r in self.rules for k, _ in r.assignments)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+
+_RULE_RE = re.compile(r"([^{}]+)\{([^{}]*)\}", re.S)
+
+
+def parse_css(text: str) -> CssProgram:
+    """Parse a CSS program (the supported fragment; raises on nonsense)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    rules: list[CssRule] = []
+    consumed = 0
+    for m in _RULE_RE.finditer(text):
+        if text[consumed : m.start()].strip():
+            raise CssParseError(
+                f"unexpected text before rule: {text[consumed:m.start()]!r}"
+            )
+        consumed = m.end()
+        selector_src = m.group(1).strip()
+        if "," in selector_src:
+            raise CssParseError("selector groups (',') are not supported")
+        if any(ch in selector_src for ch in ".#>[:"):
+            raise CssParseError(
+                f"unsupported selector feature in {selector_src!r} "
+                f"(tag and descendant selectors only)"
+            )
+        chain = tuple(selector_src.split())
+        assignments: list[tuple[str, str]] = []
+        for decl in m.group(2).split(";"):
+            decl = decl.strip()
+            if not decl:
+                continue
+            if ":" not in decl:
+                raise CssParseError(f"bad declaration {decl!r}")
+            prop, value = decl.split(":", 1)
+            assignments.append((prop.strip().lower(), value.strip()))
+        rules.append(CssRule(Selector(chain), tuple(assignments)))
+    if text[consumed:].strip():
+        raise CssParseError(f"trailing text: {text[consumed:]!r}")
+    return CssProgram(tuple(rules))

@@ -1,0 +1,136 @@
+"""Deforestation (paper Section 5.3, Figure 7).
+
+Wadler's deforestation eliminates intermediate trees when composing
+functional programs; the paper shows transducer composition achieves it
+over *infinite* alphabets.  The workload is the paper's: ``map_caesar``
+(shift every list element by 5 mod 26) composed with itself ``n`` times,
+run over a list of 4,096 random integers.
+
+* ``naive_pipeline`` materializes every intermediate list (n traversals);
+* ``deforested`` composes the n transducers into one (one traversal).
+
+Figure 7's claim: naive time grows linearly in n, deforested stays flat.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..smt import builders as smt
+from ..smt.solver import Solver
+from ..smt.sorts import INT
+from ..transducers import OutApply, OutNode, STTR, Transducer, trule
+from ..trees.tree import Tree
+from ..trees.types import TreeType
+from ..trees.unranked import decode_list, encode_list, list_tree_type
+
+ILIST: TreeType = list_tree_type("IList", INT)
+_I = smt.mk_var("i", INT)
+
+
+def map_caesar_sttr() -> STTR:
+    """``map_caesar`` from Figure 8: i -> (i + 5) % 26."""
+    shifted = smt.mk_mod(smt.mk_add(_I, smt.mk_int(5)), 26)
+    return STTR(
+        "map_caesar",
+        ILIST,
+        ILIST,
+        "m",
+        (
+            trule("m", "nil", OutNode("nil", (smt.mk_int(0),), ()), rank=0),
+            trule("m", "cons", OutNode("cons", (shifted,), (OutApply("m", 0),)), rank=1),
+        ),
+    )
+
+
+def filter_ev_sttr() -> STTR:
+    """``filter_ev`` from Figure 8: drop odd elements."""
+    even = smt.mk_eq(smt.mk_mod(_I, 2), smt.mk_int(0))
+    return STTR(
+        "filter_ev",
+        ILIST,
+        ILIST,
+        "f",
+        (
+            trule("f", "nil", OutNode("nil", (smt.mk_int(0),), ()), rank=0),
+            trule("f", "cons", OutNode("cons", (_I,), (OutApply("f", 0),)), guard=even, rank=1),
+            trule("f", "cons", OutApply("f", 0), guard=smt.mk_not(even), rank=1),
+        ),
+    )
+
+
+def map_caesar(solver: Solver | None = None) -> Transducer:
+    return Transducer(map_caesar_sttr(), solver or Solver())
+
+
+def filter_ev(solver: Solver | None = None) -> Transducer:
+    return Transducer(filter_ev_sttr(), solver or Solver())
+
+
+def reference_caesar(values: list[int], n: int) -> list[int]:
+    """The mathematical specification of ``map_caesar`` iterated n times."""
+    out = values
+    for _ in range(n):
+        out = [(v + 5) % 26 for v in out]
+    return out
+
+
+def random_list(length: int = 4096, seed: int = 0) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randrange(0, 1000) for _ in range(length)]
+
+
+def composed_n(n: int, solver: Solver | None = None) -> Transducer:
+    """``map_caesar`` composed with itself ``n`` times (one transducer)."""
+    solver = solver or Solver()
+    base = map_caesar(solver)
+    out = base
+    for _ in range(n - 1):
+        out = out.compose(base)
+    return out
+
+
+@dataclass
+class DeforestationSample:
+    """One point of Figure 7."""
+
+    compositions: int
+    deforested_seconds: float
+    naive_seconds: float
+    compose_seconds: float
+
+
+def run_deforested(trans: Transducer, data: Tree) -> Tree:
+    out = trans.apply_one(data)
+    assert out is not None
+    return out
+
+
+def run_naive(base: Transducer, data: Tree, n: int) -> Tree:
+    out = data
+    for _ in range(n):
+        out = base.apply_one(out)
+        assert out is not None
+    return out
+
+
+def measure(n: int, values: list[int], solver: Solver | None = None) -> DeforestationSample:
+    """Time both strategies for n compositions over the given list."""
+    solver = solver or Solver()
+    base = map_caesar(solver)
+    data = encode_list(values, ILIST)
+
+    t0 = time.perf_counter()
+    composed = composed_n(n, solver)
+    t1 = time.perf_counter()
+    out_fast = run_deforested(composed, data)
+    t2 = time.perf_counter()
+    out_naive = run_naive(base, data, n)
+    t3 = time.perf_counter()
+
+    expected = reference_caesar(values, n)
+    assert decode_list(out_fast) == expected, "deforested output mismatch"
+    assert decode_list(out_naive) == expected, "naive output mismatch"
+    return DeforestationSample(n, t2 - t1, t3 - t2, t1 - t0)

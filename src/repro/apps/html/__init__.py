@@ -1,0 +1,62 @@
+"""HTML sanitization case study (paper Sections 2 and 5.1)."""
+
+from .dom import Element, Node, Text, serialize
+from .encoding import (
+    HTML_E,
+    decode_forest,
+    decode_html,
+    decode_string,
+    encode_forest,
+    encode_html,
+    encode_string,
+)
+from .pages import PAPER_PAGE_SIZES, generate_page, paper_page_suite
+from .parser import parse_html
+from .passes import (
+    EVENT_HANDLER_ATTRS,
+    Pipeline,
+    attribute_free_language,
+    build_pipeline,
+    element_free_language,
+    escape_characters,
+    remove_attributes,
+    remove_elements,
+    well_formed_language,
+)
+from .sanitizer import (
+    FastHtmlSanitizer,
+    MonolithicSanitizer,
+    SanitizerAnalysis,
+    fast_sanitizer_source,
+)
+
+__all__ = [
+    "Element",
+    "FastHtmlSanitizer",
+    "HTML_E",
+    "MonolithicSanitizer",
+    "Node",
+    "PAPER_PAGE_SIZES",
+    "SanitizerAnalysis",
+    "Text",
+    "EVENT_HANDLER_ATTRS",
+    "Pipeline",
+    "attribute_free_language",
+    "build_pipeline",
+    "decode_forest",
+    "decode_html",
+    "decode_string",
+    "encode_forest",
+    "encode_html",
+    "encode_string",
+    "fast_sanitizer_source",
+    "generate_page",
+    "paper_page_suite",
+    "parse_html",
+    "element_free_language",
+    "escape_characters",
+    "remove_attributes",
+    "remove_elements",
+    "serialize",
+    "well_formed_language",
+]

@@ -1,0 +1,109 @@
+"""The ``HtmlE`` encoding of DOM trees (paper Section 2, Figure 3).
+
+Each DOM element becomes ``node[tag](x1, x2, x3)`` where ``x1`` encodes
+the attribute list, ``x2`` the first child, ``x3`` the next sibling;
+each attribute becomes ``attr[name](value, next-attribute)``; each
+string a chain of single-character ``val`` nodes; ``nil[""]``
+terminates lists, strings, and trees.
+
+Text content follows the paper's Figure 3: a text child is encoded as an
+``attr["text"]`` entry in its parent's attribute list (the figure shows
+``<script>a</script>`` with ``text -> a`` under ``attr``).  Decoding
+places text children before element children; interleavings of text and
+elements are therefore normalized — the price of the paper's encoding,
+noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from ...smt.sorts import STRING
+from ...trees.tree import Tree
+from ...trees.types import TreeType, make_tree_type
+from .dom import Element, Node, Text
+
+#: The paper's tree type: type HtmlE[tag : String]{nil(0), val(1), attr(2), node(3)}
+HTML_E: TreeType = make_tree_type(
+    "HtmlE", [("tag", STRING)], {"nil": 0, "val": 1, "attr": 2, "node": 3}
+)
+
+NIL = Tree("nil", ("",))
+
+#: The attribute name carrying text content (Figure 3).
+TEXT_ATTR = "text"
+
+
+def encode_string(text: str) -> Tree:
+    """A string as a chain of single-character ``val`` nodes."""
+    out = NIL
+    for ch in reversed(text):
+        out = Tree("val", (ch,), (out,))
+    return out
+
+
+def decode_string(tree: Tree) -> str:
+    chars: list[str] = []
+    while tree.ctor == "val":
+        chars.append(str(tree.attrs[0]))
+        (tree,) = tree.children
+    return "".join(chars)
+
+
+def encode_forest(nodes: list[Node]) -> Tree:
+    """Encode a DOM forest into one ``HtmlE`` tree (sibling-chained)."""
+    result = NIL
+    for n in reversed(nodes):
+        if isinstance(n, Text):
+            continue  # text is attached to the parent's attribute list
+        result = Tree(
+            "node",
+            (n.tag,),
+            (_encode_attrs(n), encode_forest(n.children), result),
+        )
+    return result
+
+
+def _encode_attrs(element: Element) -> Tree:
+    entries: list[tuple[str, str]] = list(element.attrs)
+    for child in element.children:
+        if isinstance(child, Text):
+            entries.append((TEXT_ATTR, child.data))
+    result = NIL
+    for name, value in reversed(entries):
+        result = Tree("attr", (name,), (encode_string(value), result))
+    return result
+
+
+def decode_forest(tree: Tree) -> list[Node]:
+    """Inverse of :func:`encode_forest`."""
+    out: list[Node] = []
+    while tree.ctor == "node":
+        attrs_tree, first_child, next_sibling = tree.children
+        attrs: list[tuple[str, str]] = []
+        texts: list[str] = []
+        while attrs_tree.ctor == "attr":
+            name = str(attrs_tree.attrs[0])
+            value_tree, attrs_tree = attrs_tree.children
+            value = decode_string(value_tree)
+            if name == TEXT_ATTR:
+                texts.append(value)
+            else:
+                attrs.append((name, value))
+        children: list[Node] = [Text(t) for t in texts]
+        children.extend(decode_forest(first_child))
+        out.append(Element(str(tree.attrs[0]), attrs, children))
+        tree = next_sibling
+    return out
+
+
+def encode_html(html: str) -> Tree:
+    """Parse HTML text and encode it (browser parse + Figure 3 encoding)."""
+    from .parser import parse_html
+
+    return encode_forest(parse_html(html))
+
+
+def decode_html(tree: Tree) -> str:
+    """Decode an ``HtmlE`` tree and serialize it back to HTML text."""
+    from .dom import serialize
+
+    return serialize(decode_forest(tree))

@@ -1,0 +1,89 @@
+"""Synthetic web-page generator for the Section 5.1 evaluation.
+
+The paper measures sanitization over 10 real pages from 20 KB (Bing) to
+409 KB (Facebook).  Offline, we generate pages across the same size
+range with realistic markup density: nested containers, text runs,
+attribute-heavy links/images, inline quotes needing escaping, and
+embedded ``<script>`` blocks for the sanitizer to remove (DESIGN.md
+documents the substitution).
+"""
+
+from __future__ import annotations
+
+import random
+
+_WORDS = (
+    "the quick brown fox jumps over a lazy dog while symbolic tree "
+    "transducers compose sanitize analyze verify encode decode stream"
+).split()
+
+_TAGS = ["div", "p", "span", "ul", "li", "b", "i", "em", "section", "article"]
+
+#: The paper's page-size range, smallest (Bing) to largest (Facebook).
+PAPER_PAGE_SIZES = [
+    20_000,
+    40_000,
+    60_000,
+    90_000,
+    120_000,
+    160_000,
+    210_000,
+    270_000,
+    340_000,
+    409_000,
+]
+
+
+def _text(rng: random.Random, words: int) -> str:
+    parts = [rng.choice(_WORDS) for _ in range(words)]
+    if rng.random() < 0.2:
+        parts.append("it's")  # a quote the esc pass must escape
+    return " ".join(parts)
+
+
+def _element(rng: random.Random, depth: int, budget: list[int], out: list[str]) -> None:
+    if budget[0] <= 0:
+        return
+    roll = rng.random()
+    if roll < 0.12:
+        chunk = f'<script type="text/javascript">alert("x{rng.randrange(10)}");</script>'
+        out.append(chunk)
+        budget[0] -= len(chunk)
+        return
+    if roll < 0.35 or depth >= 6:
+        text = _text(rng, rng.randrange(4, 14))
+        if rng.random() < 0.4:
+            chunk = f'<a href="/p/{rng.randrange(1000)}" title="{_text(rng, 2)}">{text}</a>'
+        else:
+            chunk = f"<p>{text}</p>"
+        out.append(chunk)
+        budget[0] -= len(chunk)
+        return
+    tag = rng.choice(_TAGS)
+    open_tag = f'<{tag} class="c{rng.randrange(40)}" id="n{rng.randrange(10_000)}">'
+    out.append(open_tag)
+    budget[0] -= len(open_tag) + len(tag) + 3
+    for _ in range(rng.randrange(2, 6)):
+        if budget[0] <= 0:
+            break
+        _element(rng, depth + 1, budget, out)
+    out.append(f"</{tag}>")
+
+
+def generate_page(size_bytes: int, seed: int = 0) -> str:
+    """A synthetic HTML page of roughly ``size_bytes`` bytes."""
+    rng = random.Random(seed)
+    out: list[str] = ["<html><head><title>synthetic</title></head><body>"]
+    budget = [size_bytes - 100]
+    while budget[0] > 0:
+        _element(rng, 0, budget, out)
+    out.append("</body></html>")
+    return "".join(out)
+
+
+def paper_page_suite(seed: int = 0) -> list[tuple[str, str]]:
+    """Ten pages matching the paper's size range: [(name, html), ...]."""
+    return [
+        (f"page_{size // 1000}kb", generate_page(size, seed + i))
+        for i, size in enumerate(PAPER_PAGE_SIZES)
+    ]

@@ -1,0 +1,194 @@
+"""A library of composable sanitization passes (paper Section 5.1).
+
+"In all the libraries mentioned above HTML sanitization is implemented
+as a monolithic function in order to achieve reasonable performance.  In
+the case of Fast each sanitization routine can be written as a single
+function and all such routines can be then composed preserving the
+property of traversing the input HTML only once."
+
+Each pass here is an independent STTR over the Figure 3 ``HtmlE``
+encoding; :func:`build_pipeline` composes any selection into a
+single-traversal sanitizer, and each pass's safety property is
+expressible as a language for the pre-image analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ...automata import Language, STA, rule as sta_rule
+from ...smt import builders as smt
+from ...smt.solver import Solver
+from ...transducers import OutApply, OutNode, STTR, Transducer, trule
+from .encoding import HTML_E
+
+_TAG = smt.mk_var("tag", HTML_E.field("tag").sort)
+_V = (_TAG,)
+
+#: Event-handler attributes dropped by :func:`remove_event_handlers`.
+EVENT_HANDLER_ATTRS = (
+    "onclick",
+    "onload",
+    "onerror",
+    "onmouseover",
+    "onfocus",
+    "onsubmit",
+)
+
+
+def _ident_rules(state: str = "i") -> list:
+    return [
+        trule(
+            state,
+            c.name,
+            OutNode(c.name, _V, tuple(OutApply(state, k) for k in range(c.rank))),
+            rank=c.rank,
+        )
+        for c in HTML_E.constructors
+    ]
+
+
+def remove_elements(tags: Sequence[str], name: str = "remElems") -> STTR:
+    """Drop every element whose tag is in ``tags`` (subtree and all),
+    keeping later siblings — the generalized ``remScript``."""
+    removed = smt.disjoin([smt.mk_eq(_TAG, smt.mk_str(t)) for t in tags])
+    kept = smt.mk_not(removed)
+    rules = _ident_rules() + [
+        trule(
+            "q",
+            "node",
+            OutNode("node", _V, (OutApply("i", 0), OutApply("q", 1), OutApply("q", 2))),
+            guard=kept,
+            rank=3,
+        ),
+        trule("q", "node", OutApply("q", 2), guard=removed, rank=3),
+        trule("q", "nil", OutNode("nil", _V, ()), rank=0),
+    ]
+    return STTR(name, HTML_E, HTML_E, "q", tuple(rules))
+
+
+def remove_attributes(names: Sequence[str], name: str = "remAttrs") -> STTR:
+    """Drop attributes with the given names (e.g. event handlers)."""
+    removed = smt.disjoin([smt.mk_eq(_TAG, smt.mk_str(n)) for n in names])
+    kept = smt.mk_not(removed)
+    rules = _ident_rules() + [
+        trule(
+            "q",
+            "node",
+            OutNode("node", _V, (OutApply("a", 0), OutApply("q", 1), OutApply("q", 2))),
+            rank=3,
+        ),
+        trule("q", "nil", OutNode("nil", _V, ()), rank=0),
+        # attribute-list walker: keep or skip each attr node
+        trule(
+            "a",
+            "attr",
+            OutNode("attr", _V, (OutApply("i", 0), OutApply("a", 1))),
+            guard=kept,
+            rank=2,
+        ),
+        trule("a", "attr", OutApply("a", 1), guard=removed, rank=2),
+        trule("a", "nil", OutNode("nil", _V, ()), rank=0),
+    ]
+    return STTR(name, HTML_E, HTML_E, "q", tuple(rules))
+
+
+def escape_characters(chars: Sequence[str] = ("'", '"'), name: str = "esc") -> STTR:
+    """Prefix each listed character with a backslash (Figure 2's esc)."""
+    escaped = smt.disjoin([smt.mk_eq(_TAG, smt.mk_str(c)) for c in chars])
+    plain = smt.mk_not(escaped)
+    rules = [
+        trule(
+            "e",
+            "node",
+            OutNode("node", _V, (OutApply("e", 0), OutApply("e", 1), OutApply("e", 2))),
+            rank=3,
+        ),
+        trule("e", "attr", OutNode("attr", _V, (OutApply("e", 0), OutApply("e", 1))), rank=2),
+        trule(
+            "e",
+            "val",
+            OutNode("val", (smt.mk_str("\\"),), (OutNode("val", _V, (OutApply("e", 0),)),)),
+            guard=escaped,
+            rank=1,
+        ),
+        trule("e", "val", OutNode("val", _V, (OutApply("e", 0),)), guard=plain, rank=1),
+        trule("e", "nil", OutNode("nil", _V, ()), rank=0),
+    ]
+    return STTR(name, HTML_E, HTML_E, "e", tuple(rules))
+
+
+def element_free_language(tags: Sequence[str], solver: Solver) -> Language:
+    """Trees containing NO element with any of the given tags (for
+    type-checking a pipeline's output)."""
+    bad = smt.disjoin([smt.mk_eq(_TAG, smt.mk_str(t)) for t in tags])
+    good = smt.mk_not(bad)
+    rules = (
+        sta_rule("ok", "node", good, [["ok"], ["ok"], ["ok"]]),
+        sta_rule("ok", "attr", None, [["ok"], ["ok"]]),
+        sta_rule("ok", "val", None, [["ok"]]),
+        sta_rule("ok", "nil"),
+    )
+    return Language(STA(HTML_E, rules), "ok", solver)
+
+
+def attribute_free_language(names: Sequence[str], solver: Solver) -> Language:
+    """Trees containing NO attribute with any of the given names."""
+    bad = smt.disjoin([smt.mk_eq(_TAG, smt.mk_str(n)) for n in names])
+    good = smt.mk_not(bad)
+    rules = (
+        sta_rule("ok", "node", None, [["ok"], ["ok"], ["ok"]]),
+        sta_rule("ok", "attr", good, [["ok"], ["ok"]]),
+        sta_rule("ok", "val", None, [["ok"]]),
+        sta_rule("ok", "nil"),
+    )
+    return Language(STA(HTML_E, rules), "ok", solver)
+
+
+def well_formed_language(solver: Solver) -> Language:
+    """The paper's ``nodeTree`` family: correct Figure 3 encodings.
+
+    Verification must restrict to these — outside them, e.g. with an
+    element smuggled into the attribute-list position, no sanitizer has
+    meaningful obligations (this is precisely why Figure 2 restricts
+    ``sani`` to ``nodeTree``).
+    """
+    empty = smt.mk_eq(_TAG, smt.mk_str(""))
+    rules = (
+        sta_rule("nodeTree", "node", None, [["attrTree"], ["nodeTree"], ["nodeTree"]]),
+        sta_rule("nodeTree", "nil", empty),
+        sta_rule("attrTree", "attr", None, [["valTree"], ["attrTree"]]),
+        sta_rule("attrTree", "nil", empty),
+        sta_rule("valTree", "val", smt.mk_not(empty), [["valTree"]]),
+        sta_rule("valTree", "nil", empty),
+    )
+    return Language(STA(HTML_E, rules), "nodeTree", solver)
+
+
+@dataclass
+class Pipeline:
+    """A composed sanitization pipeline plus its verification hooks."""
+
+    transducer: Transducer
+    passes: tuple[str, ...]
+
+    def verify(self, safety: Language, inputs: Language | None = None):
+        """None if every well-formed input maps into ``safety``; else a
+        counterexample input.  ``inputs`` defaults to the well-formed
+        encodings (the paper's ``nodeTree`` restriction)."""
+        if inputs is None:
+            inputs = well_formed_language(self.transducer.solver)
+        return self.transducer.type_check(inputs, safety)
+
+
+def build_pipeline(passes: Iterable[STTR], solver: Solver | None = None) -> Pipeline:
+    """Compose independent passes into one single-traversal transducer."""
+    solver = solver or Solver()
+    passes = list(passes)
+    if not passes:
+        raise ValueError("a pipeline needs at least one pass")
+    acc = Transducer(passes[0], solver)
+    for p in passes[1:]:
+        acc = acc.compose(Transducer(p, solver))
+    return Pipeline(acc, tuple(p.name for p in passes))

@@ -1,0 +1,278 @@
+"""An XPath fragment compiled to symbolic tree automata.
+
+The paper's related-work section plans "to identify a fragment of XPath
+expressible in Fast".  This module realizes that plan for the
+navigational core:
+
+* steps:  ``/tag`` (child axis), ``//tag`` (descendant-or-self axis),
+  ``*`` (any tag);
+* predicates: ``[step...]`` — the node has a match for the relative
+  path (existential filter), possibly negated as ``[not(step...)]``.
+
+A query compiles to a :class:`~repro.automata.language.Language` over
+the first-child/next-sibling binary encoding
+(:mod:`repro.trees.unranked`): the language of documents in which the
+query selects **at least one** node.  Classical XPath analyses then fall
+out of the automaton algebra:
+
+* satisfiability   — emptiness of the language;
+* containment      — language inclusion (``q1`` matches whenever ``q2``
+  does);
+* disjointness     — emptiness of the intersection.
+
+Alternation earns its keep here: a step with predicates is one rule
+whose lookahead conjoins the continuation and every filter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..automata.language import Language
+from ..automata.sta import STA, STARule, State
+from ..smt import builders as smt
+from ..smt.solver import Solver
+from ..smt.terms import Term
+from ..trees.tree import Tree
+from ..trees.types import TreeType
+from ..trees.unranked import Unranked, binary_tree_type, encode_unranked
+
+#: The document type: node(first-child, next-sibling) with a label.
+DOC: TreeType = binary_tree_type("Doc")
+
+_LABEL = smt.mk_var("label", DOC.field("label").sort)
+
+
+class XPathError(Exception):
+    """Malformed query (outside the supported fragment)."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step."""
+
+    axis: str  # "child" | "descendant"
+    test: str  # tag name or "*"
+    predicates: tuple["Predicate", ...] = ()
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An existential filter ``[path]`` or its negation ``[not(path)]``."""
+
+    steps: tuple[Step, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class XPathQuery:
+    steps: tuple[Step, ...]
+
+    def __str__(self) -> str:
+        out = []
+        for s in self.steps:
+            out.append("//" if s.axis == "descendant" else "/")
+            out.append(s.test)
+            for p in s.predicates:
+                inner = str(XPathQuery(p.steps)).lstrip("/")
+                out.append(f"[not({inner})]" if p.negated else f"[{inner}]")
+        return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_xpath(text: str) -> XPathQuery:
+    """Parse the supported fragment; raises :class:`XPathError`."""
+    steps, rest = _parse_steps(text.strip())
+    if rest:
+        raise XPathError(f"trailing input: {rest!r}")
+    if not steps:
+        raise XPathError("empty query")
+    return XPathQuery(tuple(steps))
+
+
+def _parse_steps(text: str) -> tuple[list[Step], str]:
+    steps: list[Step] = []
+    i = 0
+    while i < len(text) and text[i] == "/":
+        if text.startswith("//", i):
+            axis = "descendant"
+            i += 2
+        else:
+            axis = "child"
+            i += 1
+        j = i
+        while j < len(text) and (text[j].isalnum() or text[j] in "_-*"):
+            j += 1
+        test = text[i:j]
+        if not test:
+            raise XPathError(f"expected a tag name at offset {i}")
+        i = j
+        predicates: list[Predicate] = []
+        while i < len(text) and text[i] == "[":
+            depth = 0
+            k = i
+            while k < len(text):
+                if text[k] == "[":
+                    depth += 1
+                elif text[k] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            if depth != 0:
+                raise XPathError("unbalanced '['")
+            inner = text[i + 1 : k].strip()
+            negated = False
+            if inner.startswith("not(") and inner.endswith(")"):
+                negated = True
+                inner = inner[4:-1].strip()
+            if not inner.startswith("/"):
+                inner = "/" + inner
+            inner_steps, rest = _parse_steps(inner)
+            if rest:
+                raise XPathError(f"bad predicate: {inner!r}")
+            predicates.append(Predicate(tuple(inner_steps), negated))
+            i = k + 1
+        steps.append(Step(axis, test, tuple(predicates)))
+    return steps, text[i:]
+
+
+# ---------------------------------------------------------------------------
+# Compilation to an STA
+# ---------------------------------------------------------------------------
+
+
+class _Compiler:
+    """Compiles queries to states of one growing STA."""
+
+    def __init__(self, solver: Solver) -> None:
+        self.solver = solver
+        self.rules: list[STARule] = []
+        self._memo: dict = {}
+        self._counter = itertools.count()
+
+    def _guard(self, test: str) -> Term:
+        if test == "*":
+            return smt.TRUE
+        return smt.mk_eq(_LABEL, smt.mk_str(test))
+
+    def language_of(self, query: XPathQuery) -> State:
+        """State accepting forests in which the query selects a node."""
+        return self._match_steps(tuple(query.steps))
+
+    def _match_steps(self, steps: tuple[Step, ...]) -> State:
+        """Forest language: some element in the sibling chain starts a match."""
+        key = ("steps", steps)
+        if key in self._memo:
+            return self._memo[key]
+        state = ("q", next(self._counter), str(XPathQuery(steps)))
+        self._memo[key] = state
+        step, rest = steps[0], steps[1:]
+
+        # Case: the head element matches the step here.
+        hit_lookahead_first: list[State] = []
+        if rest:
+            hit_lookahead_first.append(self._match_steps(rest))
+        neg_constraints: list[State] = []
+        for p in step.predicates:
+            p_state = self._match_steps(p.steps)
+            if p.negated:
+                neg_constraints.append(self._complement_state(p_state))
+            else:
+                hit_lookahead_first.append(p_state)
+        self.rules.append(
+            STARule(
+                state,
+                "node",
+                self._guard(step.test),
+                (
+                    frozenset(hit_lookahead_first + neg_constraints),
+                    frozenset(),
+                ),
+            )
+        )
+        # Case: the match starts at a later sibling.
+        self.rules.append(
+            STARule(state, "node", smt.TRUE, (frozenset(), frozenset([state])))
+        )
+        if step.axis == "descendant":
+            # Case: the match starts deeper inside the head element.
+            self.rules.append(
+                STARule(state, "node", smt.TRUE, (frozenset([state]), frozenset()))
+            )
+        return state
+
+    def _complement_state(self, state: State) -> State:
+        """The complement of a query state (for ``not(...)`` filters)."""
+        key = ("not", state)
+        if key in self._memo:
+            return self._memo[key]
+        from ..automata.boolean_ops import complement
+
+        sta = STA(DOC, tuple(self.rules))
+        comp_sta, comp_state = complement(sta, state, self.solver)
+        renamed = comp_sta.map_states(lambda s: ("c", id(state), s))
+        self.rules.extend(renamed.rules)
+        result = ("c", id(state), comp_state)
+        self._memo[key] = result
+        return result
+
+    def sta(self) -> STA:
+        return STA(DOC, tuple(self.rules))
+
+
+def compile_xpath(
+    query: XPathQuery | str, solver: Solver | None = None
+) -> Language:
+    """Documents (forests) where the query selects at least one node."""
+    solver = solver or Solver()
+    if isinstance(query, str):
+        query = parse_xpath(query)
+    compiler = _Compiler(solver)
+    state = compiler.language_of(query)
+    return Language(compiler.sta(), state, solver)
+
+
+# ---------------------------------------------------------------------------
+# The classical XPath analyses
+# ---------------------------------------------------------------------------
+
+
+def selects(query: XPathQuery | str, document: Iterable[Unranked] | Unranked) -> bool:
+    """Does the query select any node in the document?"""
+    if isinstance(document, Unranked):
+        document = [document]
+    lang = compile_xpath(query)
+    return lang.accepts(encode_unranked(list(document)))
+
+
+def satisfiable(query: XPathQuery | str, solver: Solver | None = None) -> bool:
+    """Is there any document the query matches? (emptiness)"""
+    return not compile_xpath(query, solver).is_empty()
+
+
+def contained_in(
+    narrow: XPathQuery | str, wide: XPathQuery | str, solver: Solver | None = None
+) -> Optional[Tree]:
+    """None if every document matched by ``narrow`` is matched by ``wide``;
+    otherwise a witness document (encoded)."""
+    solver = solver or Solver()
+    return compile_xpath(narrow, solver).included_in(compile_xpath(wide, solver))
+
+
+def disjoint(
+    first: XPathQuery | str, second: XPathQuery | str, solver: Solver | None = None
+) -> bool:
+    """Can no document match both queries?"""
+    solver = solver or Solver()
+    return (
+        compile_xpath(first, solver)
+        .intersect(compile_xpath(second, solver))
+        .is_empty()
+    )

@@ -1,0 +1,191 @@
+"""Antichain-based inclusion and universality for symbolic tree automata.
+
+The paper's "open problems" paragraph points to antichain techniques for
+universality/inclusion of nondeterministic tree automata (Bouajjani,
+Habermehl, Holik, Touili, Vojnar, CIAA'08) and asks whether they carry
+over to the symbolic setting.  This module answers constructively for
+our STAs: the classical bottom-up antichain algorithm lifts by replacing
+"for every alphabet symbol" with "for every *minterm* of the locally
+applicable guards".
+
+``included_in_antichain(A, p, B, q)`` decides ``L^p_A ⊆ L^q_B`` without
+complementing ``B``:
+
+* both sides are lazily normalized (singleton child constraints);
+* search states are pairs ``(a, S)`` meaning: some tree admits an
+  ``A``-run reaching merged state ``a`` while the set of ``B`` merged
+  states reachable on it is exactly ``S``;
+* a counterexample is a pair with ``a`` containing the ``A``-start and
+  ``S`` missing the ``B``-start;
+* the antichain keeps only minimal ``S`` per ``a`` — a pair with a
+  smaller ``S`` can counterfeit every context the larger one can, so
+  pruning is sound and avoids materializing the subset lattice that
+  complement-based inclusion (determinization) builds eagerly.
+
+A witness (gap) tree is rebuilt from stored derivations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..smt.minterms import minterms
+from ..smt.solver import Solver
+from ..smt.terms import Value
+from ..trees.tree import Tree
+from .normalize import normalize
+from .sta import STA, State
+
+
+@dataclass(frozen=True)
+class _Pair:
+    """An antichain element plus the witness tree that produced it."""
+
+    a: State
+    bs: frozenset
+    witness: Tree
+
+
+class _AntichainSearch:
+    def __init__(
+        self,
+        left: STA,
+        lstate: State,
+        right: STA,
+        rstate: State,
+        solver: Solver,
+    ) -> None:
+        if left.tree_type != right.tree_type:
+            raise ValueError("inclusion requires a common tree type")
+        self.solver = solver
+        self.tree_type = left.tree_type
+        self.a_start = frozenset([lstate])
+        self.b_start = frozenset([rstate])
+        self.norm_a = normalize(left, [self.a_start], solver)
+        self.norm_b = normalize(right, [self.b_start], solver)
+        self.a_by_ctor: dict[str, list] = {}
+        for r in self.norm_a.sta.rules:
+            self.a_by_ctor.setdefault(r.ctor, []).append(r)
+        self.b_by_ctor: dict[str, list] = {}
+        for r in self.norm_b.sta.rules:
+            self.b_by_ctor.setdefault(r.ctor, []).append(r)
+        #: per A-state, the minimal-B-set pairs
+        self.antichain: dict[State, list[_Pair]] = {}
+        self.fresh: list[_Pair] = []
+
+    # -- antichain maintenance --------------------------------------------
+
+    def _insert(self, pair: _Pair) -> bool:
+        bucket = self.antichain.setdefault(pair.a, [])
+        for existing in bucket:
+            if existing.bs <= pair.bs:
+                return False  # subsumed
+        bucket[:] = [e for e in bucket if not (pair.bs <= e.bs)]
+        bucket.append(pair)
+        self.fresh.append(pair)
+        return True
+
+    def _attrs(self, guard) -> tuple[Value, ...]:
+        model = self.solver.get_model(guard)
+        assert model is not None
+        defaults = self.tree_type.default_attrs()
+        return tuple(
+            model.get(f.name, d) for f, d in zip(self.tree_type.fields, defaults)
+        )
+
+    # -- the search ----------------------------------------------------------
+
+    def run(self) -> Optional[Tree]:
+        # Seed from nullary constructors.
+        for ctor in self.tree_type.constructors:
+            if ctor.rank == 0:
+                gap = self._step(ctor, ())
+                if gap is not None:
+                    return gap
+        frontier = self.fresh
+        self.fresh = []
+        while frontier:
+            for ctor in self.tree_type.constructors:
+                if ctor.rank == 0:
+                    continue
+                pool = [p for b in self.antichain.values() for p in b]
+                for kids in itertools.product(pool, repeat=ctor.rank):
+                    if not any(k in frontier for k in kids):
+                        continue  # only tuples touching new pairs
+                    gap = self._step(ctor, kids)
+                    if gap is not None:
+                        return gap
+            frontier = self.fresh
+            self.fresh = []
+        return None
+
+    def _step(self, ctor, kids: tuple[_Pair, ...]) -> Optional[Tree]:
+        a_rules = [
+            r
+            for r in self.a_by_ctor.get(ctor.name, [])
+            if all(next(iter(l)) == k.a for l, k in zip(r.lookahead, kids))
+        ]
+        if not a_rules:
+            return None
+        b_rules = [
+            r
+            for r in self.b_by_ctor.get(ctor.name, [])
+            if all(next(iter(l)) in k.bs for l, k in zip(r.lookahead, kids))
+        ]
+        preds = [r.guard for r in a_rules] + [r.guard for r in b_rules]
+        for signs, conj in minterms(preds, self.solver):
+            a_signs = signs[: len(a_rules)]
+            if not any(a_signs):
+                continue
+            b_signs = signs[len(a_rules) :]
+            new_bs = frozenset(r.state for r, s in zip(b_rules, b_signs) if s)
+            witness: Optional[Tree] = None
+            for rule, sign in zip(a_rules, a_signs):
+                if not sign:
+                    continue
+                if witness is None:
+                    witness = Tree(
+                        ctor.name, self._attrs(conj), tuple(k.witness for k in kids)
+                    )
+                if rule.state == self.a_start and self.b_start not in new_bs:
+                    return witness
+                self._insert(_Pair(rule.state, new_bs, witness))
+        return None
+
+
+def included_in_antichain(
+    left: STA,
+    lstate: State,
+    right: STA,
+    rstate: State,
+    solver: Solver,
+) -> Optional[Tree]:
+    """None if ``L^lstate ⊆ L^rstate``; otherwise a tree in the gap."""
+    return _AntichainSearch(left, lstate, right, rstate, solver).run()
+
+
+def universal_antichain(sta: STA, state: State, solver: Solver) -> Optional[Tree]:
+    """None if ``L^state`` contains every tree of the type; else a gap tree.
+
+    Universality = inclusion of the universal language, with the trivial
+    one-state automaton on the left.
+    """
+    from ..smt import builders as smt
+    from .sta import STARule
+
+    univ_state = ("univ",)
+    univ = STA(
+        sta.tree_type,
+        tuple(
+            STARule(
+                univ_state,
+                c.name,
+                smt.TRUE,
+                tuple(frozenset([univ_state]) for _ in range(c.rank)),
+            )
+            for c in sta.tree_type.constructors
+        ),
+    )
+    return included_in_antichain(univ, univ_state, sta, state, solver)

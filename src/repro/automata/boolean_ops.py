@@ -1,0 +1,71 @@
+"""Boolean operations on STA languages (paper Section 3.5).
+
+Alternation makes intersection and union cheap: a fresh root state either
+merges one rule per operand (conjoining guards, uniting lookahead — the
+paper's ``!`` operator applied at the root) or simply copies both rule
+sets.  Complement goes through bottom-up determinization
+(:mod:`repro.automata.determinize`); difference composes the two.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..smt import builders as smt
+from ..smt.solver import Solver
+from .determinize import complement as _complement
+from .sta import STA, STARule, State, disjoint_union
+
+
+def intersect(
+    left: STA, lstate: State, right: STA, rstate: State
+) -> tuple[STA, State]:
+    """A state accepting ``L^lstate`` intersect ``L^rstate``.
+
+    Uses the rule-merge operator at the root; below the root the
+    alternating lookahead keeps both constraint sets alive.
+    """
+    combined, lmap, rmap = disjoint_union(left, right)
+    root: State = ("and", lmap(lstate), rmap(rstate))
+    rules: list[STARule] = []
+    for ctor in combined.tree_type.constructors:
+        lrules = combined.rules_from(lmap(lstate), ctor.name)
+        rrules = combined.rules_from(rmap(rstate), ctor.name)
+        for a, b in itertools.product(lrules, rrules):
+            guard = smt.mk_and(a.guard, b.guard)
+            if guard == smt.FALSE:
+                continue
+            lookahead = tuple(
+                la | lb for la, lb in zip(a.lookahead, b.lookahead)
+            )
+            rules.append(STARule(root, ctor.name, guard, lookahead))
+    return combined.with_rules(rules), root
+
+
+def union(
+    left: STA, lstate: State, right: STA, rstate: State
+) -> tuple[STA, State]:
+    """A state accepting ``L^lstate`` union ``L^rstate``."""
+    combined, lmap, rmap = disjoint_union(left, right)
+    root: State = ("or", lmap(lstate), rmap(rstate))
+    rules = [
+        STARule(root, r.ctor, r.guard, r.lookahead)
+        for r in combined.rules_from(lmap(lstate))
+    ] + [
+        STARule(root, r.ctor, r.guard, r.lookahead)
+        for r in combined.rules_from(rmap(rstate))
+    ]
+    return combined.with_rules(rules), root
+
+
+def complement(sta: STA, state: State, solver: Solver) -> tuple[STA, State]:
+    """A state accepting the complement of ``L^state`` (within the type)."""
+    return _complement(sta, state, solver)
+
+
+def difference(
+    left: STA, lstate: State, right: STA, rstate: State, solver: Solver
+) -> tuple[STA, State]:
+    """A state accepting ``L^lstate`` minus ``L^rstate``."""
+    comp_sta, comp_state = complement(right, rstate, solver)
+    return intersect(left, lstate, comp_sta, comp_state)

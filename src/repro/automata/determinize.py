@@ -1,0 +1,147 @@
+"""Bottom-up symbolic determinization, completion, and complementation.
+
+A normalized STA read bottom-up is a nondeterministic symbolic tree
+automaton; the subset construction with **minterms** of the local guards
+yields a complete deterministic bottom-up automaton (every tree reaches
+exactly one state).  Complement then flips acceptance, and the result is
+converted back to a top-down alternating STA.  This is the engine behind
+``complement``, ``difference``, language equivalence, and ``type-check``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..smt.minterms import minterms
+from ..smt.solver import Solver
+from ..smt.terms import Term
+from ..trees.tree import Tree
+from ..trees.types import TreeType
+from .normalize import NormalizedSTA, NormState, normalize
+from .sta import STA, STARule, State
+
+
+@dataclass
+class BottomUpDTA:
+    """A complete deterministic bottom-up symbolic tree automaton.
+
+    States are indices; ``meaning[i]`` is the set of merged (frozenset)
+    states of the source STA that a tree reaching state ``i`` inhabits.
+    ``transitions[(ctor, child_state_tuple)]`` is a list of
+    ``(guard, target)`` pairs whose guards partition the label space.
+    """
+
+    tree_type: TreeType
+    meaning: list[frozenset[NormState]]
+    transitions: dict[tuple[str, tuple[int, ...]], list[tuple[Term, int]]]
+
+    def state_count(self) -> int:
+        return len(self.meaning)
+
+    def run(self, tree: Tree) -> int:
+        """The unique state a tree evaluates to (iterative, post-order)."""
+        result: dict[int, int] = {}  # id(node) -> state
+        order: list[Tree] = []
+        stack = [tree]
+        while stack:
+            t = stack.pop()
+            order.append(t)
+            stack.extend(t.children)
+        for t in reversed(order):
+            kids = tuple(result[id(c)] for c in t.children)
+            env = self.tree_type.attr_env(t.attrs)
+            arms = self.transitions[(t.ctor, kids)]
+            for guard, target in arms:
+                if bool(guard.evaluate(env)):
+                    result[id(t)] = target
+                    break
+            else:  # pragma: no cover - completeness guarantees a match
+                raise AssertionError("incomplete DTA")
+        return result[id(tree)]
+
+    def accepting_states(self, start: NormState) -> set[int]:
+        """Indices whose meaning contains ``start`` (tree in L^start)."""
+        return {i for i, m in enumerate(self.meaning) if start in m}
+
+
+def determinize(norm: NormalizedSTA, solver: Solver) -> BottomUpDTA:
+    """Subset construction over merged states with minterm label splitting."""
+    tree_type = norm.sta.tree_type
+    # Index rules bottom-up: by constructor.
+    by_ctor: dict[str, list[STARule]] = {}
+    for r in norm.sta.rules:
+        by_ctor.setdefault(r.ctor, []).append(r)
+
+    state_index: dict[frozenset[NormState], int] = {}
+    meaning: list[frozenset[NormState]] = []
+    transitions: dict[tuple[str, tuple[int, ...]], list[tuple[Term, int]]] = {}
+
+    def intern(m: frozenset[NormState]) -> int:
+        if m not in state_index:
+            state_index[m] = len(meaning)
+            meaning.append(m)
+        return state_index[m]
+
+    def process(key: tuple[str, tuple[int, ...]]) -> None:
+        ctor_name, kids = key
+        applicable = [
+            r
+            for r in by_ctor.get(ctor_name, [])
+            if all(
+                next(iter(l)) in meaning[k] for l, k in zip(r.lookahead, kids)
+            )
+        ]
+        arms: list[tuple[Term, int]] = []
+        preds = [r.guard for r in applicable]
+        for signs, conj in minterms(preds, solver):
+            target = frozenset(r.state for r, s in zip(applicable, signs) if s)
+            arms.append((conj, intern(target)))
+        transitions[key] = arms
+
+    # Fixpoint: processing a key may intern new states, which creates new
+    # keys.  Nullary constructors seed the state space on the first pass.
+    while True:
+        pending = [
+            (c.name, kids)
+            for c in tree_type.constructors
+            for kids in itertools.product(range(len(meaning)), repeat=c.rank)
+            if (c.name, kids) not in transitions
+        ]
+        if not pending:
+            break
+        for key in pending:
+            process(key)
+
+    return BottomUpDTA(tree_type, meaning, transitions)
+
+
+def to_top_down(
+    dta: BottomUpDTA, finals: set[int], root_state: State
+) -> tuple[STA, State]:
+    """Convert a bottom-up DTA to a top-down STA.
+
+    Each DTA state ``i`` becomes top-down state ``("D", i)``; a fresh
+    ``root_state`` unions the rules of all final states.
+    """
+    rules: list[STARule] = []
+    for (ctor, kids), arms in dta.transitions.items():
+        lookahead = tuple(frozenset([("D", k)]) for k in kids)
+        for guard, target in arms:
+            rules.append(STARule(("D", target), ctor, guard, lookahead))
+            if target in finals:
+                rules.append(STARule(root_state, ctor, guard, lookahead))
+    return STA(dta.tree_type, tuple(rules)), root_state
+
+
+def complement(
+    sta: STA, state: State, solver: Solver
+) -> tuple[STA, State]:
+    """An STA/state pair accepting exactly the trees **not** in L^state."""
+    start = frozenset([state])
+    norm = normalize(sta, [start], solver)
+    dta = determinize(norm, solver)
+    finals = {
+        i for i in range(dta.state_count()) if start not in dta.meaning[i]
+    }
+    return to_top_down(dta, finals, ("comp", state))

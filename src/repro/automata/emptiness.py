@@ -1,0 +1,85 @@
+"""Emptiness and witness generation (paper Proposition 1).
+
+Emptiness of an alternating STA: normalize lazily, drop unsatisfiable
+guards (the solver already did), then run the classical bottom-up
+fixpoint for tree-automata non-emptiness over the merged states.  A
+witness tree is assembled on the way: each newly non-empty state records
+one rule plus a model of its guard.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..smt.solver import Solver
+from ..smt.terms import Value
+from ..trees.tree import Tree
+from .normalize import NormalizedSTA, normalize
+from .sta import STA, State
+
+
+def _attrs_from_model(norm: NormalizedSTA, guard, solver: Solver) -> tuple[Value, ...]:
+    model = solver.get_model(guard)
+    assert model is not None
+    fields = norm.sta.tree_type.fields
+    defaults = norm.sta.tree_type.default_attrs()
+    return tuple(
+        model.get(f.name, d) for f, d in zip(fields, defaults)
+    )
+
+
+def nonempty_witnesses(norm: NormalizedSTA, solver: Solver) -> dict:
+    """Map every non-empty merged state to one witness tree (fixpoint)."""
+    witness: dict = {}
+    changed = True
+    while changed:
+        changed = False
+        for r in norm.sta.rules:
+            if r.state in witness:
+                continue
+            child_states = [next(iter(l)) for l in r.lookahead]
+            kids: list[Tree] = []
+            ok = True
+            for cs in child_states:
+                if cs in witness:
+                    kids.append(witness[cs])
+                elif not cs:  # empty merged state: any tree; build one lazily
+                    kids.append(_any_tree(norm.sta, solver))
+                else:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            attrs = _attrs_from_model(norm, r.guard, solver)
+            witness[r.state] = Tree(r.ctor, attrs, tuple(kids))
+            changed = True
+    # The empty merged state is always non-empty (accepts everything).
+    for s in norm.states:
+        if not s and s not in witness:
+            witness[s] = _any_tree(norm.sta, solver)
+    return witness
+
+
+def _any_tree(sta: STA, solver: Solver) -> Tree:
+    """Some tree of the type (nullary constructor with default attributes)."""
+    c = sta.tree_type.nullary()
+    return Tree(c.name, sta.tree_type.default_attrs(), ())
+
+
+def witness(
+    sta: STA, states: Iterable[State], solver: Solver
+) -> Optional[Tree]:
+    """A tree in the intersection language of ``states``, or None if empty.
+
+    This is the engine behind Fast's ``get-witness`` and the
+    counterexamples printed by failed assertions (Section 2).
+    """
+    start = frozenset(states)
+    norm = normalize(sta, [start], solver)
+    table = nonempty_witnesses(norm, solver)
+    return table.get(start)
+
+
+def is_empty(sta: STA, states: Iterable[State], solver: Solver) -> bool:
+    """Is the intersection language of ``states`` empty? (Proposition 1)"""
+    return witness(sta, states, solver) is None

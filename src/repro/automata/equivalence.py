@@ -1,0 +1,36 @@
+"""Language equivalence and inclusion for STAs.
+
+``L1 == L2`` reduces to emptiness of the two symmetric differences
+(complement + intersect + Proposition 1 emptiness), exactly the
+decidability argument of Section 1: STAs are closed under Boolean
+operations modulo a decidable label theory, so equivalence is decidable.
+A counterexample tree is returned when the languages differ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..smt.solver import Solver
+from ..trees.tree import Tree
+from .boolean_ops import difference
+from .emptiness import witness
+from .sta import STA, State
+
+
+def included_in(
+    left: STA, lstate: State, right: STA, rstate: State, solver: Solver
+) -> Optional[Tree]:
+    """None if ``L^lstate`` is a subset of ``L^rstate``; else a tree in the gap."""
+    diff_sta, diff_state = difference(left, lstate, right, rstate, solver)
+    return witness(diff_sta, [diff_state], solver)
+
+
+def equivalent(
+    left: STA, lstate: State, right: STA, rstate: State, solver: Solver
+) -> Optional[Tree]:
+    """None if the two languages are equal; else a separating tree."""
+    gap = included_in(left, lstate, right, rstate, solver)
+    if gap is not None:
+        return gap
+    return included_in(right, rstate, left, lstate, solver)

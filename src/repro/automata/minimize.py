@@ -1,0 +1,98 @@
+"""Minimization of STA languages (paper Section 3.5, "minimize").
+
+Pipeline: lazy normalization -> bottom-up determinization with minterms
+-> Myhill-Nerode partition refinement on the complete DTA -> quotient ->
+top-down STA.  Two DTA states are distinguishable when one is final and
+the other is not, or when swapping them inside some one-step context
+leads (on a jointly satisfiable label region) to states already known
+distinguishable; the fixpoint of this refinement is the coarsest
+congruence, so the quotient is the minimal complete DTA for the
+language.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..smt import builders as smt
+from ..smt.solver import Solver
+from .determinize import BottomUpDTA, determinize, to_top_down
+from .normalize import normalize
+from .sta import STA, State
+
+
+def minimize_dta(
+    dta: BottomUpDTA, finals: set[int], solver: Solver
+) -> tuple[BottomUpDTA, set[int]]:
+    """Quotient a complete DTA by Myhill-Nerode equivalence."""
+    n = dta.state_count()
+    distinct = [[False] * n for _ in range(n)]
+    for p in range(n):
+        for q in range(n):
+            if (p in finals) != (q in finals):
+                distinct[p][q] = True
+
+    def arms_conflict(key1, key2) -> bool:
+        for g1, t1 in dta.transitions[key1]:
+            for g2, t2 in dta.transitions[key2]:
+                if distinct[t1][t2] and solver.is_sat(smt.mk_and(g1, g2)):
+                    return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for p, q in itertools.combinations(range(n), 2):
+            if distinct[p][q]:
+                continue
+            if _one_step_distinguishable(dta, p, q, arms_conflict):
+                distinct[p][q] = distinct[q][p] = True
+                changed = True
+
+    # Build the quotient.
+    block: dict[int, int] = {}
+    blocks: list[list[int]] = []
+    for s in range(n):
+        for i, b in enumerate(blocks):
+            if not distinct[s][b[0]]:
+                block[s] = i
+                b.append(s)
+                break
+        else:
+            block[s] = len(blocks)
+            blocks.append([s])
+
+    new_meaning = [dta.meaning[b[0]] for b in blocks]
+    new_transitions = {}
+    for (ctor, kids), arms in dta.transitions.items():
+        new_kids = tuple(block[k] for k in kids)
+        key = (ctor, new_kids)
+        if key not in new_transitions:
+            new_transitions[key] = [(g, block[t]) for g, t in arms]
+    quotient = BottomUpDTA(dta.tree_type, new_meaning, new_transitions)
+    return quotient, {block[f] for f in finals}
+
+
+def _one_step_distinguishable(dta: BottomUpDTA, p: int, q: int, arms_conflict) -> bool:
+    n = dta.state_count()
+    for ctor in dta.tree_type.constructors:
+        rank = ctor.rank
+        if rank == 0:
+            continue
+        for pos in range(rank):
+            for rest in itertools.product(range(n), repeat=rank - 1):
+                kids_p = rest[:pos] + (p,) + rest[pos:]
+                kids_q = rest[:pos] + (q,) + rest[pos:]
+                if arms_conflict((ctor.name, kids_p), (ctor.name, kids_q)):
+                    return True
+    return False
+
+
+def minimize(sta: STA, state: State, solver: Solver) -> tuple[STA, State]:
+    """A language-equivalent STA built from the minimal complete DTA."""
+    start = frozenset([state])
+    norm = normalize(sta, [start], solver)
+    dta = determinize(norm, solver)
+    finals = dta.accepting_states(start)
+    quotient, qfinals = minimize_dta(dta, finals, solver)
+    return to_top_down(quotient, qfinals, ("min", state))

@@ -1,0 +1,114 @@
+"""Normalization of alternating STAs (paper Section 3.2).
+
+A normalized STA has singleton lookahead sets: child constraints are a
+single state, which is what the bottom-up algorithms (emptiness,
+determinization) need.  The paper's ``Normalize`` builds merged rules
+over set-states via the merge operator on rules; as footnote 7 advises,
+we compute merged rules **lazily** from the requested start sets,
+eliminate unsatisfiable guards eagerly, and only materialize reachable
+merged states.
+
+A merged state is a ``frozenset`` of original states; the language of
+``frozenset({q1, q2})`` is ``L^{q1}`` intersect ``L^{q2}``, and the empty
+frozenset accepts every tree of the type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..smt import builders as smt
+from ..smt.solver import Solver
+from .sta import STA, STARule, State
+
+
+#: Normalized states are frozensets of original states.
+NormState = frozenset
+
+
+@dataclass(frozen=True)
+class NormalizedSTA:
+    """A normalized STA together with its reachable merged state space."""
+
+    sta: STA  # rules have singleton (or empty-set) lookahead per child
+    start: tuple[NormState, ...]
+
+    @property
+    def states(self) -> frozenset[NormState]:
+        out: set[NormState] = set(self.start)
+        for r in self.sta.rules:
+            out.add(r.state)
+            for l in r.lookahead:
+                (s,) = l
+                out.add(s)
+        return frozenset(out)
+
+
+def normalize(
+    sta: STA, starts: Iterable[Iterable[State]], solver: Solver
+) -> NormalizedSTA:
+    """Lazily normalize ``sta`` from the given start sets.
+
+    Every rule of the result has lookahead entries that are singleton
+    sets ``{S}`` where ``S`` is a merged (frozenset) state.  Rules with
+    unsatisfiable guards are dropped eagerly.
+    """
+    start_states: list[NormState] = [frozenset(s) for s in starts]
+    max_rank = sta.tree_type.max_rank()
+    done: set[NormState] = set()
+    work: list[NormState] = list(start_states)
+    out_rules: list[STARule] = []
+
+    while work:
+        q = work.pop()
+        if q in done:
+            continue
+        done.add(q)
+        for ctor in sta.tree_type.constructors:
+            for guard, children in _merged_rules(sta, q, ctor.name, ctor.rank, solver):
+                out_rules.append(
+                    STARule(
+                        q,
+                        ctor.name,
+                        guard,
+                        tuple(frozenset([c]) for c in children),
+                    )
+                )
+                for c in children:
+                    if c not in done:
+                        work.append(c)
+
+    return NormalizedSTA(STA(sta.tree_type, tuple(out_rules)), tuple(start_states))
+
+
+def _merged_rules(
+    sta: STA, states: NormState, ctor: str, rank: int, solver: Solver
+):
+    """The merge ``!`` of one rule per state in ``states`` (delta^f)."""
+    if not states:
+        # L^emptyset accepts everything: one unconstrained rule.
+        yield smt.TRUE, tuple(frozenset() for _ in range(rank))
+        return
+    rule_choices = [sta.rules_from(s, ctor) for s in sorted(states, key=repr)]
+    if any(not rc for rc in rule_choices):
+        return  # some state has no rule for this symbol: conjunction fails
+
+    # DFS over the rule product with incremental conjunction: syntactic
+    # contradictions (e.g. the complementary guards of a deterministic
+    # split) prune whole subtrees before any solver call.
+    empty_children = tuple(frozenset() for _ in range(rank))
+
+    def rec(idx: int, guard, children):
+        if idx == len(rule_choices):
+            if solver.is_sat(guard):
+                yield guard, children
+            return
+        for r in rule_choices[idx]:
+            g2 = smt.mk_and(guard, r.guard)
+            if g2 == smt.FALSE:
+                continue
+            merged = tuple(c | l for c, l in zip(children, r.lookahead))
+            yield from rec(idx + 1, g2, merged)
+
+    yield from rec(0, smt.TRUE, empty_children)

@@ -1,0 +1,64 @@
+"""Denotational semantics of STAs (paper Definition 2): membership.
+
+Membership is computed with one bottom-up pass that annotates every
+subtree with the set of **all** states accepting it; alternation is then
+exact because ``L^{q}`` for a set ``q`` is the intersection of the
+member languages by definition.  The pass is iterative — the evaluation
+section runs automata over list-shaped trees thousands of nodes deep,
+far beyond Python's recursion limit.
+
+Note membership of a *concrete* tree never calls the solver: guards are
+evaluated directly on the attribute values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..smt.solver import Solver
+from ..trees.tree import Tree, dag_post_order
+from .sta import STA, State
+
+
+def acceptance_table(sta: STA, tree: Tree) -> dict[int, frozenset[State]]:
+    """Map ``id(node)`` to the set of states accepting that subtree.
+
+    One bottom-up pass over distinct subtree objects (linear even for
+    DAG-shaped trees with shared subtrees).
+    """
+    by_ctor: dict[str, list] = {}
+    for r in sta.rules:
+        by_ctor.setdefault(r.ctor, []).append(r)
+    table: dict[int, frozenset[State]] = {}
+    for t in dag_post_order(tree):
+        env = sta.tree_type.attr_env(t.attrs)
+        accepted: set[State] = set()
+        for r in by_ctor.get(t.ctor, []):
+            if r.state in accepted:
+                continue
+            if not bool(r.guard.evaluate(env)):
+                continue
+            if all(
+                l <= table[id(c)] for l, c in zip(r.lookahead, t.children)
+            ):
+                accepted.add(r.state)
+        table[id(t)] = frozenset(accepted)
+    return table
+
+
+def accepts(sta: STA, state: State, tree: Tree, solver: Solver | None = None) -> bool:
+    """Is ``tree`` in ``L^state``?  (The solver is unused: membership of a
+    concrete tree only evaluates guards; the parameter is kept for
+    interface symmetry with the symbolic operations.)"""
+    return state in acceptance_table(sta, tree)[id(tree)]
+
+
+def accepts_all(
+    sta: STA, states: Iterable[State], tree: Tree, solver: Solver | None = None
+) -> bool:
+    """Is ``tree`` in the intersection of the states' languages?
+
+    Mirrors the paper's ``L^q`` for a set ``q``; the empty set accepts
+    every tree.
+    """
+    return frozenset(states) <= acceptance_table(sta, tree)[id(tree)]

@@ -1,0 +1,22 @@
+"""The Fast language front-end: lexer, parser, compiler, evaluator."""
+
+from .compiler import CompiledProgram, Compiler, compile_program
+from .errors import FastNameError, FastSyntaxError, FastTypeError
+from .evaluator import AssertionResult, ProgramReport, run_program
+from .parser import parse_expr, parse_program
+from .pretty import pretty
+
+__all__ = [
+    "AssertionResult",
+    "CompiledProgram",
+    "Compiler",
+    "FastNameError",
+    "FastSyntaxError",
+    "FastTypeError",
+    "ProgramReport",
+    "compile_program",
+    "parse_expr",
+    "parse_program",
+    "pretty",
+    "run_program",
+]

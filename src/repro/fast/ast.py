@@ -1,0 +1,306 @@
+"""Abstract syntax of Fast programs (paper Figure 4).
+
+One dataclass per production.  Expressions (``Aexp``) reuse the label
+theory terms of :mod:`repro.smt` after type checking; at the AST level
+they are untyped :class:`Expr` nodes carrying source positions for
+error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Pos:
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+# ---------------------------------------------------------------------------
+# Attribute expressions (Aexp)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class EConst(Expr):
+    value: object  # str | int | Fraction | bool
+
+
+@dataclass(frozen=True)
+class EOp(Expr):
+    op: str  # < > <= >= = != + - * % and or not in-set...
+    args: tuple[Expr, ...]
+
+
+# ---------------------------------------------------------------------------
+# Language rules (Lrule) and transformation rules (Trule)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Given:
+    """One ``(p y)`` lookahead constraint."""
+
+    lang: str
+    var: str
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class LangRule:
+    """``c(y1..yn) (where e)? (given (p y)+)?``"""
+
+    ctor: str
+    child_vars: tuple[str, ...]
+    where: Optional[Expr]
+    given: tuple[Given, ...]
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class OutExpr:
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class OVar(OutExpr):
+    """Bare ``y``: copy the subtree unchanged."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class OCall(OutExpr):
+    """``(q y)``: apply transformation state ``q`` to child ``y``."""
+
+    trans: str
+    var: str
+
+
+@dataclass(frozen=True)
+class OCons(OutExpr):
+    """``(c [e1..em] t1 .. tn)``: build an output node."""
+
+    ctor: str
+    attr_exprs: tuple[Expr, ...]
+    children: tuple[OutExpr, ...]
+
+
+@dataclass(frozen=True)
+class TransRule:
+    base: LangRule
+    output: OutExpr
+
+
+# ---------------------------------------------------------------------------
+# Language / transduction / tree operation expressions (L, T, TR)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LangExpr:
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class LRef(LangExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class LBinop(LangExpr):
+    op: str  # intersect | union | difference
+    left: LangExpr
+    right: LangExpr
+
+
+@dataclass(frozen=True)
+class LUnop(LangExpr):
+    op: str  # complement | minimize
+    arg: LangExpr
+
+
+@dataclass(frozen=True)
+class LDomain(LangExpr):
+    trans: "TransExpr"
+
+
+@dataclass(frozen=True)
+class LPreImage(LangExpr):
+    trans: "TransExpr"
+    lang: LangExpr
+
+
+@dataclass(frozen=True)
+class TransExpr:
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class TRef(TransExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class TCompose(TransExpr):
+    first: TransExpr
+    second: TransExpr
+
+
+@dataclass(frozen=True)
+class TRestrict(TransExpr):
+    kind: str  # "restrict" | "restrict-out"
+    trans: TransExpr
+    lang: LangExpr
+
+
+@dataclass(frozen=True)
+class TreeExpr:
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class TreeRef(TreeExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class TreeCons(TreeExpr):
+    ctor: str
+    attr_exprs: tuple[Expr, ...]
+    children: tuple["TreeExpr", ...]
+
+
+@dataclass(frozen=True)
+class TreeApply(TreeExpr):
+    trans: TransExpr
+    tree: "TreeExpr"
+
+
+@dataclass(frozen=True)
+class TreeWitness(TreeExpr):
+    lang: LangExpr
+
+
+# ---------------------------------------------------------------------------
+# Assertions (A)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assertion:
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class ALangEq(Assertion):
+    left: LangExpr
+    right: LangExpr
+
+
+@dataclass(frozen=True)
+class AIsEmptyLang(Assertion):
+    lang: LangExpr
+
+
+@dataclass(frozen=True)
+class AIsEmptyTrans(Assertion):
+    trans: TransExpr
+
+
+@dataclass(frozen=True)
+class AMember(Assertion):
+    tree: TreeExpr
+    lang: LangExpr
+
+
+@dataclass(frozen=True)
+class ATypeCheck(Assertion):
+    input_lang: LangExpr
+    trans: TransExpr
+    output_lang: LangExpr
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Decl:
+    pos: Pos
+
+
+@dataclass(frozen=True)
+class TypeDecl(Decl):
+    name: str
+    fields: tuple[tuple[str, str], ...]  # (field name, sort name)
+    constructors: tuple[tuple[str, int], ...]  # (ctor name, rank)
+
+
+@dataclass(frozen=True)
+class LangDecl(Decl):
+    name: str
+    type_name: str
+    rules: tuple[LangRule, ...]
+
+
+@dataclass(frozen=True)
+class TransDecl(Decl):
+    name: str
+    in_type: str
+    out_type: str
+    rules: tuple[TransRule, ...]
+
+
+@dataclass(frozen=True)
+class DefLang(Decl):
+    name: str
+    type_name: str
+    expr: LangExpr
+
+
+@dataclass(frozen=True)
+class DefTrans(Decl):
+    name: str
+    in_type: str
+    out_type: str
+    expr: TransExpr
+
+
+@dataclass(frozen=True)
+class TreeDecl(Decl):
+    name: str
+    type_name: str
+    expr: TreeExpr
+
+
+@dataclass(frozen=True)
+class AssertDecl(Decl):
+    expect: bool  # assert-true / assert-false
+    assertion: Assertion
+
+
+@dataclass(frozen=True)
+class PrintDecl(Decl):
+    tree: TreeExpr
+
+
+@dataclass(frozen=True)
+class Program:
+    decls: tuple[Decl, ...]

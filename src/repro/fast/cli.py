@@ -1,0 +1,64 @@
+"""Command-line interface: ``fast run|check|fmt program.fast``.
+
+* ``run`` — compile and evaluate all assertions, print the report (and
+  anything ``print``-ed), exit nonzero if an assertion fails;
+* ``check`` — parse and type-check only;
+* ``fmt`` — parse and pretty-print back to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..trees.tree import format_tree
+from .errors import FastSyntaxError, FastTypeError
+from .evaluator import run_program
+from .parser import parse_program
+from .pretty import pretty
+from .compiler import compile_program
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fast",
+        description="Fast: a transducer-based language for tree manipulation "
+        "(PLDI 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for cmd, desc in [
+        ("run", "compile and evaluate assertions"),
+        ("check", "parse and type-check only"),
+        ("fmt", "parse and pretty-print"),
+    ]:
+        p = sub.add_parser(cmd, help=desc)
+        p.add_argument("file", help="path to a .fast program")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.file) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.command == "fmt":
+            print(pretty(parse_program(source)), end="")
+            return 0
+        if args.command == "check":
+            compile_program(parse_program(source))
+            print("ok")
+            return 0
+        report = run_program(source)
+        for tree in report.printed:
+            print(format_tree(tree))
+        print(report.render())
+        return 0 if report.ok else 1
+    except (FastSyntaxError, FastTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Error types for the Fast front-end."""
+
+from __future__ import annotations
+
+from .lexer import FastSyntaxError
+
+__all__ = ["FastSyntaxError", "FastTypeError", "FastNameError"]
+
+
+class FastTypeError(Exception):
+    """A Fast program is ill-typed (sorts, arities, or tree types)."""
+
+    def __init__(self, message: str, pos=None) -> None:
+        if pos is not None:
+            message = f"{message} (line {pos.line}, column {pos.column})"
+        super().__init__(message)
+        self.pos = pos
+
+
+class FastNameError(FastTypeError):
+    """An undefined or redefined name."""

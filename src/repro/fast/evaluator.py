@@ -1,0 +1,145 @@
+"""Evaluation of Fast programs: assertions, counterexamples, reports.
+
+``run_program`` compiles a program and checks every ``assert-true`` /
+``assert-false``; failed emptiness assertions come with a witness tree,
+mirroring the counterexample the paper's implementation prints for the
+buggy sanitizer of Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..smt.solver import Solver
+from ..trees.tree import Tree, format_tree
+from . import ast
+from .compiler import CompiledProgram, Compiler
+from .parser import parse_program
+
+
+@dataclass
+class AssertionResult:
+    """Outcome of one assert declaration."""
+
+    pos: ast.Pos
+    description: str
+    expected: bool
+    actual: bool
+    counterexample: Optional[Tree] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.expected == self.actual
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        line = f"[{status}] line {self.pos.line}: {self.description}"
+        if not self.passed and self.counterexample is not None:
+            line += f"\n       counterexample: {format_tree(self.counterexample)}"
+        return line
+
+
+@dataclass
+class ProgramReport:
+    """Everything a program run produced."""
+
+    env: CompiledProgram
+    assertions: list[AssertionResult] = field(default_factory=list)
+    printed: list[Tree] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(a.passed for a in self.assertions)
+
+    def render(self) -> str:
+        lines = [a.render() for a in self.assertions]
+        passed = sum(a.passed for a in self.assertions)
+        lines.append(f"{passed}/{len(self.assertions)} assertions passed")
+        return "\n".join(lines)
+
+
+def run_program(source: str, solver: Solver | None = None) -> ProgramReport:
+    """Parse, compile, and evaluate a Fast program."""
+    program = parse_program(source)
+    compiler = Compiler(program, solver)
+    env = compiler.compile()
+    report = ProgramReport(env)
+    for decl in program.decls:
+        if isinstance(decl, ast.AssertDecl):
+            report.assertions.append(_check(compiler, decl))
+        elif isinstance(decl, ast.PrintDecl):
+            # Printing needs a type; infer from the expression when possible.
+            tree = _eval_print(compiler, decl)
+            report.printed.append(tree)
+    return report
+
+
+def _eval_print(compiler: Compiler, decl: ast.PrintDecl) -> Tree:
+    if isinstance(decl.tree, ast.TreeRef):
+        return compiler.eval_tree(decl.tree, None)  # type: ignore[arg-type]
+    if isinstance(decl.tree, ast.TreeApply):
+        return compiler.eval_tree(decl.tree, None)  # type: ignore[arg-type]
+    if isinstance(decl.tree, ast.TreeWitness):
+        return compiler.eval_tree(decl.tree, None)  # type: ignore[arg-type]
+    raise ValueError("print expects a named tree, apply, or get-witness")
+
+
+def _check(compiler: Compiler, decl: ast.AssertDecl) -> AssertionResult:
+    a = decl.assertion
+    counterexample: Optional[Tree] = None
+    if isinstance(a, ast.AIsEmptyLang):
+        # `is-empty x` is syntactically ambiguous between languages and
+        # transductions; resolve by name when the operand is a reference.
+        if (
+            isinstance(a.lang, ast.LRef)
+            and a.lang.name not in compiler.env.langs
+            and a.lang.name in compiler.env.transducers
+        ):
+            a = ast.AIsEmptyTrans(a.pos, ast.TRef(a.lang.pos, a.lang.name))
+            return _check(compiler, ast.AssertDecl(decl.pos, decl.expect, a))
+        lang = compiler.eval_lang(a.lang)
+        witness = lang.witness()
+        actual = witness is None
+        if actual != decl.expect:
+            counterexample = witness
+        description = "(is-empty <lang>)"
+    elif isinstance(a, ast.AIsEmptyTrans):
+        trans = compiler.eval_trans(a.trans)
+        dom = trans.domain()
+        witness = dom.witness()
+        actual = witness is None
+        if actual != decl.expect:
+            counterexample = witness
+        description = "(is-empty <trans>)"
+    elif isinstance(a, ast.ALangEq):
+        left = compiler.eval_lang(a.left)
+        right = compiler.eval_lang(a.right)
+        sep = left.separating_tree(right)
+        actual = sep is None
+        if actual != decl.expect:
+            counterexample = sep
+        description = "<lang> == <lang>"
+    elif isinstance(a, ast.AMember):
+        lang = compiler.eval_lang(a.lang)
+        tree = compiler.eval_tree(a.tree, lang.tree_type)
+        actual = lang.accepts(tree)
+        description = "<tree> in <lang>"
+    elif isinstance(a, ast.ATypeCheck):
+        input_lang = compiler.eval_lang(a.input_lang)
+        trans = compiler.eval_trans(a.trans)
+        output_lang = compiler.eval_lang(a.output_lang)
+        cex = trans.type_check(input_lang, output_lang)
+        actual = cex is None
+        if actual != decl.expect:
+            counterexample = cex
+        description = "(type-check <lang> <trans> <lang>)"
+    else:
+        raise ValueError(f"unknown assertion {a!r}")
+    return AssertionResult(
+        decl.pos,
+        f"{'assert-true' if decl.expect else 'assert-false'} {description}",
+        decl.expect,
+        actual,
+        counterexample,
+    )

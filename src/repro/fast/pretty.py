@@ -1,0 +1,164 @@
+"""Pretty-printer for Fast ASTs (inverse of the parser).
+
+Used by tests for parse/print round-trips and by the CLI's ``fmt``
+subcommand.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from . import ast
+
+
+def _expr(e: ast.Expr) -> str:
+    if isinstance(e, ast.EConst):
+        v = e.value
+        if isinstance(v, bool):
+            return "true" if v else "false"
+        if isinstance(v, str):
+            escaped = v.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        if isinstance(v, Fraction):
+            if v.denominator == 1:
+                return f"{v.numerator}.0"
+            return f"({v.numerator} * {_frac(v)})"
+        return str(v)
+    if isinstance(e, ast.EVar):
+        return e.name
+    if isinstance(e, ast.EOp):
+        if e.op == "not":
+            return f"(not {_expr(e.args[0])})"
+        if e.op == "neg":
+            return f"(- 0 {_expr(e.args[0])})" if len(e.args) == 1 else "?"
+        if len(e.args) == 2:
+            return f"({_expr(e.args[0])} {e.op} {_expr(e.args[1])})"
+        return "(" + e.op + " " + " ".join(_expr(a) for a in e.args) + ")"
+    raise TypeError(f"bad expr {e!r}")
+
+
+def _frac(v: Fraction) -> str:
+    return f"1.0"  # only used for non-integral rationals; rare in programs
+
+
+def _lang_rule(r: ast.LangRule) -> str:
+    head = f"{r.ctor}({', '.join(r.child_vars)})"
+    parts = [head]
+    if r.where is not None:
+        parts.append(f"where {_expr(r.where)}")
+    if r.given:
+        parts.append(
+            "given " + " ".join(f"({g.lang} {g.var})" for g in r.given)
+        )
+    return " ".join(parts)
+
+
+def _out(o: ast.OutExpr) -> str:
+    if isinstance(o, ast.OVar):
+        return o.name
+    if isinstance(o, ast.OCall):
+        return f"({o.trans} {o.var})"
+    if isinstance(o, ast.OCons):
+        attrs = " ".join(_expr(e) for e in o.attr_exprs)
+        kids = " ".join(_out(c) for c in o.children)
+        inner = f"{o.ctor} [{attrs}]"
+        if kids:
+            inner += " " + kids
+        return f"({inner})"
+    raise TypeError(f"bad output {o!r}")
+
+
+def _lang_expr(e: ast.LangExpr) -> str:
+    if isinstance(e, ast.LRef):
+        return e.name
+    if isinstance(e, ast.LBinop):
+        return f"({e.op} {_lang_expr(e.left)} {_lang_expr(e.right)})"
+    if isinstance(e, ast.LUnop):
+        return f"({e.op} {_lang_expr(e.arg)})"
+    if isinstance(e, ast.LDomain):
+        return f"(domain {_trans_expr(e.trans)})"
+    if isinstance(e, ast.LPreImage):
+        return f"(pre-image {_trans_expr(e.trans)} {_lang_expr(e.lang)})"
+    raise TypeError(f"bad lang expr {e!r}")
+
+
+def _trans_expr(e: ast.TransExpr) -> str:
+    if isinstance(e, ast.TRef):
+        return e.name
+    if isinstance(e, ast.TCompose):
+        return f"(compose {_trans_expr(e.first)} {_trans_expr(e.second)})"
+    if isinstance(e, ast.TRestrict):
+        return f"({e.kind} {_trans_expr(e.trans)} {_lang_expr(e.lang)})"
+    raise TypeError(f"bad trans expr {e!r}")
+
+
+def _tree_expr(e: ast.TreeExpr) -> str:
+    if isinstance(e, ast.TreeRef):
+        return e.name
+    if isinstance(e, ast.TreeCons):
+        attrs = " ".join(_expr(a) for a in e.attr_exprs)
+        kids = " ".join(_tree_expr(c) for c in e.children)
+        inner = f"{e.ctor} [{attrs}]"
+        if kids:
+            inner += " " + kids
+        return f"({inner})"
+    if isinstance(e, ast.TreeApply):
+        return f"(apply {_trans_expr(e.trans)} {_tree_expr(e.tree)})"
+    if isinstance(e, ast.TreeWitness):
+        return f"(get-witness {_lang_expr(e.lang)})"
+    raise TypeError(f"bad tree expr {e!r}")
+
+
+def _assertion(a: ast.Assertion) -> str:
+    if isinstance(a, ast.ALangEq):
+        return f"{_lang_expr(a.left)} == {_lang_expr(a.right)}"
+    if isinstance(a, ast.AIsEmptyLang):
+        return f"(is-empty {_lang_expr(a.lang)})"
+    if isinstance(a, ast.AIsEmptyTrans):
+        return f"(is-empty {_trans_expr(a.trans)})"
+    if isinstance(a, ast.AMember):
+        return f"{_tree_expr(a.tree)} in {_lang_expr(a.lang)}"
+    if isinstance(a, ast.ATypeCheck):
+        return (
+            f"(type-check {_lang_expr(a.input_lang)} "
+            f"{_trans_expr(a.trans)} {_lang_expr(a.output_lang)})"
+        )
+    raise TypeError(f"bad assertion {a!r}")
+
+
+def pretty(program: ast.Program) -> str:
+    """Render a program back to concrete syntax."""
+    out: list[str] = []
+    for d in program.decls:
+        if isinstance(d, ast.TypeDecl):
+            fields = ", ".join(f"{n} : {s}" for n, s in d.fields)
+            ctors = ", ".join(f"{n}({r})" for n, r in d.constructors)
+            bracket = f"[{fields}]" if d.fields else ""
+            out.append(f"type {d.name}{bracket} {{{ctors}}}")
+        elif isinstance(d, ast.LangDecl):
+            rules = "\n  | ".join(_lang_rule(r) for r in d.rules)
+            out.append(f"lang {d.name} : {d.type_name} {{\n    {rules}\n}}")
+        elif isinstance(d, ast.TransDecl):
+            rules = "\n  | ".join(
+                f"{_lang_rule(r.base)} to {_out(r.output)}" for r in d.rules
+            )
+            out.append(
+                f"trans {d.name} : {d.in_type} -> {d.out_type} {{\n    {rules}\n}}"
+            )
+        elif isinstance(d, ast.DefLang):
+            out.append(f"def {d.name} : {d.type_name} := {_lang_expr(d.expr)}")
+        elif isinstance(d, ast.DefTrans):
+            out.append(
+                f"def {d.name} : {d.in_type} -> {d.out_type} := "
+                f"{_trans_expr(d.expr)}"
+            )
+        elif isinstance(d, ast.TreeDecl):
+            out.append(f"tree {d.name} : {d.type_name} := {_tree_expr(d.expr)}")
+        elif isinstance(d, ast.AssertDecl):
+            kw = "assert-true" if d.expect else "assert-false"
+            out.append(f"{kw} {_assertion(d.assertion)}")
+        elif isinstance(d, ast.PrintDecl):
+            out.append(f"print {_tree_expr(d.tree)}")
+        else:
+            raise TypeError(f"bad declaration {d!r}")
+    return "\n\n".join(out) + "\n"

@@ -1,0 +1,312 @@
+"""Smart constructors for terms.
+
+These perform light, local normalization (constant folding, flattening of
+``And``/``Or``/``Add``, unit/annihilator laws) so that the rest of the
+system can build terms freely without accumulating trivial structure.
+Deeper simplification lives in :mod:`repro.smt.simplify`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from .sorts import BOOL, INT, REAL, STRING, Sort
+from .terms import (
+    FALSE,
+    TRUE,
+    Add,
+    And,
+    Const,
+    Eq,
+    Le,
+    Lt,
+    Mod,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    SortError,
+    Term,
+    Value,
+    Var,
+)
+
+
+def mk_var(name: str, sort: Sort) -> Var:
+    """A variable of the given sort."""
+    return Var(name, sort)
+
+
+def mk_const(value: Value, sort: Sort | None = None) -> Const:
+    """A constant; the sort is inferred from the Python value if omitted."""
+    if sort is None:
+        if isinstance(value, bool):
+            sort = BOOL
+        elif isinstance(value, int):
+            sort = INT
+        elif isinstance(value, Fraction):
+            sort = REAL
+        elif isinstance(value, float):
+            value = Fraction(value).limit_denominator(10**9)
+            sort = REAL
+        elif isinstance(value, str):
+            sort = STRING
+        else:
+            raise SortError(f"cannot infer sort of constant {value!r}")
+    if sort is REAL and isinstance(value, int) and not isinstance(value, bool):
+        value = Fraction(value)
+    return Const(value, sort)
+
+
+def mk_int(value: int) -> Const:
+    return Const(value, INT)
+
+
+def mk_real(value: int | float | Fraction) -> Const:
+    if isinstance(value, float):
+        value = Fraction(value).limit_denominator(10**9)
+    return Const(Fraction(value), REAL)
+
+
+def mk_str(value: str) -> Const:
+    return Const(value, STRING)
+
+
+def mk_bool(value: bool) -> Const:
+    return TRUE if value else FALSE
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def mk_add(*args: Term) -> Term:
+    """Flattened, constant-folded addition."""
+    flat: list[Term] = []
+    for a in args:
+        if isinstance(a, Add):
+            flat.extend(a.args)
+        else:
+            flat.append(a)
+    if not flat:
+        raise SortError("mk_add requires at least one argument")
+    sort = flat[0].sort
+    const = 0 if sort is INT else Fraction(0)
+    rest: list[Term] = []
+    for a in flat:
+        if isinstance(a, Const):
+            const = const + a.value  # type: ignore[operator]
+        else:
+            rest.append(a)
+    if not rest:
+        return mk_const(const, sort)
+    if const != 0:
+        rest.append(mk_const(const, sort))
+    if len(rest) == 1:
+        return rest[0]
+    return Add(tuple(rest))
+
+
+def mk_sub(left: Term, right: Term) -> Term:
+    return mk_add(left, mk_neg(right))
+
+
+def mk_neg(arg: Term) -> Term:
+    if isinstance(arg, Const):
+        return mk_const(-arg.value, arg.sort)  # type: ignore[operator]
+    if isinstance(arg, Neg):
+        return arg.arg
+    if isinstance(arg, Add):
+        return mk_add(*(mk_neg(a) for a in arg.args))
+    return Neg(arg)
+
+
+def mk_mul(*args: Term) -> Term:
+    """Flattened, constant-folded multiplication."""
+    flat: list[Term] = []
+    for a in args:
+        if isinstance(a, Mul):
+            flat.extend(a.args)
+        else:
+            flat.append(a)
+    if not flat:
+        raise SortError("mk_mul requires at least one argument")
+    sort = flat[0].sort
+    const = 1 if sort is INT else Fraction(1)
+    rest: list[Term] = []
+    for a in flat:
+        if isinstance(a, Const):
+            const = const * a.value  # type: ignore[operator]
+        else:
+            rest.append(a)
+    if const == 0:
+        return mk_const(const, sort)
+    if not rest:
+        return mk_const(const, sort)
+    if const != 1:
+        rest.insert(0, mk_const(const, sort))
+    if len(rest) == 1:
+        return rest[0]
+    return Mul(tuple(rest))
+
+
+def mk_mod(arg: Term, modulus: int) -> Term:
+    if isinstance(arg, Const):
+        return mk_int(arg.value % modulus)  # type: ignore[operator]
+    if modulus == 1:
+        return mk_int(0)
+    # (u mod m) mod k = u mod k when k divides m; the same holds for
+    # summands: (a + (u mod m)) mod k = (a + u) mod k.  This keeps
+    # repeatedly composed label expressions (Section 5.3's map_caesar
+    # chains) constant-depth — the role Z3's simplifier plays in the
+    # paper's implementation.
+    if isinstance(arg, Mod) and arg.modulus % modulus == 0:
+        return mk_mod(arg.arg, modulus)
+    if isinstance(arg, Add):
+        changed = False
+        parts: list[Term] = []
+        for a in arg.args:
+            if isinstance(a, Mod) and a.modulus % modulus == 0:
+                parts.append(a.arg)
+                changed = True
+            elif isinstance(a, Const) and not (0 <= a.value < modulus):  # type: ignore[operator]
+                parts.append(mk_int(a.value % modulus))  # type: ignore[operator]
+                changed = True
+            else:
+                parts.append(a)
+        if changed:
+            return mk_mod(mk_add(*parts), modulus)
+    return Mod(arg, modulus)
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+
+def mk_lt(left: Term, right: Term) -> Term:
+    if isinstance(left, Const) and isinstance(right, Const):
+        return mk_bool(left.value < right.value)  # type: ignore[operator]
+    return Lt(left, right)
+
+
+def mk_le(left: Term, right: Term) -> Term:
+    if isinstance(left, Const) and isinstance(right, Const):
+        return mk_bool(left.value <= right.value)  # type: ignore[operator]
+    return Le(left, right)
+
+
+def mk_gt(left: Term, right: Term) -> Term:
+    return mk_lt(right, left)
+
+
+def mk_ge(left: Term, right: Term) -> Term:
+    return mk_le(right, left)
+
+
+def mk_eq(left: Term, right: Term) -> Term:
+    if isinstance(left, Const) and isinstance(right, Const):
+        return mk_bool(left.value == right.value)
+    if left == right:
+        return TRUE
+    if left.sort is BOOL:
+        # Desugar Boolean equality into (a and b) or (not a and not b) so
+        # that downstream passes only see propositional structure.
+        return mk_or(mk_and(left, right), mk_and(mk_not(left), mk_not(right)))
+    return Eq(left, right)
+
+
+def mk_ne(left: Term, right: Term) -> Term:
+    return mk_not(mk_eq(left, right))
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives
+# ---------------------------------------------------------------------------
+
+
+def mk_and(*args: Term) -> Term:
+    """Flattened conjunction with unit/annihilator folding and dedup."""
+    flat: list[Term] = []
+    seen: set[Term] = set()
+    negated: set[Term] = set()  # arguments of top-level Not conjuncts
+    for a in args:
+        parts = a.args if isinstance(a, And) else (a,)
+        for p in parts:
+            if p is FALSE or p == FALSE:
+                return FALSE
+            if p is TRUE or p in seen:
+                continue
+            seen.add(p)
+            if isinstance(p, Not):
+                negated.add(p.arg)
+            flat.append(p)
+    # Contradiction: some conjunct and its negation both present.
+    if negated and not negated.isdisjoint(seen):
+        return FALSE
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def mk_or(*args: Term) -> Term:
+    """Flattened disjunction with unit/annihilator folding and dedup."""
+    flat: list[Term] = []
+    seen: set[Term] = set()
+    negated: set[Term] = set()
+    for a in args:
+        parts = a.args if isinstance(a, Or) else (a,)
+        for p in parts:
+            if p is TRUE or p == TRUE:
+                return TRUE
+            if p is FALSE or p in seen:
+                continue
+            seen.add(p)
+            if isinstance(p, Not):
+                negated.add(p.arg)
+            flat.append(p)
+    # Tautology: some disjunct and its negation both present.
+    if negated and not negated.isdisjoint(seen):
+        return TRUE
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def mk_not(arg: Term) -> Term:
+    if arg == TRUE:
+        return FALSE
+    if arg == FALSE:
+        return TRUE
+    if isinstance(arg, Not):
+        return arg.arg
+    return Not(arg)
+
+
+def mk_implies(left: Term, right: Term) -> Term:
+    return mk_or(mk_not(left), right)
+
+
+def mk_iff(left: Term, right: Term) -> Term:
+    return mk_or(mk_and(left, right), mk_and(mk_not(left), mk_not(right)))
+
+
+def mk_ite(cond: Term, then: Term, other: Term) -> Term:
+    """Boolean if-then-else (formulas only)."""
+    if then.sort is not BOOL or other.sort is not BOOL:
+        raise SortError("mk_ite supports Bool branches only")
+    return mk_or(mk_and(cond, then), mk_and(mk_not(cond), other))
+
+
+def conjoin(formulas: Iterable[Term]) -> Term:
+    return mk_and(*formulas)
+
+
+def disjoin(formulas: Iterable[Term]) -> Term:
+    return mk_or(*formulas)

@@ -1,0 +1,121 @@
+"""Negation normal form and cube (DNF branch) enumeration.
+
+The solver decides a formula by enumerating the cubes of its disjunctive
+normal form lazily (depth-first with contradiction pruning) and passing
+each cube to the theory solvers.  Guards in Fast programs and in the
+composition algorithm are small, so this is effective in practice; a
+cube cache in :mod:`repro.smt.solver` removes repeated work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from . import builders as b
+from .sorts import BOOL
+from .terms import FALSE, TRUE, And, Const, Eq, Le, Lt, Not, Or, Term, Var
+
+#: A literal: (sign, atom).  Atoms are Lt/Le/Eq or Bool variables.
+Literal = tuple[bool, Term]
+
+
+def to_nnf(formula: Term) -> Term:
+    """Push negations down to the atoms."""
+    if isinstance(formula, Not):
+        arg = formula.arg
+        if isinstance(arg, Not):
+            return to_nnf(arg.arg)
+        if isinstance(arg, And):
+            return b.mk_or(*(to_nnf(b.mk_not(a)) for a in arg.args))
+        if isinstance(arg, Or):
+            return b.mk_and(*(to_nnf(b.mk_not(a)) for a in arg.args))
+        return formula  # negated atom
+    if isinstance(formula, And):
+        return b.mk_and(*(to_nnf(a) for a in formula.args))
+    if isinstance(formula, Or):
+        return b.mk_or(*(to_nnf(a) for a in formula.args))
+    return formula
+
+
+def _literal_of(formula: Term) -> Literal:
+    if isinstance(formula, Not):
+        return (False, formula.arg)
+    return (True, formula)
+
+
+def iter_cubes(formula: Term) -> Iterator[list[Literal]]:
+    """Yield the satisfiable-candidate cubes of ``formula`` (NNF'd first).
+
+    Each cube is a list of literals whose conjunction implies the formula
+    branch; cubes containing a syntactic contradiction are pruned.
+    """
+    nnf = to_nnf(formula)
+    yield from _iter(nnf, {})
+
+
+def _iter(formula: Term, partial: dict[Term, bool]) -> Iterator[list[Literal]]:
+    if formula == TRUE:
+        yield [(sign, atom) for atom, sign in partial.items()]
+        return
+    if formula == FALSE:
+        return
+    if isinstance(formula, And):
+        yield from _iter_and(list(formula.args), partial)
+        return
+    if isinstance(formula, Or):
+        for arm in formula.args:
+            yield from _iter(arm, partial)
+        return
+    sign, atom = _literal_of(formula)
+    if partial.get(atom, sign) != sign:
+        return  # contradiction with the prefix
+    extended = dict(partial)
+    extended[atom] = sign
+    yield [(s, a) for a, s in extended.items()]
+
+
+def _iter_and(conjuncts: list[Term], partial: dict[Term, bool]) -> Iterator[list[Literal]]:
+    if not conjuncts:
+        yield [(sign, atom) for atom, sign in partial.items()]
+        return
+    head, tail = conjuncts[0], conjuncts[1:]
+    if isinstance(head, And):
+        yield from _iter_and(list(head.args) + tail, partial)
+        return
+    if isinstance(head, Or):
+        for arm in head.args:
+            yield from _iter_and([arm] + tail, partial)
+        return
+    if head == FALSE:
+        return
+    if head == TRUE:
+        yield from _iter_and(tail, partial)
+        return
+    sign, atom = _literal_of(head)
+    if partial.get(atom, sign) != sign:
+        return
+    extended = dict(partial)
+    extended[atom] = sign
+    yield from _iter_and(tail, extended)
+
+
+def classify_atom(atom: Term) -> str:
+    """Which theory an atom belongs to: 'bool', 'string', 'int' or 'real'."""
+    from .sorts import INT, REAL, STRING
+
+    if isinstance(atom, Var) and atom.sort is BOOL:
+        return "bool"
+    if isinstance(atom, Const) and atom.sort is BOOL:
+        return "bool"
+    if isinstance(atom, (Lt, Le, Eq)):
+        s = atom.left.sort
+        if s is STRING:
+            return "string"
+        if s is INT:
+            return "int"
+        if s is REAL:
+            return "real"
+        if s is BOOL:
+            # mk_eq desugars Bool equality, but tolerate direct Eq nodes.
+            return "booleq"
+    raise ValueError(f"unclassifiable atom: {atom!r}")

@@ -1,0 +1,133 @@
+"""Linearization of arithmetic terms.
+
+Converts a numeric :class:`~repro.smt.terms.Term` into a linear form
+``coeffs · vars + const`` with :class:`fractions.Fraction` coefficients.
+Raises :class:`~repro.smt.terms.NonLinearError` when the term multiplies
+two non-constant factors (those go to the univariate polynomial solver)
+and :class:`ModPresentError` when a ``Mod`` node survives (the integer
+solver eliminates those first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from .terms import Add, Const, Mod, Mul, Neg, NonLinearError, SmtError, Term, Var
+
+
+class ModPresentError(SmtError):
+    """A ``Mod`` node was encountered where none is allowed."""
+
+
+@dataclass(frozen=True)
+class LinTerm:
+    """An immutable linear combination of variables plus a constant."""
+
+    coeffs: tuple[tuple[str, Fraction], ...]
+    const: Fraction
+
+    @staticmethod
+    def of(coeffs: Mapping[str, Fraction], const: Fraction) -> "LinTerm":
+        items = tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+        return LinTerm(items, const)
+
+    @staticmethod
+    def constant(value: int | Fraction) -> "LinTerm":
+        return LinTerm((), Fraction(value))
+
+    @staticmethod
+    def variable(name: str) -> "LinTerm":
+        return LinTerm(((name, Fraction(1)),), Fraction(0))
+
+    def as_dict(self) -> dict[str, Fraction]:
+        return dict(self.coeffs)
+
+    def coeff(self, var: str) -> Fraction:
+        for v, c in self.coeffs:
+            if v == var:
+                return c
+        return Fraction(0)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(v for v, _ in self.coeffs)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def add(self, other: "LinTerm") -> "LinTerm":
+        coeffs = self.as_dict()
+        for v, c in other.coeffs:
+            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+        return LinTerm.of(coeffs, self.const + other.const)
+
+    def scale(self, factor: int | Fraction) -> "LinTerm":
+        factor = Fraction(factor)
+        if factor == 0:
+            return LinTerm.constant(0)
+        return LinTerm.of(
+            {v: c * factor for v, c in self.coeffs}, self.const * factor
+        )
+
+    def negate(self) -> "LinTerm":
+        return self.scale(-1)
+
+    def sub(self, other: "LinTerm") -> "LinTerm":
+        return self.add(other.negate())
+
+    def drop(self, var: str) -> "LinTerm":
+        """The linear term with ``var``'s summand removed."""
+        coeffs = {v: c for v, c in self.coeffs if v != var}
+        return LinTerm.of(coeffs, self.const)
+
+    def substitute(self, var: str, replacement: "LinTerm") -> "LinTerm":
+        c = self.coeff(var)
+        if c == 0:
+            return self
+        return self.drop(var).add(replacement.scale(c))
+
+    def evaluate(self, env: Mapping[str, int | Fraction]) -> Fraction:
+        total = self.const
+        for v, c in self.coeffs:
+            total += c * Fraction(env[v])
+        return total
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v}" for v, c in self.coeffs]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def linearize(term: Term) -> LinTerm:
+    """Convert a numeric term to a linear form.
+
+    Raises :class:`NonLinearError` for products of non-constant factors
+    and :class:`ModPresentError` if a ``Mod`` node is present.
+    """
+    if isinstance(term, Const):
+        return LinTerm.constant(Fraction(term.value))  # type: ignore[arg-type]
+    if isinstance(term, Var):
+        return LinTerm.variable(term.name)
+    if isinstance(term, Neg):
+        return linearize(term.arg).negate()
+    if isinstance(term, Add):
+        total = LinTerm.constant(0)
+        for a in term.args:
+            total = total.add(linearize(a))
+        return total
+    if isinstance(term, Mul):
+        total = LinTerm.constant(1)
+        for a in term.args:
+            lin = linearize(a)
+            if total.is_constant():
+                total = lin.scale(total.const)
+            elif lin.is_constant():
+                total = total.scale(lin.const)
+            else:
+                raise NonLinearError(f"non-linear product: {term!r}")
+        return total
+    if isinstance(term, Mod):
+        raise ModPresentError(f"mod must be eliminated first: {term!r}")
+    raise NonLinearError(f"not an arithmetic term: {term!r}")

@@ -1,0 +1,42 @@
+"""Minterm enumeration over a finite set of predicates.
+
+Given predicates ``p1 .. pn``, the satisfiable *minterms* are the
+conjunctions ``(+-p1) and ... and (+-pn)`` that partition the label
+space.  Minterms are the workhorse of symbolic automaton algorithms that
+need a locally finite alphabet view: bottom-up determinization,
+completion, and minimization (Sections 3.2 and 3.5 of the paper).
+
+Enumeration is a DFS over the sign choices with satisfiability pruning,
+so the usual case is far below the worst-case ``2^n``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from . import builders as b
+from .solver import Solver
+from .terms import Term
+
+
+def minterms(
+    predicates: Sequence[Term], solver: Solver
+) -> Iterator[tuple[tuple[bool, ...], Term]]:
+    """Yield ``(signs, conjunction)`` for every satisfiable minterm.
+
+    ``signs[i]`` tells whether ``predicates[i]`` occurs positively.  The
+    union of yielded conjunctions is equivalent to ``true`` and they are
+    pairwise disjoint.
+    """
+    preds = list(predicates)
+
+    def go(i: int, acc: Term, signs: tuple[bool, ...]) -> Iterator[tuple[tuple[bool, ...], Term]]:
+        if not solver.is_sat(acc):
+            return
+        if i == len(preds):
+            yield signs, acc
+            return
+        yield from go(i + 1, b.mk_and(acc, preds[i]), signs + (True,))
+        yield from go(i + 1, b.mk_and(acc, b.mk_not(preds[i])), signs + (False,))
+
+    yield from go(0, b.TRUE, ())

@@ -1,0 +1,405 @@
+"""Univariate polynomial real arithmetic via Sturm sequences.
+
+Decides conjunctions of constraints ``p(x) op 0`` (``op`` in
+``< <= = !=``) where every ``p`` is a polynomial with rational
+coefficients in a **single** variable.  This covers the "non-linear
+(cubic) constraints over reals" that show up in the paper's augmented
+reality evaluation (Section 5.2).
+
+The procedure is the classical sign-table construction: isolate all real
+roots of the product of the constraint polynomials with Sturm's theorem,
+split the line into cells (open intervals and root points), and check
+the sign of every constraint polynomial on each cell.  All arithmetic is
+exact over :class:`fractions.Fraction`; models at irrational roots are
+returned as refined rational approximations flagged ``exact=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence
+
+from .terms import NonLinearError
+
+#: A polynomial is a tuple of Fractions, lowest degree first, no trailing zeros.
+Poly = tuple[Fraction, ...]
+
+ZERO: Poly = ()
+ONE: Poly = (Fraction(1),)
+
+
+def poly_normalize(coeffs: Sequence[Fraction]) -> Poly:
+    out = list(coeffs)
+    while out and out[-1] == 0:
+        out.pop()
+    return tuple(out)
+
+
+def poly_const(c: Fraction | int) -> Poly:
+    return poly_normalize([Fraction(c)])
+
+
+def poly_var() -> Poly:
+    return (Fraction(0), Fraction(1))
+
+
+def degree(p: Poly) -> int:
+    return len(p) - 1 if p else -1
+
+
+def poly_add(a: Poly, b: Poly) -> Poly:
+    n = max(len(a), len(b))
+    return poly_normalize(
+        [
+            (a[i] if i < len(a) else Fraction(0)) + (b[i] if i < len(b) else Fraction(0))
+            for i in range(n)
+        ]
+    )
+
+
+def poly_neg(a: Poly) -> Poly:
+    return tuple(-c for c in a)
+
+
+def poly_sub(a: Poly, b: Poly) -> Poly:
+    return poly_add(a, poly_neg(b))
+
+
+def poly_mul(a: Poly, b: Poly) -> Poly:
+    if not a or not b:
+        return ZERO
+    out = [Fraction(0)] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] += ca * cb
+    return poly_normalize(out)
+
+
+def poly_scale(a: Poly, k: Fraction) -> Poly:
+    if k == 0:
+        return ZERO
+    return tuple(c * k for c in a)
+
+
+def poly_divmod(a: Poly, b: Poly) -> tuple[Poly, Poly]:
+    if not b:
+        raise ZeroDivisionError("polynomial division by zero")
+    q = [Fraction(0)] * max(0, len(a) - len(b) + 1)
+    r = list(a)
+    db, lb = degree(b), b[-1]
+    while len(r) - 1 >= db and any(c != 0 for c in r):
+        dr = len(r) - 1
+        if r[-1] == 0:
+            r.pop()
+            continue
+        k = dr - db
+        factor = r[-1] / lb
+        q[k] = factor
+        for i in range(len(b)):
+            r[i + k] -= factor * b[i]
+        r.pop()
+    return poly_normalize(q), poly_normalize(r)
+
+
+def poly_gcd(a: Poly, b: Poly) -> Poly:
+    while b:
+        _, r = poly_divmod(a, b)
+        a, b = b, r
+    if not a:
+        return ZERO
+    return poly_scale(a, 1 / a[-1])  # monic
+
+
+def poly_deriv(a: Poly) -> Poly:
+    return poly_normalize([a[i] * i for i in range(1, len(a))])
+
+
+def poly_eval(a: Poly, x: Fraction) -> Fraction:
+    total = Fraction(0)
+    for c in reversed(a):
+        total = total * x + c
+    return total
+
+
+def square_free(a: Poly) -> Poly:
+    """The square-free part ``a / gcd(a, a')`` (same distinct roots)."""
+    if degree(a) <= 0:
+        return a
+    g = poly_gcd(a, poly_deriv(a))
+    if degree(g) <= 0:
+        return a
+    q, r = poly_divmod(a, g)
+    assert not r
+    return q
+
+
+def sturm_chain(p: Poly) -> list[Poly]:
+    chain = [p, poly_deriv(p)]
+    while chain[-1]:
+        _, r = poly_divmod(chain[-2], chain[-1])
+        if not r:
+            break
+        chain.append(poly_neg(r))
+    return [c for c in chain if c]
+
+
+def _sign_variations(chain: list[Poly], x: Fraction) -> int:
+    signs = []
+    for p in chain:
+        v = poly_eval(p, x)
+        if v != 0:
+            signs.append(1 if v > 0 else -1)
+    return sum(1 for a, b in zip(signs, signs[1:]) if a != b)
+
+
+def count_roots(chain: list[Poly], a: Fraction, b: Fraction) -> int:
+    """Number of distinct real roots of chain[0] in the half-open (a, b]."""
+    return _sign_variations(chain, a) - _sign_variations(chain, b)
+
+
+def cauchy_bound(p: Poly) -> Fraction:
+    """All real roots of ``p`` lie strictly inside ``(-B, B)``."""
+    if degree(p) <= 0:
+        return Fraction(1)
+    lead = abs(p[-1])
+    return 1 + max(abs(c) for c in p[:-1]) / lead
+
+
+@dataclass
+class IsolatedRoot:
+    """An isolating interval ``(lo, hi]`` containing exactly one root."""
+
+    poly: Poly  # square-free polynomial owning the root
+    chain: list[Poly]
+    lo: Fraction
+    hi: Fraction
+
+    def refine(self) -> None:
+        """Halve the isolating interval."""
+        mid = (self.lo + self.hi) / 2
+        if count_roots(self.chain, self.lo, mid) == 1:
+            self.hi = mid
+        else:
+            self.lo = mid
+
+    def refine_until_sign(self, q: Poly) -> int:
+        """Sign of ``q`` at this root, assuming ``q`` does not vanish there."""
+        q_chain = sturm_chain(square_free(q)) if degree(q) >= 1 else None
+        for _ in range(10_000):
+            if q_chain is None or count_roots(q_chain, self.lo, self.hi) == 0:
+                # Also make sure q is nonzero at the sample point itself.
+                mid = (self.lo + self.hi) / 2
+                v = poly_eval(q, mid)
+                lo_v = poly_eval(q, self.hi)
+                if v != 0:
+                    return 1 if v > 0 else -1
+                if lo_v != 0:
+                    return 1 if lo_v > 0 else -1
+            self.refine()
+        raise RuntimeError("sign refinement did not converge")
+
+    def vanishes(self, q: Poly) -> bool:
+        """Does ``q`` vanish at this root?"""
+        if not q:
+            return True
+        if degree(q) == 0:
+            return False
+        g = poly_gcd(self.poly, q)
+        if degree(g) <= 0:
+            return False
+        g_chain = sturm_chain(g)
+        return count_roots(g_chain, self.lo, self.hi) >= 1
+
+
+def isolate_roots(p: Poly) -> list[IsolatedRoot]:
+    """Disjoint isolating intervals for all real roots of square-free ``p``."""
+    if degree(p) <= 0:
+        return []
+    chain = sturm_chain(p)
+    bound = cauchy_bound(p)
+    work = [(-bound, bound)]
+    roots: list[IsolatedRoot] = []
+    while work:
+        lo, hi = work.pop()
+        n = count_roots(chain, lo, hi)
+        if n == 0:
+            continue
+        if n == 1:
+            roots.append(IsolatedRoot(p, chain, lo, hi))
+            continue
+        mid = (lo + hi) / 2
+        # Make sure the midpoint is not itself a root (shrink it in).
+        while poly_eval(p, mid) == 0:
+            # mid is a root: an isolating interval is (mid - eps, mid]
+            eps = (hi - lo) / 4
+            while count_roots(chain, mid - eps, mid) != 1:
+                eps /= 2
+            roots.append(IsolatedRoot(p, chain, mid - eps, mid))
+            work.append((lo, mid - eps))
+            work.append((mid, hi))
+            break
+        else:
+            work.append((lo, mid))
+            work.append((mid, hi))
+    roots.sort(key=lambda r: r.lo)
+    # Refine until intervals are pairwise disjoint and ordered.
+    changed = True
+    while changed:
+        changed = False
+        for r1, r2 in zip(roots, roots[1:]):
+            while not (r1.hi < r2.lo):
+                r1.refine()
+                r2.refine()
+                changed = True
+    return roots
+
+
+@dataclass(frozen=True)
+class PolyConstraint:
+    """``poly(x) op 0`` with op one of ``< <= = !=``."""
+
+    poly: Poly
+    op: str
+
+    def holds_sign(self, sign: int) -> bool:
+        if self.op == "<":
+            return sign < 0
+        if self.op == "<=":
+            return sign <= 0
+        if self.op == "=":
+            return sign == 0
+        if self.op == "!=":
+            return sign != 0
+        raise ValueError(self.op)
+
+
+def decide_poly_cube(
+    constraints: Iterable[PolyConstraint],
+) -> Optional[tuple[Fraction, bool]]:
+    """Decide a conjunction of univariate polynomial constraints.
+
+    Returns ``(witness, exact)`` if satisfiable, else ``None``.  When the
+    only satisfying cell is an irrational root point, the witness is a
+    rational approximation and ``exact`` is False.
+    """
+    constraints = list(constraints)
+    product = ONE
+    for c in constraints:
+        if degree(c.poly) >= 1:
+            product = poly_mul(product, square_free(c.poly))
+    product = square_free(product)
+
+    def cell_sign(c: PolyConstraint, sample: Fraction) -> int:
+        v = poly_eval(c.poly, sample)
+        return 0 if v == 0 else (1 if v > 0 else -1)
+
+    roots = isolate_roots(product)
+    samples: list[Fraction] = []
+    if not roots:
+        samples.append(Fraction(0))
+    else:
+        samples.append(roots[0].lo - 1)
+        for r1, r2 in zip(roots, roots[1:]):
+            samples.append((r1.hi + r2.lo) / 2)
+        samples.append(roots[-1].hi + 1)
+
+    # Open-interval cells: exact rational witnesses.
+    for s in samples:
+        if all(c.holds_sign(cell_sign(c, s)) for c in constraints):
+            return s, True
+
+    # Root cells.
+    for root in roots:
+        ok = True
+        for c in constraints:
+            if root.vanishes(c.poly):
+                sign = 0
+            else:
+                sign = root.refine_until_sign(c.poly)
+            if not c.holds_sign(sign):
+                ok = False
+                break
+        if ok:
+            # Recognize a rational root exactly when there is one.
+            for cand in rational_roots(product):
+                if root.lo < cand <= root.hi:
+                    return cand, True
+            for _ in range(40):
+                root.refine()
+            return (root.lo + root.hi) / 2, False
+    return None
+
+
+def rational_roots(p: Poly) -> list[Fraction]:
+    """All rational roots of ``p`` (rational root theorem, exact)."""
+    if degree(p) < 1:
+        return []
+    # Factor out x^k so the constant coefficient is nonzero.
+    roots: set[Fraction] = set()
+    coeffs = list(p)
+    while coeffs and coeffs[0] == 0:
+        roots.add(Fraction(0))
+        coeffs.pop(0)
+    if len(coeffs) <= 1:
+        return sorted(roots)
+    # Scale to integer coefficients.
+    from math import lcm
+
+    mult = lcm(*(c.denominator for c in coeffs))
+    ints = [int(c * mult) for c in coeffs]
+    from math import gcd
+
+    g = 0
+    for c in ints:
+        g = gcd(g, c)
+    ints = [c // g for c in ints]
+    a0, an = abs(ints[0]), abs(ints[-1])
+
+    def divisors(n: int) -> list[int]:
+        out = []
+        d = 1
+        while d * d <= n:
+            if n % d == 0:
+                out.append(d)
+                out.append(n // d)
+            d += 1
+        return out
+
+    scaled = poly_normalize([Fraction(c) for c in ints])
+    for num in divisors(a0):
+        for den in divisors(an):
+            for cand in (Fraction(num, den), Fraction(-num, den)):
+                if poly_eval(scaled, cand) == 0:
+                    roots.add(cand)
+    return sorted(roots)
+
+
+def poly_from_term(term, var: str) -> Poly:
+    """Convert a numeric term in the single variable ``var`` to a Poly.
+
+    Raises :class:`NonLinearError` if other variables occur.
+    """
+    from .terms import Add, Const, Mul, Neg, Term, Var
+
+    if isinstance(term, Const):
+        return poly_const(Fraction(term.value))  # type: ignore[arg-type]
+    if isinstance(term, Var):
+        if term.name != var:
+            raise NonLinearError(f"unexpected variable {term.name} (wanted {var})")
+        return poly_var()
+    if isinstance(term, Neg):
+        return poly_neg(poly_from_term(term.arg, var))
+    if isinstance(term, Add):
+        total = ZERO
+        for a in term.args:
+            total = poly_add(total, poly_from_term(a, var))
+        return total
+    if isinstance(term, Mul):
+        total = ONE
+        for a in term.args:
+            total = poly_mul(total, poly_from_term(a, var))
+        return total
+    raise NonLinearError(f"not a polynomial term: {term!r}")

@@ -1,0 +1,83 @@
+"""Formula simplification beyond the smart constructors.
+
+``rebuild`` re-runs every node through the smart constructors (useful
+after external construction); ``simplify`` additionally prunes
+unsatisfiable disjuncts and valid conjuncts using the solver, which
+keeps guards small during long composition chains.
+"""
+
+from __future__ import annotations
+
+from . import builders as b
+from .solver import Solver
+from .terms import (
+    Add,
+    And,
+    Const,
+    Eq,
+    Le,
+    Lt,
+    Mod,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    Term,
+    Var,
+)
+
+
+def rebuild(term: Term) -> Term:
+    """Reconstruct a term bottom-up through the smart constructors."""
+    if isinstance(term, (Var, Const)):
+        return term
+    if isinstance(term, Add):
+        return b.mk_add(*(rebuild(a) for a in term.args))
+    if isinstance(term, Mul):
+        return b.mk_mul(*(rebuild(a) for a in term.args))
+    if isinstance(term, Neg):
+        return b.mk_neg(rebuild(term.arg))
+    if isinstance(term, Mod):
+        return b.mk_mod(rebuild(term.arg), term.modulus)
+    if isinstance(term, Lt):
+        return b.mk_lt(rebuild(term.left), rebuild(term.right))
+    if isinstance(term, Le):
+        return b.mk_le(rebuild(term.left), rebuild(term.right))
+    if isinstance(term, Eq):
+        return b.mk_eq(rebuild(term.left), rebuild(term.right))
+    if isinstance(term, And):
+        return b.mk_and(*(rebuild(a) for a in term.args))
+    if isinstance(term, Or):
+        return b.mk_or(*(rebuild(a) for a in term.args))
+    if isinstance(term, Not):
+        return b.mk_not(rebuild(term.arg))
+    return term
+
+
+def simplify(formula: Term, solver: Solver) -> Term:
+    """Light semantic simplification of a Bool term.
+
+    Decides the formula once: unsatisfiable formulas become ``false``,
+    valid ones ``true``; otherwise conjuncts/disjuncts that the solver
+    proves redundant are dropped.
+    """
+    formula = rebuild(formula)
+    if formula.sort.name != "Bool":
+        return formula
+    if not solver.is_sat(formula):
+        return b.FALSE
+    if not solver.is_sat(b.mk_not(formula)):
+        return b.TRUE
+    if isinstance(formula, And):
+        kept: list[Term] = []
+        for arg in formula.args:
+            rest = b.mk_and(*(a for a in formula.args if a is not arg))
+            if not solver.implies(rest, arg):
+                kept.append(arg)
+        if kept:
+            return b.mk_and(*kept)
+        return formula
+    if isinstance(formula, Or):
+        kept = [arg for arg in formula.args if solver.is_sat(arg)]
+        return b.mk_or(*kept)
+    return formula

@@ -1,0 +1,202 @@
+"""The label-theory solver facade.
+
+This module plays the role Z3 plays in the paper: it decides
+satisfiability of quantifier-free formulas over the label theory and
+produces models (used for witness trees and counterexamples).  The
+Boolean structure is handled by lazy cube enumeration
+(:mod:`repro.smt.cubes`); each cube is split by sort and dispatched to
+
+* Boolean literal consistency,
+* congruence closure for strings (:mod:`repro.smt.strings_solver`),
+* Cooper's algorithm for integers (:mod:`repro.smt.lia_cooper`),
+* Fourier-Motzkin + Sturm sequences for reals (:mod:`repro.smt.lra_fm`).
+
+Results are cached per formula; the cache makes the emptiness /
+composition algorithms that fire thousands of satisfiability queries
+practical (cache statistics feed the evaluation harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from . import builders as b
+from .cubes import classify_atom, iter_cubes
+from .lia_cooper import solve_int_cube
+from .lra_fm import solve_real_cube
+from .sorts import BOOL, INT, REAL, STRING, Sort
+from .strings_solver import solve_string_cube
+from .terms import Const, SmtError, Term, Value, Var
+
+
+@dataclass
+class Model:
+    """A satisfying assignment.
+
+    ``exact`` is False when a real witness sits at an irrational
+    algebraic point and is only a rational approximation.
+    """
+
+    assignment: dict[str, Value]
+    exact: bool = True
+
+    def __getitem__(self, name: str) -> Value:
+        return self.assignment[name]
+
+    def get(self, name: str, default: Value | None = None) -> Value | None:
+        return self.assignment.get(name, default)
+
+    def satisfies(self, formula: Term) -> bool:
+        env = dict(self.assignment)
+        for v in formula.free_vars():
+            env.setdefault(v.name, _default_value(v.sort))
+        return bool(formula.evaluate(env))
+
+
+def _default_value(sort: Sort) -> Value:
+    if sort is BOOL:
+        return False
+    if sort is INT:
+        return 0
+    if sort is REAL:
+        return Fraction(0)
+    if sort is STRING:
+        return ""
+    raise SmtError(f"no default value for sort {sort}")
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed to the benchmark harness."""
+
+    sat_queries: int = 0
+    cache_hits: int = 0
+    cubes_checked: int = 0
+
+
+class Solver:
+    """Decision procedure for the label theory (quantifier-free formulas).
+
+    ``cache=False`` disables per-formula memoization (used by the cache
+    ablation benchmark; leave it on everywhere else).
+    """
+
+    def __init__(self, cache: bool = True) -> None:
+        self._sat_cache: dict[Term, Optional[Model]] = {}
+        self._cache_enabled = cache
+        self.stats = SolverStats()
+
+    # -- satisfiability ----------------------------------------------------
+
+    def is_sat(self, formula: Term) -> bool:
+        """Is the formula satisfiable?"""
+        return self.get_model(formula) is not None
+
+    def get_model(self, formula: Term) -> Optional[Model]:
+        """A satisfying assignment covering the formula's variables, or None."""
+        self.stats.sat_queries += 1
+        if self._cache_enabled and formula in self._sat_cache:
+            self.stats.cache_hits += 1
+            return self._sat_cache[formula]
+        model = self._solve(formula)
+        if self._cache_enabled:
+            self._sat_cache[formula] = model
+        return model
+
+    def _solve(self, formula: Term) -> Optional[Model]:
+        for cube in iter_cubes(formula):
+            self.stats.cubes_checked += 1
+            model = self._solve_cube(cube)
+            if model is not None:
+                for v in formula.free_vars():
+                    model.assignment.setdefault(v.name, _default_value(v.sort))
+                return model
+        return None
+
+    def _solve_cube(self, cube: list[tuple[bool, Term]]) -> Optional[Model]:
+        groups: dict[str, list[tuple[bool, Term]]] = {}
+        for sign, atom in cube:
+            kind = classify_atom(atom)
+            if kind == "booleq":
+                # Stray Bool equality built without the smart constructors.
+                rebuilt = b.mk_eq(atom.left, atom.right)  # type: ignore[attr-defined]
+                if not sign:
+                    rebuilt = b.mk_not(rebuilt)
+                sub = self._solve(rebuilt)
+                if sub is None:
+                    return None
+                groups.setdefault("_extra", []).append((sign, atom))
+                continue
+            groups.setdefault(kind, []).append((sign, atom))
+
+        assignment: dict[str, Value] = {}
+        exact = True
+
+        for sign, atom in groups.get("bool", []):
+            if isinstance(atom, Const):
+                if bool(atom.value) != sign:
+                    return None
+                continue
+            assert isinstance(atom, Var)
+            if assignment.setdefault(atom.name, sign) != sign:
+                return None
+
+        if "string" in groups:
+            m = solve_string_cube(groups["string"])
+            if m is None:
+                return None
+            assignment.update(m)
+
+        if "int" in groups:
+            m_int = solve_int_cube(groups["int"])
+            if m_int is None:
+                return None
+            assignment.update(m_int)
+
+        if "real" in groups:
+            m_real = solve_real_cube(groups["real"])
+            if m_real is None:
+                return None
+            assignment.update(m_real.assignment)
+            exact = exact and m_real.exact
+
+        if "_extra" in groups:
+            # Re-check the odd Bool equalities under the assembled model.
+            for sign, atom in groups["_extra"]:
+                env = dict(assignment)
+                for v in atom.free_vars():
+                    env.setdefault(v.name, _default_value(v.sort))
+                if bool(atom.evaluate(env)) != sign:
+                    return None  # rare; a complete solver would branch here
+
+        return Model(assignment, exact)
+
+    # -- derived judgments ---------------------------------------------------
+
+    def is_valid(self, formula: Term) -> bool:
+        return not self.is_sat(b.mk_not(formula))
+
+    def implies(self, antecedent: Term, consequent: Term) -> bool:
+        return not self.is_sat(b.mk_and(antecedent, b.mk_not(consequent)))
+
+    def equivalent(self, left: Term, right: Term) -> bool:
+        return self.implies(left, right) and self.implies(right, left)
+
+    def clear_cache(self) -> None:
+        self._sat_cache.clear()
+
+
+#: Shared default solver used across the library when none is supplied.
+DEFAULT_SOLVER = Solver()
+
+
+def is_sat(formula: Term) -> bool:
+    """Module-level convenience wrapper over :data:`DEFAULT_SOLVER`."""
+    return DEFAULT_SOLVER.is_sat(formula)
+
+
+def get_model(formula: Term) -> Optional[Model]:
+    """Module-level convenience wrapper over :data:`DEFAULT_SOLVER`."""
+    return DEFAULT_SOLVER.get_model(formula)

@@ -1,0 +1,38 @@
+"""Sorts (types) of the label theories.
+
+The paper (Section 3.1) parametrizes every definition by a *label theory*
+over a background structure.  Fast programs draw node attributes from the
+basic sorts below; the solver in :mod:`repro.smt.solver` decides
+quantifier-free formulas over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sort:
+    """A basic sort of the label theory (e.g. ``Int``, ``String``)."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+BOOL = Sort("Bool")
+INT = Sort("Int")
+REAL = Sort("Real")
+STRING = Sort("String")
+
+#: All basic sorts, keyed by their Fast surface name.
+BASIC_SORTS = {s.name: s for s in (BOOL, INT, REAL, STRING)}
+
+#: Sorts whose atoms are handled by the arithmetic theory solvers.
+NUMERIC_SORTS = (INT, REAL)
+
+
+def is_numeric(sort: Sort) -> bool:
+    """Return True for sorts handled by the arithmetic solvers."""
+    return sort in NUMERIC_SORTS

@@ -1,0 +1,97 @@
+"""Equality logic over strings.
+
+The string sort is an infinite domain with equality; Fast guards compare
+string attributes with constants and with each other (e.g.
+``tag = "script"``).  A conjunction of (dis)equalities over an infinite
+domain is decided by congruence closure (union-find): merge equalities,
+fail if two distinct constants meet or a disequality connects a merged
+class.  Fresh values for unconstrained classes always exist because the
+domain is infinite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from .terms import Const, Eq, SmtError, Term, Var
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[object, object] = {}
+
+    def find(self, x: object) -> object:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def _key(term: Term) -> object:
+    if isinstance(term, Var):
+        return ("var", term.name)
+    if isinstance(term, Const):
+        return ("const", term.value)
+    raise SmtError(f"string atoms must compare variables/constants: {term!r}")
+
+
+def solve_string_cube(
+    literals: Iterable[tuple[bool, Term]],
+) -> Optional[dict[str, str]]:
+    """Decide a conjunction of string (dis)equality literals.
+
+    Returns a model (every mentioned variable gets a string) or None.
+    """
+    uf = _UnionFind()
+    diseqs: list[tuple[object, object]] = []
+    keys: set[object] = set()
+    for pos, atom in literals:
+        if not isinstance(atom, Eq):
+            raise SmtError(f"unsupported string atom: {atom!r}")
+        ka, kb = _key(atom.left), _key(atom.right)
+        keys.update((ka, kb))
+        if pos:
+            uf.union(ka, kb)
+        else:
+            diseqs.append((ka, kb))
+
+    # Conflict 1: two distinct constants in one class.
+    rep_const: dict[object, str] = {}
+    for k in keys:
+        if k[0] == "const":
+            root = uf.find(k)
+            if root in rep_const and rep_const[root] != k[1]:
+                return None
+            rep_const[root] = k[1]  # type: ignore[assignment]
+    # Conflict 2: a disequality inside one class.
+    for ka, kb in diseqs:
+        if uf.find(ka) == uf.find(kb):
+            return None
+
+    # Build a model: constants pin their class; other classes get fresh
+    # pairwise-distinct strings (infinite domain).
+    fresh = (f"_s{i}" for i in itertools.count())
+    used = {v for v in rep_const.values()}
+    root_value: dict[object, str] = dict(rep_const)
+    model: dict[str, str] = {}
+    for k in sorted(keys, key=repr):
+        if k[0] != "var":
+            continue
+        root = uf.find(k)
+        if root not in root_value:
+            value = next(fresh)
+            while value in used:
+                value = next(fresh)
+            used.add(value)
+            root_value[root] = value
+        model[k[1]] = root_value[root]  # type: ignore[index]
+    return model

@@ -1,0 +1,513 @@
+"""Terms and formulas of the label theory.
+
+Quantifier-free first-order terms over the basic sorts of
+:mod:`repro.smt.sorts`.  Formulas are simply terms of sort ``Bool``.  The
+AST is immutable (frozen dataclasses) so terms can be used as dictionary
+keys and cached; construction goes through the smart constructors in
+:mod:`repro.smt.builders`, which perform light normalization.
+
+The fragment matches what the paper needs from a label theory
+(Section 3.1): Boolean connectives, equality at every sort, linear
+arithmetic with constant modulus over ``Int``, linear (plus univariate
+polynomial) arithmetic over ``Real``, and (dis)equalities over
+``String``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Mapping, Union
+
+from .sorts import BOOL, INT, REAL, STRING, Sort
+
+#: Python carrier values for each sort.
+Value = Union[bool, int, Fraction, str]
+
+
+class SmtError(Exception):
+    """Base class for errors raised by the label-theory layer."""
+
+
+class SortError(SmtError):
+    """A term was built or used with mismatched sorts."""
+
+
+class NonLinearError(SmtError):
+    """An arithmetic term fell outside the decidable fragment."""
+
+
+class EvaluationError(SmtError):
+    """A term could not be evaluated under the given environment."""
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of all terms.  Instances are immutable and hashable."""
+
+    @property
+    def sort(self) -> Sort:
+        raise NotImplementedError
+
+    @property
+    def children(self) -> tuple["Term", ...]:
+        return ()
+
+    def free_vars(self) -> frozenset["Var"]:
+        """The set of free variables (no binders exist, so all variables)."""
+        out: set[Var] = set()
+        stack: list[Term] = [self]
+        while stack:
+            t = stack.pop()
+            if isinstance(t, Var):
+                out.add(t)
+            else:
+                stack.extend(t.children)
+        return frozenset(out)
+
+    def substitute(self, mapping: Mapping[str, "Term"]) -> "Term":
+        """Simultaneously substitute terms for variables (by name)."""
+        return _substitute(self, mapping)
+
+    def evaluate(self, env: Mapping[str, Value]) -> Value:
+        """Evaluate under a full assignment of values to variables."""
+        return _evaluate(self, env)
+
+    def iter_subterms(self) -> Iterator["Term"]:
+        """Yield every subterm (including self), pre-order."""
+        stack: list[Term] = [self]
+        while stack:
+            t = stack.pop()
+            yield t
+            stack.extend(t.children)
+
+    def __and__(self, other: "Term") -> "Term":
+        from .builders import mk_and
+
+        return mk_and(self, other)
+
+    def __or__(self, other: "Term") -> "Term":
+        from .builders import mk_or
+
+        return mk_or(self, other)
+
+    def __invert__(self) -> "Term":
+        from .builders import mk_not
+
+        return mk_not(self)
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable; in automaton guards these name attribute fields."""
+
+    name: str
+    var_sort: Sort
+
+    @property
+    def sort(self) -> Sort:
+        return self.var_sort
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A constant value of a basic sort."""
+
+    value: Value
+    const_sort: Sort
+
+    def __post_init__(self) -> None:
+        expected = {
+            BOOL: bool,
+            INT: int,
+            REAL: Fraction,
+            STRING: str,
+        }[self.const_sort]
+        if not isinstance(self.value, expected) or (
+            expected is int and isinstance(self.value, bool)
+        ):
+            raise SortError(
+                f"constant {self.value!r} does not inhabit sort {self.const_sort}"
+            )
+
+    @property
+    def sort(self) -> Sort:
+        return self.const_sort
+
+    def __repr__(self) -> str:
+        if self.const_sort is STRING:
+            return repr(self.value)
+        return str(self.value)
+
+
+TRUE = Const(True, BOOL)
+FALSE = Const(False, BOOL)
+
+
+def _require_numeric_pair(name: str, left: Term, right: Term) -> Sort:
+    if left.sort != right.sort:
+        raise SortError(f"{name}: operand sorts differ ({left.sort} vs {right.sort})")
+    if left.sort not in (INT, REAL):
+        raise SortError(f"{name}: operands must be numeric, got {left.sort}")
+    return left.sort
+
+
+@dataclass(frozen=True)
+class Add(Term):
+    """n-ary addition over a numeric sort."""
+
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) < 2:
+            raise SortError("Add requires at least two arguments")
+        s = self.args[0].sort
+        for a in self.args:
+            if a.sort != s or s not in (INT, REAL):
+                raise SortError("Add: all arguments must share a numeric sort")
+
+    @property
+    def sort(self) -> Sort:
+        return self.args[0].sort
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Mul(Term):
+    """n-ary multiplication over a numeric sort.
+
+    The solver requires formulas to be linear (at most one non-constant
+    factor) except for univariate polynomial real constraints, which are
+    decided by Sturm sequences.
+    """
+
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) < 2:
+            raise SortError("Mul requires at least two arguments")
+        s = self.args[0].sort
+        for a in self.args:
+            if a.sort != s or s not in (INT, REAL):
+                raise SortError("Mul: all arguments must share a numeric sort")
+
+    @property
+    def sort(self) -> Sort:
+        return self.args[0].sort
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return "(" + " * ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Neg(Term):
+    """Arithmetic negation."""
+
+    arg: Term
+
+    def __post_init__(self) -> None:
+        if self.arg.sort not in (INT, REAL):
+            raise SortError("Neg: argument must be numeric")
+
+    @property
+    def sort(self) -> Sort:
+        return self.arg.sort
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return (self.arg,)
+
+    def __repr__(self) -> str:
+        return f"(- {self.arg!r})"
+
+
+@dataclass(frozen=True)
+class Mod(Term):
+    """``arg % modulus`` with a fixed positive constant modulus.
+
+    Follows Python semantics: the result is always in ``[0, modulus)``.
+    Constant modulus keeps the theory inside Presburger arithmetic, where
+    Cooper's algorithm is complete.
+    """
+
+    arg: Term
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.arg.sort is not INT:
+            raise SortError("Mod: argument must be Int")
+        if not isinstance(self.modulus, int) or self.modulus <= 0:
+            raise SortError("Mod: modulus must be a positive integer constant")
+
+    @property
+    def sort(self) -> Sort:
+        return INT
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return (self.arg,)
+
+    def __repr__(self) -> str:
+        return f"({self.arg!r} % {self.modulus})"
+
+
+@dataclass(frozen=True)
+class Lt(Term):
+    """Strict less-than over a numeric sort."""
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        _require_numeric_pair("Lt", self.left, self.right)
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} < {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Le(Term):
+    """Non-strict less-than over a numeric sort."""
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        _require_numeric_pair("Le", self.left, self.right)
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} <= {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Eq(Term):
+    """Equality at any basic sort."""
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.left.sort != self.right.sort:
+            raise SortError(
+                f"Eq: operand sorts differ ({self.left.sort} vs {self.right.sort})"
+            )
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} = {self.right!r})"
+
+
+@dataclass(frozen=True)
+class And(Term):
+    """n-ary conjunction."""
+
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        for a in self.args:
+            if a.sort is not BOOL:
+                raise SortError("And: arguments must be Bool")
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return "true"
+        return "(" + " and ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Term):
+    """n-ary disjunction."""
+
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        for a in self.args:
+            if a.sort is not BOOL:
+                raise SortError("Or: arguments must be Bool")
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return "false"
+        return "(" + " or ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Term):
+    """Negation of a formula."""
+
+    arg: Term
+
+    def __post_init__(self) -> None:
+        if self.arg.sort is not BOOL:
+            raise SortError("Not: argument must be Bool")
+
+    @property
+    def sort(self) -> Sort:
+        return BOOL
+
+    @property
+    def children(self) -> tuple[Term, ...]:
+        return (self.arg,)
+
+    def __repr__(self) -> str:
+        return f"(not {self.arg!r})"
+
+
+# ---------------------------------------------------------------------------
+# Hash caching
+# ---------------------------------------------------------------------------
+#
+# Terms key caches and dedup sets throughout the automaton algorithms;
+# the dataclass-generated __hash__ walks the whole term each call, which
+# profiling shows dominating composition and emptiness.  Wrap every term
+# class's generated __hash__ with a lazy per-object cache (children's
+# hashes are cached too, so a cold hash is linear once, then O(1)).
+
+
+def _install_cached_hash(cls: type) -> None:
+    generated = cls.__hash__
+
+    def __hash__(self):  # noqa: ANN001
+        try:
+            return object.__getattribute__(self, "_hash_cache")
+        except AttributeError:
+            value = generated(self)
+            object.__setattr__(self, "_hash_cache", value)
+            return value
+
+    cls.__hash__ = __hash__  # type: ignore[assignment]
+
+
+for _cls in (Var, Const, Add, Mul, Neg, Mod, Lt, Le, Eq, And, Or, Not):
+    _install_cached_hash(_cls)
+
+
+# ---------------------------------------------------------------------------
+# Substitution and evaluation
+# ---------------------------------------------------------------------------
+
+
+def _substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
+    from . import builders as b
+
+    if isinstance(term, Var):
+        repl = mapping.get(term.name)
+        if repl is None:
+            return term
+        if repl.sort != term.sort:
+            raise SortError(
+                f"substitution for {term.name} has sort {repl.sort}, "
+                f"expected {term.sort}"
+            )
+        return repl
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, Add):
+        return b.mk_add(*(_substitute(a, mapping) for a in term.args))
+    if isinstance(term, Mul):
+        return b.mk_mul(*(_substitute(a, mapping) for a in term.args))
+    if isinstance(term, Neg):
+        return b.mk_neg(_substitute(term.arg, mapping))
+    if isinstance(term, Mod):
+        return b.mk_mod(_substitute(term.arg, mapping), term.modulus)
+    if isinstance(term, Lt):
+        return b.mk_lt(_substitute(term.left, mapping), _substitute(term.right, mapping))
+    if isinstance(term, Le):
+        return b.mk_le(_substitute(term.left, mapping), _substitute(term.right, mapping))
+    if isinstance(term, Eq):
+        return b.mk_eq(_substitute(term.left, mapping), _substitute(term.right, mapping))
+    if isinstance(term, And):
+        return b.mk_and(*(_substitute(a, mapping) for a in term.args))
+    if isinstance(term, Or):
+        return b.mk_or(*(_substitute(a, mapping) for a in term.args))
+    if isinstance(term, Not):
+        return b.mk_not(_substitute(term.arg, mapping))
+    raise SmtError(f"substitute: unknown term {term!r}")
+
+
+def _evaluate(term: Term, env: Mapping[str, Value]) -> Value:
+    if isinstance(term, Var):
+        if term.name not in env:
+            raise EvaluationError(f"unbound variable {term.name}")
+        return env[term.name]
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Add):
+        total = _evaluate(term.args[0], env)
+        for a in term.args[1:]:
+            total = total + _evaluate(a, env)  # type: ignore[operator]
+        return total
+    if isinstance(term, Mul):
+        total = _evaluate(term.args[0], env)
+        for a in term.args[1:]:
+            total = total * _evaluate(a, env)  # type: ignore[operator]
+        return total
+    if isinstance(term, Neg):
+        return -_evaluate(term.arg, env)  # type: ignore[operator]
+    if isinstance(term, Mod):
+        return _evaluate(term.arg, env) % term.modulus  # type: ignore[operator]
+    if isinstance(term, Lt):
+        return _evaluate(term.left, env) < _evaluate(term.right, env)  # type: ignore[operator]
+    if isinstance(term, Le):
+        return _evaluate(term.left, env) <= _evaluate(term.right, env)  # type: ignore[operator]
+    if isinstance(term, Eq):
+        return _evaluate(term.left, env) == _evaluate(term.right, env)
+    if isinstance(term, And):
+        return all(_evaluate(a, env) for a in term.args)
+    if isinstance(term, Or):
+        return any(_evaluate(a, env) for a in term.args)
+    if isinstance(term, Not):
+        return not _evaluate(term.arg, env)
+    raise SmtError(f"evaluate: unknown term {term!r}")

@@ -1,0 +1,47 @@
+"""The domain automaton ``d(S)`` of an STTR (paper Definition 6).
+
+For each transducer rule the domain rule constrains child ``i`` with the
+rule's lookahead **plus** the states ``St(i, t)`` that the output applies
+to that child — a child that the output transforms must itself have a
+successful transduction.  Because our STTRs carry an explicit lookahead
+STA, ``d(S)`` lives over a tagged union of the two state spaces:
+``("q", p)`` for transduction states and ``("la", s)`` for lookahead
+states.
+"""
+
+from __future__ import annotations
+
+from ..automata.language import Language
+from ..automata.sta import STA, STARule, State
+from ..smt.solver import Solver
+from .output_terms import states_at
+from .sttr import STTR
+
+
+def domain_sta(sttr: STTR) -> tuple[STA, State]:
+    """``d(S)`` as an STA plus the state denoting ``dom(T_S)``."""
+    rules: list[STARule] = []
+    for r in sttr.lookahead_sta.rules:
+        rules.append(
+            STARule(
+                ("la", r.state),
+                r.ctor,
+                r.guard,
+                tuple(frozenset(("la", s) for s in l) for l in r.lookahead),
+            )
+        )
+    for r in sttr.rules:
+        lookahead = tuple(
+            frozenset(("la", s) for s in l)
+            | frozenset(("q", q) for q in states_at(r.output, i))
+            for i, l in enumerate(r.lookahead)
+        )
+        rules.append(STARule(("q", r.state), r.ctor, r.guard, lookahead))
+    return STA(sttr.input_type, tuple(rules)), ("q", sttr.initial)
+
+
+def domain(sttr: STTR, solver: Solver) -> Language:
+    """The domain of the transduction as a :class:`Language` (Fast's
+    ``domain t``)."""
+    sta, state = domain_sta(sttr)
+    return Language(sta, state, solver)

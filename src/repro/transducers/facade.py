@@ -1,0 +1,104 @@
+"""The user-facing ``Transducer`` facade: an STTR plus a solver.
+
+This is the value a Fast ``trans`` definition evaluates to.  All of
+Section 3.5's operations are methods:
+
+    >>> sani = rem_script.compose(esc).restrict(node_tree)
+    >>> sani.apply_one(dom_tree)
+    >>> sani.pre_image(bad_output).is_empty()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..automata.language import Language
+from ..smt.solver import DEFAULT_SOLVER, Solver
+from ..trees.tree import Tree
+from . import properties
+from .compose import compose as _compose
+from .domain import domain as _domain
+from .preimage import preimage as _preimage
+from .restrict import restrict_input, restrict_output
+from .run import run as _run, run_one as _run_one
+from .sttr import STTR
+from .typecheck import type_check as _type_check
+
+
+@dataclass(frozen=True)
+class Transducer:
+    """A tree transformation backed by an STTR."""
+
+    sttr: STTR
+    solver: Solver = field(default_factory=lambda: DEFAULT_SOLVER, compare=False)
+
+    @property
+    def name(self) -> str:
+        return self.sttr.name
+
+    @property
+    def input_type(self):
+        return self.sttr.input_type
+
+    @property
+    def output_type(self):
+        return self.sttr.output_type
+
+    # -- execution -----------------------------------------------------------
+
+    def apply(self, tree: Tree, limit: Optional[int] = None) -> list[Tree]:
+        """All outputs on ``tree`` (Definition 7), optionally capped."""
+        return _run(self.sttr, tree, limit=limit)
+
+    def apply_one(self, tree: Tree) -> Optional[Tree]:
+        """One output, or None when ``tree`` is outside the domain."""
+        return _run_one(self.sttr, tree)
+
+    def __call__(self, tree: Tree) -> Optional[Tree]:
+        return self.apply_one(tree)
+
+    # -- operations (paper Section 3.5) -----------------------------------------
+
+    def compose(self, other: "Transducer", name: str | None = None) -> "Transducer":
+        """``compose t1 t2``: first self, then other (Section 4 algorithm)."""
+        return Transducer(_compose(self.sttr, other.sttr, self.solver, name), self.solver)
+
+    def restrict(self, lang: Language) -> "Transducer":
+        """``restrict t l``: only accept inputs in ``l``."""
+        return Transducer(restrict_input(self.sttr, lang, self.solver), self.solver)
+
+    def restrict_out(self, lang: Language) -> "Transducer":
+        """``restrict-out t l``: only inputs whose output can be in ``l``."""
+        return Transducer(restrict_output(self.sttr, lang, self.solver), self.solver)
+
+    def domain(self) -> Language:
+        """``domain t`` (Definition 6)."""
+        return _domain(self.sttr, self.solver)
+
+    def pre_image(self, lang: Language) -> Language:
+        """``pre-image t l``: inputs that can produce an output in ``l``."""
+        return _preimage(self.sttr, lang, self.solver)
+
+    def type_check(
+        self, input_lang: Language, output_lang: Language
+    ) -> Optional[Tree]:
+        """None when every input in ``input_lang`` maps into
+        ``output_lang``; else a counterexample input."""
+        return _type_check(input_lang, self.sttr, output_lang, self.solver)
+
+    def is_empty(self) -> bool:
+        """Fast's ``is-empty`` on transductions: is the domain empty?"""
+        return self.domain().is_empty()
+
+    # -- properties ---------------------------------------------------------------
+
+    def is_linear(self) -> bool:
+        return properties.is_linear(self.sttr)
+
+    def is_deterministic(self) -> bool:
+        return properties.is_deterministic(self.sttr, self.solver)
+
+    def size(self) -> tuple[int, int]:
+        """(states, rules) — the measure reported in Section 5.2."""
+        return self.sttr.size()

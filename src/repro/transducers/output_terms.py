@@ -1,0 +1,140 @@
+"""Output terms of STTR rules (paper Definition 4: k-rank tree transformers).
+
+An output term describes, for a rule reading ``f[x](y1..yk)``, how the
+output tree is assembled:
+
+* ``OutApply(q, i)`` — apply the transducer at state ``q`` to child
+  ``yi`` (the paper's ``q~(yi)``; every child reference is state-wrapped);
+* ``OutNode(g, exprs, children)`` — emit constructor ``g`` whose
+  attributes are label-theory expressions ``e(x)`` over the *input*
+  node's attribute fields.
+
+During composition, intermediate *extended* terms additionally contain
+``TApp(q, t)`` — a state of the second transducer applied to a not yet
+reduced term (the paper's ``State[q](t)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from ..smt.terms import Term
+from ..trees.types import TreeType
+
+State = object  # states are arbitrary hashables
+
+
+@dataclass(frozen=True)
+class OutputTerm:
+    """Base class for output terms."""
+
+    def iter_terms(self) -> Iterator["OutputTerm"]:
+        yield self
+
+
+@dataclass(frozen=True)
+class OutApply(OutputTerm):
+    """``q~(y_index)``: run state ``q`` on the ``index``-th child (0-based)."""
+
+    state: object
+    index: int
+
+    def __repr__(self) -> str:
+        return f"{self.state}~(y{self.index})"
+
+
+@dataclass(frozen=True)
+class OutNode(OutputTerm):
+    """``g[e1(x) .. em(x)](t1 .. tn)``: emit a node."""
+
+    ctor: str
+    attr_exprs: tuple[Term, ...]
+    children: tuple[OutputTerm, ...]
+
+    def iter_terms(self) -> Iterator[OutputTerm]:
+        yield self
+        for c in self.children:
+            yield from c.iter_terms()
+
+    def __repr__(self) -> str:
+        attrs = " ".join(repr(e) for e in self.attr_exprs)
+        kids = ", ".join(repr(c) for c in self.children)
+        return f"{self.ctor}[{attrs}]({kids})"
+
+
+@dataclass(frozen=True)
+class TApp(OutputTerm):
+    """Extended term ``q~(t)`` used only inside the composition algorithm."""
+
+    state: object
+    arg: OutputTerm
+
+    def iter_terms(self) -> Iterator[OutputTerm]:
+        yield self
+        yield from self.arg.iter_terms()
+
+    def __repr__(self) -> str:
+        return f"{self.state}~({self.arg!r})"
+
+
+def states_at(term: OutputTerm, index: int) -> frozenset:
+    """``St(i, t)``: states applied to child ``index`` in ``term``."""
+    return frozenset(
+        t.state
+        for t in term.iter_terms()
+        if isinstance(t, OutApply) and t.index == index
+    )
+
+
+def child_occurrences(term: OutputTerm) -> list[int]:
+    """Indices of child references, one entry per occurrence."""
+    return [t.index for t in term.iter_terms() if isinstance(t, OutApply)]
+
+
+def is_linear(term: OutputTerm) -> bool:
+    """Does every child occur at most once (paper Definition 5)?"""
+    occ = child_occurrences(term)
+    return len(occ) == len(set(occ))
+
+
+def substitute_attrs(term: OutputTerm, mapping: Mapping[str, Term]) -> OutputTerm:
+    """Substitute attribute expressions through the term (composition)."""
+    if isinstance(term, OutApply):
+        return term
+    if isinstance(term, OutNode):
+        return OutNode(
+            term.ctor,
+            tuple(e.substitute(mapping) for e in term.attr_exprs),
+            tuple(substitute_attrs(c, mapping) for c in term.children),
+        )
+    if isinstance(term, TApp):
+        return TApp(term.state, substitute_attrs(term.arg, mapping))
+    raise TypeError(f"not an output term: {term!r}")
+
+
+def map_states(term: OutputTerm, fn: Callable) -> OutputTerm:
+    """Rename the states inside ``OutApply`` nodes."""
+    if isinstance(term, OutApply):
+        return OutApply(fn(term.state), term.index)
+    if isinstance(term, OutNode):
+        return OutNode(
+            term.ctor,
+            term.attr_exprs,
+            tuple(map_states(c, fn) for c in term.children),
+        )
+    if isinstance(term, TApp):
+        return TApp(term.state, map_states(term.arg, fn))
+    raise TypeError(f"not an output term: {term!r}")
+
+
+def identity_output(tree_type: TreeType, ctor_name: str, state: object) -> OutNode:
+    """The copying output ``f[x](q~(y1) .. q~(yk))`` for one constructor."""
+    from ..smt.terms import Var
+
+    ctor = tree_type.constructor(ctor_name)
+    return OutNode(
+        ctor_name,
+        tuple(Var(f.name, f.sort) for f in tree_type.fields),
+        tuple(OutApply(state, i) for i in range(ctor.rank)),
+    )

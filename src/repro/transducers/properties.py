@@ -1,0 +1,62 @@
+"""Decidable structural properties of STTRs.
+
+* ``is_linear`` — no rule copies a child (Definition 5).
+* ``is_deterministic`` — paper Definition 9: no two distinct rules from
+  the same state/symbol are jointly enabled (overlapping guards *and*
+  pairwise non-disjoint lookahead languages) with different outputs.
+  Determinism implies single-valuedness; single-valuedness itself is an
+  open problem for STTRs (Section 3.3), so ``assume_single_valued``
+  reports the decidable sufficient condition.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..automata.emptiness import is_empty
+from ..smt import builders as smt
+from ..smt.solver import Solver
+from .sttr import STTR
+
+
+def is_linear(sttr: STTR) -> bool:
+    """Does every rule use each child at most once?"""
+    return sttr.is_linear()
+
+
+def is_deterministic(sttr: STTR, solver: Solver) -> bool:
+    """Paper Definition 9 (decidable, implies single-valued)."""
+    by_key: dict = {}
+    for r in sttr.rules:
+        by_key.setdefault((r.state, r.ctor), []).append(r)
+    for rules in by_key.values():
+        for r1, r2 in itertools.combinations(rules, 2):
+            if r1.output == r2.output and r1.lookahead == r2.lookahead:
+                continue
+            if not solver.is_sat(smt.mk_and(r1.guard, r2.guard)):
+                continue
+            lookaheads_overlap = all(
+                not is_empty(sttr.lookahead_sta, l1 | l2, solver)
+                for l1, l2 in zip(r1.lookahead, r2.lookahead)
+            )
+            if lookaheads_overlap and r1.output != r2.output:
+                return False
+    return True
+
+
+def single_valued(sttr: STTR, solver: Solver) -> bool:
+    """A decidable *sufficient* condition for single-valuedness.
+
+    Deciding single-valuedness exactly is open (paper Section 3.3);
+    determinism is the sufficient condition the paper relies on.
+    """
+    return is_deterministic(sttr, solver)
+
+
+def composition_is_exact(first: STTR, second: STTR, solver: Solver) -> bool:
+    """Do the Theorem 4 preconditions hold for ``compose(first, second)``?
+
+    True when ``second`` is linear or ``first`` is (provably)
+    single-valued; when False the composition may over-approximate.
+    """
+    return is_linear(second) or single_valued(first, solver)

@@ -1,0 +1,91 @@
+"""Input/output restriction of STTRs (paper Section 3.5).
+
+Both are "special applications of composition", exactly as the paper
+notes: ``restrict t l = compose (restrict I l) t`` and
+``restrict-out t l = compose t (restrict I l)``, where ``I`` is the
+identity STTR.  The identity restricted to ``l`` is built from the
+*normalized* automaton of ``l`` so each child constraint is a single
+state; it is single-valued (every run copies the input) and linear, so
+the two compositions fall into the exact cases of Theorem 4.
+"""
+
+from __future__ import annotations
+
+from ..automata.language import Language
+from ..automata.normalize import normalize
+from ..smt.solver import Solver
+from ..smt.terms import Var
+from .compose import compose
+from .output_terms import OutApply, OutNode
+from .sttr import STTR, STTRRule, TransducerError
+
+
+def identity_sttr(tree_type, name: str = "I") -> STTR:
+    """The identity transducer on a tree type."""
+    state = ("id",)
+    rules = []
+    for c in tree_type.constructors:
+        out = OutNode(
+            c.name,
+            tuple(Var(f.name, f.sort) for f in tree_type.fields),
+            tuple(OutApply(state, i) for i in range(c.rank)),
+        )
+        from ..smt import builders as smt
+
+        rules.append(
+            STTRRule(state, c.name, smt.TRUE, tuple(frozenset() for _ in range(c.rank)), out)
+        )
+    return STTR(name, tree_type, tree_type, state, tuple(rules))
+
+
+def restricted_identity(lang: Language, solver: Solver, name: str = "I|L") -> STTR:
+    """The identity transducer defined exactly on ``lang``.
+
+    States mirror the merged states of the normalized automaton of
+    ``lang``; every rule copies the node, so the transducer is both
+    single-valued and linear.
+    """
+    start = frozenset([lang.state])
+    norm = normalize(lang.sta, [start], solver)
+    tree_type = lang.tree_type
+    attr_vars = tuple(Var(f.name, f.sort) for f in tree_type.fields)
+    rules = []
+    for r in norm.sta.rules:
+        child_states = [next(iter(l)) for l in r.lookahead]
+        out = OutNode(
+            r.ctor,
+            attr_vars,
+            tuple(OutApply(("id", cs), i) for i, cs in enumerate(child_states)),
+        )
+        rules.append(
+            STTRRule(
+                ("id", r.state),
+                r.ctor,
+                r.guard,
+                tuple(frozenset() for _ in r.lookahead),
+                out,
+            )
+        )
+    return STTR(name, tree_type, tree_type, ("id", start), tuple(rules))
+
+
+def restrict_input(sttr: STTR, lang: Language, solver: Solver) -> STTR:
+    """``restrict t l``: behave like ``t`` but only on inputs in ``l``."""
+    if lang.tree_type != sttr.input_type:
+        raise TransducerError(
+            f"restrict: language over {lang.tree_type.name}, transducer "
+            f"reads {sttr.input_type.name}"
+        )
+    ident = restricted_identity(lang, solver)
+    return compose(ident, sttr, solver, name=f"({sttr.name}|{lang.state})")
+
+
+def restrict_output(sttr: STTR, lang: Language, solver: Solver) -> STTR:
+    """``restrict-out t l``: defined only where some output lands in ``l``."""
+    if lang.tree_type != sttr.output_type:
+        raise TransducerError(
+            f"restrict-out: language over {lang.tree_type.name}, transducer "
+            f"writes {sttr.output_type.name}"
+        )
+    ident = restricted_identity(lang, solver)
+    return compose(sttr, ident, solver, name=f"({sttr.name}|out:{lang.state})")

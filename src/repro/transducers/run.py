@@ -1,0 +1,144 @@
+"""Execution semantics of STTRs (paper Definition 7).
+
+``run`` computes the *set* ``T_q(t)`` of output trees.  The engine is
+task-based and iterative: a task is a pair ``(state, subtree)``; tasks
+are discovered top-down (duplication may visit a subtree in several
+states, deletion may skip it entirely) and evaluated bottom-up, so trees
+thousands of nodes deep — the deforestation workloads of Section 5.3 —
+run without recursion.
+
+Nondeterministic rules multiply outputs via cross products; ``limit``
+caps the set to keep pathological products bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..automata.semantics import acceptance_table
+from ..trees.tree import Tree, dag_post_order
+from .output_terms import OutApply, OutNode, OutputTerm
+from .sttr import STTR, STTRRule, State
+
+
+class TransductionError(Exception):
+    """Raised when an output cannot be assembled (internal invariant)."""
+
+
+
+
+def _discover_tasks(
+    sttr: STTR, tree: Tree, state: State, la_table: dict
+) -> list[tuple[State, Tree, list[STTRRule]]]:
+    """All (state, node) tasks reachable from the root, discovery order."""
+    tasks: list[tuple[State, Tree, list[STTRRule]]] = []
+    seen: set[tuple[State, int]] = set()
+    work: list[tuple[State, Tree]] = [(state, tree)]
+    while work:
+        q, t = work.pop()
+        key = (q, id(t))
+        if key in seen:
+            continue
+        seen.add(key)
+        env = sttr.input_type.attr_env(t.attrs)
+        applicable = [
+            r
+            for r in sttr.rules_from(q, t.ctor)
+            if bool(r.guard.evaluate(env))
+            and all(l <= la_table[id(c)] for l, c in zip(r.lookahead, t.children))
+        ]
+        tasks.append((q, t, applicable))
+        for r in applicable:
+            for term in r.output.iter_terms():
+                if isinstance(term, OutApply):
+                    work.append((term.state, t.children[term.index]))
+    return tasks
+
+
+def run(
+    sttr: STTR,
+    tree: Tree,
+    state: State | None = None,
+    limit: Optional[int] = None,
+) -> list[Tree]:
+    """All outputs ``T_state(tree)`` (default: the initial state).
+
+    ``limit`` bounds the number of outputs kept per task (None = all).
+    """
+    root_state = sttr.initial if state is None else state
+    la_table = acceptance_table(sttr.lookahead_sta, tree)
+    tasks = _discover_tasks(sttr, tree, root_state, la_table)
+
+    # Dependencies always point at strict subtrees.  Subtree *objects* can
+    # be shared (e.g. a single nil leaf), so discovery order is not
+    # topological; sorting by subtree height is, since height strictly
+    # decreases along every dependency edge.
+    heights: dict[int, int] = {}
+    for n in dag_post_order(tree):
+        heights[id(n)] = 1 + max((heights[id(c)] for c in n.children), default=0)
+    tasks.sort(key=lambda task: heights[id(task[1])])
+
+    results: dict[tuple[State, int], list[Tree]] = {}
+    for q, t, applicable in tasks:
+        env = sttr.input_type.attr_env(t.attrs)
+        outputs: dict[Tree, None] = {}
+        for r in applicable:
+            for out in _eval_output(r.output, t, env, results, limit):
+                outputs.setdefault(out)
+                if limit is not None and len(outputs) >= limit:
+                    break
+            if limit is not None and len(outputs) >= limit:
+                break
+        results[(q, id(t))] = list(outputs)
+    return results[(root_state, id(tree))]
+
+
+def _eval_output(
+    term: OutputTerm,
+    node: Tree,
+    env: dict,
+    results: dict,
+    limit: Optional[int],
+) -> list[Tree]:
+    if isinstance(term, OutApply):
+        return results[(term.state, id(node.children[term.index]))]
+    if isinstance(term, OutNode):
+        attrs = tuple(e.evaluate(env) for e in term.attr_exprs)
+        kid_lists = [
+            _eval_output(c, node, env, results, limit) for c in term.children
+        ]
+        out: list[Tree] = []
+        _cross(kid_lists, 0, [], attrs, term.ctor, out, limit)
+        return out
+    raise TransductionError(f"cannot evaluate extended term {term!r}")
+
+
+def _cross(
+    kid_lists: list[list[Tree]],
+    idx: int,
+    acc: list[Tree],
+    attrs: tuple,
+    ctor: str,
+    out: list[Tree],
+    limit: Optional[int],
+) -> None:
+    if limit is not None and len(out) >= limit:
+        return
+    if idx == len(kid_lists):
+        out.append(Tree(ctor, attrs, tuple(acc)))
+        return
+    for k in kid_lists[idx]:
+        acc.append(k)
+        _cross(kid_lists, idx + 1, acc, attrs, ctor, out, limit)
+        acc.pop()
+
+
+def run_one(sttr: STTR, tree: Tree, state: State | None = None) -> Optional[Tree]:
+    """One output, or None if the input is outside the domain.
+
+    Complete: truncating each task's output set to one element preserves
+    non-emptiness bottom-up, so this returns an output exactly when
+    ``T_state(tree)`` is non-empty.
+    """
+    outputs = run(sttr, tree, state=state, limit=1)
+    return outputs[0] if outputs else None

@@ -1,0 +1,175 @@
+"""Bounded equivalence testing for STTRs.
+
+Deciding equivalence of STTRs is open even for single-valued ones
+(paper Sections 3.3 and 7: "We are currently investigating the problem
+of checking equivalence of single-valued STTRs").  This module provides
+the pragmatic tool the paper's implementation would want meanwhile: a
+*bounded-exhaustive* comparator that is a complete refuter up to a depth
+bound.
+
+Attribute values are sampled by **guard-boundary analysis**: every
+constant appearing in either transducer's guards (and lookahead guards)
+contributes itself and its neighbors, so equivalence bugs hiding behind
+off-by-one guards are found at the bound where they occur.  For string
+attributes the sample is the mentioned constants plus a fresh string;
+for reals the constants plus midpoints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Optional
+
+from ..smt.sorts import BOOL, INT, REAL, STRING
+from ..smt.terms import Const, Term
+from ..trees.tree import Tree
+from ..trees.types import TreeType
+from .run import run
+from .sttr import STTR
+
+
+@dataclass(frozen=True)
+class Inequivalence:
+    """A refutation: an input where the output sets differ."""
+
+    input: Tree
+    first_outputs: frozenset[Tree]
+    second_outputs: frozenset[Tree]
+
+    def render(self) -> str:
+        return (
+            f"input: {self.input}\n"
+            f"  first : {sorted(map(repr, self.first_outputs))}\n"
+            f"  second: {sorted(map(repr, self.second_outputs))}"
+        )
+
+
+def guard_constants(sttr: STTR) -> dict:
+    """All constants in guards/outputs, per sort (boundary analysis pool)."""
+    pools: dict = {INT: set(), REAL: set(), STRING: set(), BOOL: set()}
+    terms: list[Term] = []
+    for r in sttr.rules:
+        terms.append(r.guard)
+        for t in r.output.iter_terms():
+            from .output_terms import OutNode
+
+            if isinstance(t, OutNode):
+                terms.extend(t.attr_exprs)
+    for r in sttr.lookahead_sta.rules:
+        terms.append(r.guard)
+    for term in terms:
+        for sub in term.iter_subterms():
+            if isinstance(sub, Const) and sub.const_sort in pools:
+                pools[sub.const_sort].add(sub.value)
+            from ..smt.terms import Mod
+
+            if isinstance(sub, Mod):
+                pools[INT].add(sub.modulus)
+    return pools
+
+
+def attribute_samples(first: STTR, second: STTR) -> dict:
+    """Representative attribute values per sort for both transducers."""
+    pools = guard_constants(first)
+    for sort, values in guard_constants(second).items():
+        pools[sort] |= values
+
+    ints = {0, 1, -1}
+    for c in pools[INT]:
+        ints |= {c - 1, c, c + 1}
+    reals = {Fraction(0)}
+    for c in pools[REAL]:
+        reals |= {Fraction(c) - 1, Fraction(c), Fraction(c) + Fraction(1, 2)}
+    strings = {"", "_fresh"} | {s for s in pools[STRING]}
+    bools = {True, False}
+    return {INT: sorted(ints), REAL: sorted(reals), STRING: sorted(strings), BOOL: [False, True]}
+
+
+def enumerate_trees(
+    tree_type: TreeType,
+    max_depth: int,
+    samples: dict,
+    pool_cap: int | None = None,
+) -> Iterator[Tree]:
+    """All trees of the type up to the depth bound over the sample values.
+
+    ``pool_cap`` bounds how many trees of each level feed the next level's
+    child tuples: with rank-k constructors the product grows as
+    ``pool^k`` per level, so wide types need a cap to stay tractable
+    (completeness then holds only relative to the kept pool).
+    """
+    attr_tuples = list(
+        itertools.product(*(samples[f.sort] for f in tree_type.fields))
+    )
+    by_depth: list[list[Tree]] = []
+    for depth in range(max_depth):
+        level: list[Tree] = []
+        shallower = [t for lvl in by_depth for t in lvl]
+        prev_set = set(by_depth[depth - 1]) if depth > 0 else set()
+        for ctor in tree_type.constructors:
+            if ctor.rank == 0:
+                if depth == 0:
+                    for attrs in attr_tuples:
+                        level.append(Tree(ctor.name, attrs, ()))
+                continue
+            if depth == 0:
+                continue
+            for kids in itertools.product(shallower, repeat=ctor.rank):
+                # at least one child from the previous level => new depth
+                if not any(k in prev_set for k in kids):
+                    continue
+                for attrs in attr_tuples:
+                    level.append(Tree(ctor.name, attrs, kids))
+        yield from level
+        if pool_cap is not None and len(level) > pool_cap:
+            level = level[:pool_cap]
+        by_depth.append(level)
+
+
+def find_inequivalence(
+    first: STTR,
+    second: STTR,
+    max_depth: int = 3,
+    max_trees: int = 20_000,
+    input_filter=None,
+) -> Optional[Inequivalence]:
+    """Search for an input where the two transductions differ.
+
+    Complete refutation up to the depth bound over the guard-boundary
+    sample values; ``None`` means "no difference found within the
+    bound", not a proof of equivalence (which is an open problem).
+    ``input_filter`` restricts the comparison to inputs satisfying the
+    predicate — e.g. a well-formedness :class:`Language`'s ``accepts``
+    when the transducers only promise agreement on valid encodings.
+    """
+    if first.input_type != second.input_type:
+        raise ValueError("transducers read different tree types")
+    samples = attribute_samples(first, second)
+    checked = 0
+    for tree in enumerate_trees(first.input_type, max_depth, samples, pool_cap=50):
+        if checked >= max_trees:
+            break
+        if input_filter is not None and not input_filter(tree):
+            continue
+        checked += 1
+        out1 = frozenset(run(first, tree))
+        out2 = frozenset(run(second, tree))
+        if out1 != out2:
+            return Inequivalence(tree, out1, out2)
+    return None
+
+
+def equivalent_up_to(
+    first: STTR,
+    second: STTR,
+    max_depth: int = 3,
+    max_trees: int = 20_000,
+    input_filter=None,
+) -> bool:
+    """True when no difference was found within the bound."""
+    return (
+        find_inequivalence(first, second, max_depth, max_trees, input_filter)
+        is None
+    )

@@ -1,0 +1,47 @@
+"""Ranked attributed trees: types, values, parsing, and encodings."""
+
+from .parser import TreeParseError, parse_tree
+from .tree import Tree, dag_post_order, format_tree, node
+from .types import (
+    AttributeField,
+    Constructor,
+    TreeType,
+    TreeTypeError,
+    make_tree_type,
+)
+from .unranked import (
+    Unranked,
+    binary_tree_type,
+    decode_list,
+    decode_string,
+    decode_unranked,
+    encode_list,
+    encode_string,
+    encode_unranked,
+    list_tree_type,
+    string_tree_type,
+)
+
+__all__ = [
+    "AttributeField",
+    "Constructor",
+    "Tree",
+    "TreeParseError",
+    "TreeType",
+    "TreeTypeError",
+    "Unranked",
+    "binary_tree_type",
+    "dag_post_order",
+    "decode_list",
+    "decode_string",
+    "decode_unranked",
+    "encode_list",
+    "encode_string",
+    "encode_unranked",
+    "format_tree",
+    "list_tree_type",
+    "make_tree_type",
+    "node",
+    "parse_tree",
+    "string_tree_type",
+]

@@ -1,0 +1,138 @@
+"""Parser for the textual tree syntax ``f["a" 3 true](c1, c2)``.
+
+The inverse of :func:`repro.trees.tree.format_tree`; used by tests, the
+CLI, and error messages.  Attribute literals: double-quoted strings
+(with backslash escapes), integers, reals (``1.5`` or ``3/4``), and
+``true``/``false``.  Children may be separated by commas or whitespace.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..smt.terms import Value
+from .tree import Tree
+
+
+class TreeParseError(Exception):
+    """The input is not a well-formed tree term."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> TreeParseError:
+        return TreeParseError(message, self.pos)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n,":
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise self.error(f"expected {ch!r}")
+        self.pos += 1
+
+    def ident(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_."
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected an identifier")
+        return self.text[start : self.pos]
+
+    def string(self) -> str:
+        self.expect('"')
+        out: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error("unterminated string")
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == '"':
+                return "".join(out)
+            if ch == "\\":
+                if self.pos >= len(self.text):
+                    raise self.error("dangling escape")
+                esc = self.text[self.pos]
+                self.pos += 1
+                out.append({"n": "\n", "t": "\t", "r": "\r"}.get(esc, esc))
+            else:
+                out.append(ch)
+
+    def number(self) -> Value:
+        start = self.pos
+        if self.peek() == "-":
+            self.pos += 1
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        if self.peek() == "/":
+            self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+            return Fraction(self.text[start : self.pos])
+        if self.peek() == ".":
+            self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+            return Fraction(self.text[start : self.pos])
+        if self.pos == start or self.text[start : self.pos] == "-":
+            raise self.error("expected a number")
+        return int(self.text[start : self.pos])
+
+    def attr(self) -> Value:
+        ch = self.peek()
+        if ch == '"':
+            return self.string()
+        if ch.isdigit() or ch == "-":
+            return self.number()
+        word = self.ident()
+        if word == "true":
+            return True
+        if word == "false":
+            return False
+        raise self.error(f"unknown attribute literal {word!r}")
+
+    def tree(self) -> Tree:
+        self.skip_ws()
+        ctor = self.ident()
+        attrs: list[Value] = []
+        self.skip_ws()
+        if self.peek() == "[":
+            self.pos += 1
+            self.skip_ws()
+            while self.peek() != "]":
+                attrs.append(self.attr())
+                self.skip_ws()
+            self.pos += 1
+        children: list[Tree] = []
+        self.skip_ws()
+        if self.peek() == "(":
+            self.pos += 1
+            self.skip_ws()
+            while self.peek() != ")":
+                children.append(self.tree())
+                self.skip_ws()
+            self.pos += 1
+        return Tree(ctor, tuple(attrs), tuple(children))
+
+
+def parse_tree(text: str) -> Tree:
+    """Parse a tree term from text."""
+    parser = _Parser(text)
+    tree = parser.tree()
+    parser.skip_ws()
+    if parser.pos != len(text):
+        raise parser.error("trailing input after tree term")
+    return tree

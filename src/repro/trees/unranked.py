@@ -1,0 +1,112 @@
+"""Encodings between unranked/list data and ranked trees.
+
+The paper (Section 2, Figure 3) encodes unranked DOM trees as ranked
+trees using the classical first-child / next-sibling encoding; Section 5.3
+encodes integer lists as ``cons``/``nil`` chains.  This module provides
+the generic encoders; the HTML-specific ``HtmlE`` encoding builds on the
+unranked one in :mod:`repro.apps.html.encoding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..smt.sorts import Sort, STRING
+from ..smt.terms import Value
+from .tree import Tree
+from .types import TreeType, make_tree_type
+
+
+@dataclass(frozen=True)
+class Unranked:
+    """An unranked tree: a label plus any number of children."""
+
+    label: str
+    children: tuple["Unranked", ...] = ()
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+
+def binary_tree_type(name: str = "Bin") -> TreeType:
+    """First-child/next-sibling encoding alphabet: ``node(2)`` and ``nil(0)``."""
+    return make_tree_type(name, [("label", STRING)], {"nil": 0, "node": 2})
+
+
+def encode_unranked(trees: Sequence[Unranked]) -> Tree:
+    """Encode a forest with the first-child / next-sibling encoding.
+
+    ``node[label](first-child-forest, next-sibling-forest)``; the empty
+    forest is ``nil[""]``.
+    """
+    result = Tree("nil", ("",))
+    for t in reversed(trees):
+        result = Tree("node", (t.label,), (encode_unranked(t.children), result))
+    return result
+
+
+def decode_unranked(tree: Tree) -> list[Unranked]:
+    """Inverse of :func:`encode_unranked`."""
+    out: list[Unranked] = []
+    while tree.ctor == "node":
+        first, rest = tree.children
+        out.append(Unranked(str(tree.attrs[0]), tuple(decode_unranked(first))))
+        tree = rest
+    if tree.ctor != "nil":
+        raise ValueError(f"not a binary encoding: unexpected {tree.ctor}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# List encodings (Section 5.3: type IList[i : Int]{nil(0), cons(1)})
+# ---------------------------------------------------------------------------
+
+
+def list_tree_type(name: str, sort: Sort) -> TreeType:
+    """The Fast list type ``type name[i : sort]{nil(0), cons(1)}``."""
+    return make_tree_type(name, [("i", sort)], {"nil": 0, "cons": 1})
+
+
+def encode_list(values: Iterable[Value], type_: TreeType) -> Tree:
+    """Encode a Python sequence as a ``cons`` chain."""
+    default = type_.default_attrs()
+    result = Tree("nil", default)
+    for v in reversed(list(values)):
+        result = Tree("cons", (v,), (result,))
+    return result
+
+
+def decode_list(tree: Tree) -> list[Value]:
+    """Inverse of :func:`encode_list`."""
+    out: list[Value] = []
+    while tree.ctor == "cons":
+        out.append(tree.attrs[0])
+        (tree,) = tree.children
+    if tree.ctor != "nil":
+        raise ValueError(f"not a list encoding: unexpected {tree.ctor}")
+    return out
+
+
+def string_tree_type(name: str = "Str") -> TreeType:
+    """Strings as ``val`` chains of single characters (paper Section 2)."""
+    return make_tree_type(name, [("tag", STRING)], {"nil": 0, "val": 1})
+
+
+def encode_string(text: str) -> Tree:
+    """Encode a string as a chain of single-character ``val`` nodes."""
+    result = Tree("nil", ("",))
+    for ch in reversed(text):
+        result = Tree("val", (ch,), (result,))
+    return result
+
+
+def decode_string(tree: Tree) -> str:
+    """Inverse of :func:`encode_string`."""
+    out: list[str] = []
+    while tree.ctor == "val":
+        out.append(str(tree.attrs[0]))
+        (tree,) = tree.children
+    if tree.ctor != "nil":
+        raise ValueError(f"not a string encoding: unexpected {tree.ctor}")
+    return "".join(out)

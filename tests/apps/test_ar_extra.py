@@ -1,0 +1,85 @@
+"""Extra AR coverage: world encoding, generator statistics, pipeline sizes."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.ar import (
+    WORLD,
+    check_conflict,
+    decode_world,
+    make_tagger,
+    world_tree,
+)
+from repro.smt import Solver
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return Solver()
+
+
+class TestWorldEncoding:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-100, 100),
+                st.floats(-5, 5, allow_nan=False),
+                st.integers(0, 3),
+            ),
+            max_size=8,
+        )
+    )
+    def test_roundtrip(self, elements):
+        tree = world_tree(elements)
+        WORLD.validate(tree)
+        assert decode_world(tree) == [(i, tags) for i, _, tags in elements]
+
+    def test_empty_world(self):
+        tree = world_tree([])
+        assert tree.ctor == "nil" and decode_world(tree) == []
+
+
+class TestGeneratorStatistics:
+    """The paper's stated tagger statistics must hold over the seeds."""
+
+    def test_state_range(self, solver):
+        sizes = [make_tagger(seed, solver)[1].states for seed in range(60)]
+        assert min(sizes) >= 1 and max(sizes) <= 95
+        assert max(sizes) > 50  # the range is actually used
+
+    def test_taggers_are_total_on_worlds(self, solver):
+        w = world_tree([(i * 3 % 17, 0.5, 0) for i in range(10)])
+        for seed in range(15):
+            tagger, _ = make_tagger(seed, solver)
+            out = tagger.apply_one(w)
+            assert out is not None
+            assert len(decode_world(out)) == 10
+
+    def test_at_most_one_tag_per_element(self, solver):
+        w = world_tree([(i, 0.0, 0) for i in range(30)])
+        for seed in range(15):
+            tagger, _ = make_tagger(seed, solver)
+            out = tagger.apply_one(w)
+            assert all(c <= 1 for _, c in decode_world(out))
+
+    def test_conflict_rate_in_paper_ballpark(self, solver):
+        taggers = [make_tagger(seed, solver)[0] for seed in range(14)]
+        pairs = list(itertools.combinations(range(14), 2))
+        conflicts = sum(
+            check_conflict(taggers[a], taggers[b]).conflict for a, b in pairs
+        )
+        rate = conflicts / len(pairs)
+        # paper: 222/4950 ~ 4.5%; accept the same order of magnitude.
+        assert 0.0 < rate < 0.35
+
+    def test_sizes_recorded(self, solver):
+        t1, _ = make_tagger(1, solver)
+        t2, _ = make_tagger(2, solver)
+        r = check_conflict(t1, t2)
+        states, rules = r.composed_size
+        assert states >= 1 and rules >= 1
+        assert r.restricted_size[0] >= states  # restrictions only grow

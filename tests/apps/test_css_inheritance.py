@@ -1,0 +1,91 @@
+"""Tests for CSS background inheritance (analysis-completeness extension)."""
+
+import pytest
+
+from repro.apps.css import element, parse_css
+from repro.apps.css.analysis import check_unreadable_text
+from repro.apps.css.inheritance import (
+    check_unreadable_text_inherited,
+    compile_css_inherited,
+)
+from repro.smt import Solver
+from repro.trees import Tree
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return Solver()
+
+
+ANCESTOR_BLACK = "div { background-color: black; } div p { color: black; }"
+
+
+class TestStyling:
+    def test_background_propagates_to_descendants(self, solver):
+        trans = compile_css_inherited(parse_css(ANCESTOR_BLACK), solver)
+        out = trans.apply_one(element("div", [element("span", [element("p")])]))
+        span = out.children[0]
+        p = span.children[0]
+        assert out.attrs[2] == "black"  # div itself
+        assert span.attrs[2] == "black"  # inherited
+        assert p.attrs == ("p", "black", "black")  # color set + inherited bg
+
+    def test_nearer_assignment_overrides_inherited(self, solver):
+        css = parse_css(
+            "div { background-color: black; } span { background-color: white; }"
+        )
+        trans = compile_css_inherited(css, solver)
+        out = trans.apply_one(element("div", [element("span", [element("p")])]))
+        span = out.children[0]
+        assert span.attrs[2] == "white"
+        assert span.children[0].attrs[2] == "white"  # p inherits from span
+
+    def test_siblings_do_not_inherit_from_siblings(self, solver):
+        css = parse_css("div { background-color: black; }")
+        trans = compile_css_inherited(css, solver)
+        # forest: div then p as siblings
+        p_sib = Tree("node", ("p", "", ""), (Tree("nil", ("", "", "")), Tree("nil", ("", "", ""))))
+        doc = Tree("node", ("div", "", ""), (Tree("nil", ("", "", "")), p_sib))
+        out = trans.apply_one(doc)
+        assert out.attrs[2] == "black"
+        assert out.children[1].attrs[2] == ""  # the sibling p is unpainted
+
+    def test_unstyled_document_untouched(self, solver):
+        trans = compile_css_inherited(parse_css("b { color: red; }"), solver)
+        out = trans.apply_one(element("p"))
+        assert out.attrs == ("p", "", "")
+
+
+class TestAnalysis:
+    def test_flat_analysis_misses_ancestor_case(self, solver):
+        assert check_unreadable_text(parse_css(ANCESTOR_BLACK), solver).safe
+
+    def test_inherited_analysis_catches_ancestor_case(self, solver):
+        result = check_unreadable_text_inherited(parse_css(ANCESTOR_BLACK), solver)
+        assert not result.safe
+        # the witness styles to black-on-black at the p
+        trans = compile_css_inherited(parse_css(ANCESTOR_BLACK), solver)
+        styled = trans.apply_one(result.bad_input)
+        assert any(
+            n.ctor == "node" and n.attrs[1] == "black" and n.attrs[2] == "black"
+            for n in styled.iter_nodes()
+        )
+
+    def test_safe_program_stays_safe(self, solver):
+        css = parse_css(
+            "div { background-color: white; } div p { color: black; }"
+        )
+        assert check_unreadable_text_inherited(css, solver).safe
+
+    def test_direct_case_still_caught(self, solver):
+        css = parse_css("div p { color: black; } p { background-color: black; }")
+        assert not check_unreadable_text_inherited(css, solver).safe
+
+    def test_reset_background_restores_safety(self, solver):
+        css = parse_css(
+            "div { background-color: black; } "
+            "p { background-color: white; } "
+            "div p { color: black; }"
+        )
+        # every p resets its own background to white before coloring black
+        assert check_unreadable_text_inherited(css, solver).safe

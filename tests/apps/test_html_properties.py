@@ -1,0 +1,73 @@
+"""Property-based hardening of the HTML substrate and sanitizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.html import (
+    FastHtmlSanitizer,
+    MonolithicSanitizer,
+    parse_html,
+    serialize,
+)
+
+
+@pytest.fixture(scope="module")
+def sanitizer():
+    return FastHtmlSanitizer()
+
+
+# Arbitrary text thrown at the parser: printable soup with markupish noise.
+_soup = st.text(
+    alphabet=st.sampled_from(list("abc<>/=\"' \n!-pqs")), max_size=120
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_soup)
+def test_parser_never_crashes(text):
+    forest = parse_html(text)
+    # and its serialization parses again without crashing
+    parse_html(serialize(forest))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_soup)
+def test_parse_serialize_stabilizes(text):
+    """serialize . parse is idempotent after one iteration."""
+    once = serialize(parse_html(text))
+    twice = serialize(parse_html(once))
+    assert serialize(parse_html(twice)) == twice
+
+
+_markup = st.builds(
+    lambda tags, texts: "".join(
+        f"<{t}>{x}</{t}>" for t, x in zip(tags, texts)
+    ),
+    st.lists(st.sampled_from(["p", "b", "div", "script", "span"]), max_size=5),
+    st.lists(st.text(alphabet="abc'\" ", max_size=8), max_size=5),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_markup)
+def test_sanitizers_agree_on_structured_markup(sanitizer, markup):
+    assert sanitizer.sanitize(markup) == MonolithicSanitizer().sanitize(markup)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_markup)
+def test_sanitizer_removes_all_scripts(sanitizer, markup):
+    out = sanitizer.sanitize(markup)
+    assert "<script" not in out
+
+
+@settings(max_examples=15, deadline=None)
+@given(_markup)
+def test_script_removal_idempotent(sanitizer, markup):
+    """Sanitizing twice removes nothing new (escaping aside, the element
+    structure is stable)."""
+    once = sanitizer.sanitize(markup)
+    twice = sanitizer.sanitize(once)
+    strip = lambda s: s.replace("\\", "")
+    assert strip(twice) == strip(once)

@@ -1,0 +1,136 @@
+"""Tests for the XPath fragment (paper Section 7's planned extension)."""
+
+import pytest
+
+from repro.apps.xpath import (
+    XPathError,
+    compile_xpath,
+    contained_in,
+    disjoint,
+    parse_xpath,
+    satisfiable,
+    selects,
+)
+from repro.trees.unranked import Unranked
+
+
+def U(label, *children):
+    return Unranked(label, tuple(children))
+
+
+DOC = U(
+    "html",
+    U("body", U("div", U("p"), U("span", U("p"))), U("p"), U("ul", U("li"))),
+)
+
+
+class TestParser:
+    def test_simple(self):
+        q = parse_xpath("/html/body")
+        assert [s.axis for s in q.steps] == ["child", "child"]
+        assert [s.test for s in q.steps] == ["html", "body"]
+
+    def test_descendant(self):
+        q = parse_xpath("//p")
+        assert q.steps[0].axis == "descendant"
+
+    def test_wildcard(self):
+        q = parse_xpath("/*/p")
+        assert q.steps[0].test == "*"
+
+    def test_predicate(self):
+        q = parse_xpath("//div[p]")
+        (pred,) = q.steps[0].predicates
+        assert not pred.negated and pred.steps[0].test == "p"
+
+    def test_negated_predicate(self):
+        q = parse_xpath("//div[not(p)]")
+        assert q.steps[0].predicates[0].negated
+
+    def test_nested_predicate(self):
+        q = parse_xpath("//div[span[p]]")
+        inner = q.steps[0].predicates[0].steps[0]
+        assert inner.test == "span" and inner.predicates[0].steps[0].test == "p"
+
+    def test_roundtrip_str(self):
+        for text in ("/html/body", "//p", "//div[p]", "/a//b[not(c)]"):
+            assert str(parse_xpath(text)) == text
+
+    def test_errors(self):
+        with pytest.raises(XPathError):
+            parse_xpath("")
+        with pytest.raises(XPathError):
+            parse_xpath("//div[")
+        with pytest.raises(XPathError):
+            parse_xpath("p")  # must start with / or //
+
+
+class TestSelects:
+    def test_child_path(self):
+        assert selects("/html/body", DOC)
+        assert not selects("/body", DOC)
+
+    def test_descendant(self):
+        assert selects("//p", DOC)
+        assert selects("//span/p", DOC)
+        assert not selects("//table", DOC)
+
+    def test_mixed_axes(self):
+        assert selects("/html//li", DOC)
+        assert not selects("/html/li", DOC)
+
+    def test_wildcard(self):
+        assert selects("/html/*/div", DOC)
+        assert not selects("/html/*/li", DOC)
+
+    def test_predicate(self):
+        assert selects("//div[p]", DOC)
+        assert selects("//div[span/p]", DOC)
+        assert not selects("//ul[p]", DOC)
+
+    def test_negated_predicate(self):
+        assert selects("//div[not(table)]", DOC)
+        assert not selects("//div[not(p)]", DOC)
+
+    def test_sibling_order_irrelevant(self):
+        doc = U("r", U("a"), U("b"))
+        assert selects("/r/b", doc) and selects("/r/a", doc)
+
+
+class TestAnalyses:
+    def test_satisfiable(self):
+        assert satisfiable("//div[p][not(table)]")
+        # a query contradicting itself is unsatisfiable:
+        assert not satisfiable("//div[p][not(p)]")
+
+    def test_containment_holds(self):
+        # /a/b-matching documents certainly have a b somewhere
+        assert contained_in("/a/b", "//b") is None
+        # anything selecting div-with-p selects div
+        assert contained_in("//div[p]", "//div") is None
+
+    def test_containment_fails_with_witness(self):
+        gap = contained_in("//b", "/a/b")
+        assert gap is not None
+        lang_narrow = compile_xpath("//b")
+        lang_wide = compile_xpath("/a/b")
+        assert lang_narrow.accepts(gap) and not lang_wide.accepts(gap)
+
+    def test_disjoint(self):
+        assert disjoint("//div[not(p)][p]", "//div")  # lhs unsatisfiable
+        assert not disjoint("//div", "//p")
+
+    def test_equivalent_queries(self):
+        a = compile_xpath("//div[p]")
+        b = compile_xpath("//div[p]")
+        assert a.equals(b)
+
+    def test_double_negation(self):
+        with_p = compile_xpath("//div[p]")
+        not_not = compile_xpath("//div[not(p)]").complement().intersect(
+            compile_xpath("//div")
+        )
+        # //div[p] is included in "has a div and not //div[not(p)]"? Not in
+        # general (other divs may lack p); check only the sound direction:
+        gap = compile_xpath("//div[p]").included_in(compile_xpath("//div"))
+        assert gap is None

@@ -1,0 +1,124 @@
+"""Tests for antichain-based inclusion/universality (open-problems extension).
+
+The ground truth is the complement-based decision procedure
+(:mod:`repro.automata.equivalence`); the antichain algorithm must agree
+on every query, including the witnesses' membership status.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import Language, STA, rule
+from repro.automata.antichain import included_in_antichain, universal_antichain
+from repro.automata.equivalence import included_in
+from repro.smt import INT, Solver, mk_eq, mk_gt, mk_int, mk_le, mk_lt, mk_mod, mk_var
+from repro.trees import make_tree_type, node
+
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+
+def leaves_lang(name, guard):
+    return Language.build(
+        BT, name, [rule(name, "L", guard), rule(name, "N", None, [[name], [name]])]
+    )
+
+
+POS = leaves_lang("pos", mk_gt(x, mk_int(0)))
+BIG = leaves_lang("big", mk_gt(x, mk_int(10)))
+ODD = leaves_lang("odd", mk_eq(mk_mod(x, 2), mk_int(1)))
+
+
+@pytest.fixture()
+def solver():
+    return Solver()
+
+
+class TestInclusion:
+    def test_subset_holds(self, solver):
+        assert included_in_antichain(BIG.sta, "big", POS.sta, "pos", solver) is None
+
+    def test_subset_fails_with_witness(self, solver):
+        gap = included_in_antichain(POS.sta, "pos", BIG.sta, "big", solver)
+        assert gap is not None
+        assert POS.accepts(gap) and not BIG.accepts(gap)
+
+    def test_incomparable(self, solver):
+        gap1 = included_in_antichain(POS.sta, "pos", ODD.sta, "odd", solver)
+        gap2 = included_in_antichain(ODD.sta, "odd", POS.sta, "pos", solver)
+        assert gap1 is not None and gap2 is not None
+        assert POS.accepts(gap1) and not ODD.accepts(gap1)
+        assert ODD.accepts(gap2) and not POS.accepts(gap2)
+
+    def test_reflexive(self, solver):
+        assert included_in_antichain(POS.sta, "pos", POS.sta, "pos", solver) is None
+
+    def test_empty_included_in_everything(self, solver):
+        empty = Language.empty(BT)
+        assert (
+            included_in_antichain(empty.sta, empty.state, BIG.sta, "big", solver)
+            is None
+        )
+
+    def test_nothing_nonempty_included_in_empty(self, solver):
+        empty = Language.empty(BT)
+        gap = included_in_antichain(POS.sta, "pos", empty.sta, empty.state, solver)
+        assert gap is not None and POS.accepts(gap)
+
+    def test_structural_inclusion(self, solver):
+        # trees of depth exactly 2 vs trees of depth >= 2
+        deep2 = Language.build(
+            BT,
+            "d2",
+            [
+                rule("d2", "N", None, [["leaf"], ["leaf"]]),
+                rule("leaf", "L"),
+            ],
+        )
+        nonleaf = Language.build(
+            BT,
+            "nl",
+            [rule("nl", "N", None, [[], []])],
+        )
+        assert (
+            included_in_antichain(deep2.sta, "d2", nonleaf.sta, "nl", solver) is None
+        )
+        gap = included_in_antichain(nonleaf.sta, "nl", deep2.sta, "d2", solver)
+        assert gap is not None
+
+    def test_union_absorbs_operand(self, solver):
+        u = POS.union(ODD)
+        assert (
+            included_in_antichain(POS.sta, "pos", u.sta, u.state, solver) is None
+        )
+
+
+class TestUniversality:
+    def test_universal_language(self, solver):
+        univ = Language.universal(BT)
+        assert universal_antichain(univ.sta, univ.state, solver) is None
+
+    def test_union_with_complement_is_universal(self, solver):
+        u = POS.union(POS.complement())
+        assert universal_antichain(u.sta, u.state, solver) is None
+
+    def test_non_universal_with_witness(self, solver):
+        gap = universal_antichain(POS.sta, "pos", solver)
+        assert gap is not None and not POS.accepts(gap)
+
+
+# Agreement with the complement-based decision on random regular queries.
+_langs = [POS, BIG, ODD, POS.intersect(ODD), POS.union(BIG)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, len(_langs) - 1), st.integers(0, len(_langs) - 1))
+def test_agrees_with_complement_based(i, j):
+    solver = Solver()
+    a, b = _langs[i], _langs[j]
+    via_antichain = included_in_antichain(a.sta, a.state, b.sta, b.state, solver)
+    via_complement = included_in(a.sta, a.state, b.sta, b.state, solver)
+    assert (via_antichain is None) == (via_complement is None)
+    if via_antichain is not None:
+        assert a.accepts(via_antichain) and not b.accepts(via_antichain)

@@ -1,0 +1,245 @@
+"""Tests for the Fast compiler and evaluator (end-to-end programs)."""
+
+import pathlib
+
+import pytest
+
+from repro.fast import (
+    FastNameError,
+    FastTypeError,
+    compile_program,
+    parse_program,
+    run_program,
+)
+from repro.trees import node
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples" / "fast_programs"
+
+
+def compile_src(src: str):
+    return compile_program(parse_program(src))
+
+
+class TestTypeCompilation:
+    def test_type_registered(self):
+        env = compile_src("type BT[x : Int]{L(0), N(2)}")
+        assert env.types["BT"].rank("N") == 2
+
+    def test_unknown_sort(self):
+        with pytest.raises(FastTypeError):
+            compile_src("type BT[x : Widget]{L(0)}")
+
+    def test_duplicate_type(self):
+        with pytest.raises(FastNameError):
+            compile_src("type A{L(0)}  type A{L(0)}")
+
+    def test_no_nullary(self):
+        with pytest.raises(FastTypeError):
+            compile_src("type A{N(2)}")
+
+
+class TestLangCompilation:
+    SRC = """
+    type BT[x : Int]{L(0), N(2)}
+    lang pos : BT { L() where (x > 0) | N(a, b) given (pos a) (pos b) }
+    """
+
+    def test_membership(self):
+        env = compile_src(self.SRC)
+        pos = env.langs["pos"]
+        assert pos.accepts(node("N", 0, node("L", 1), node("L", 2)))
+        assert not pos.accepts(node("L", 0))
+
+    def test_mutual_recursion(self):
+        env = compile_src(
+            """
+            type BT[x : Int]{L(0), N(2)}
+            lang even_depth : BT { L() | N(a, b) given (odd_depth a) (odd_depth b) }
+            lang odd_depth : BT { N(a, b) given (even_depth a) (even_depth b) }
+            """
+        )
+        ed = env.langs["even_depth"]
+        assert ed.accepts(node("L", 0))
+        assert not ed.accepts(node("N", 0, node("L", 0), node("L", 0)))
+        assert ed.accepts(
+            node(
+                "N",
+                0,
+                node("N", 0, node("L", 0), node("L", 0)),
+                node("N", 0, node("L", 0), node("L", 0)),
+            )
+        )
+
+    def test_unknown_lang_in_given(self):
+        with pytest.raises(FastNameError):
+            compile_src(
+                "type A{L(0)} lang p : A { L() given (q y) }"
+            )
+
+    def test_wrong_arity_pattern(self):
+        with pytest.raises(FastTypeError):
+            compile_src("type BT[x:Int]{L(0),N(2)} lang p : BT { N(a) }")
+
+    def test_non_boolean_where(self):
+        with pytest.raises(FastTypeError):
+            compile_src("type BT[x:Int]{L(0),N(2)} lang p : BT { L() where (x + 1) }")
+
+
+class TestTransCompilation:
+    def test_identity_copy(self):
+        env = compile_src(
+            """
+            type BT[x : Int]{L(0), N(2)}
+            trans keepLeft : BT -> BT { N(a, b) to a | L() to (L [x]) }
+            """
+        )
+        t = env.transducers["keepLeft"]
+        assert t.apply_one(node("N", 0, node("L", 1), node("L", 2))) == node("L", 1)
+
+    def test_label_arith(self):
+        env = compile_src(
+            """
+            type IList[i : Int]{nil(0), cons(1)}
+            trans caesar : IList -> IList {
+                nil() to (nil [0])
+              | cons(y) to (cons [(i + 5) % 26] (caesar y))
+            }
+            """
+        )
+        t = env.transducers["caesar"]
+        out = t.apply_one(node("cons", 30, node("nil", 0)))
+        assert out == node("cons", 9, node("nil", 0))
+
+    def test_mutual_trans(self):
+        env = compile_src(
+            """
+            type BT[x : Int]{L(0), N(2)}
+            trans flip : BT -> BT { N(a, b) to (N [x] (flop b) (flop a)) | L() to (L [x]) }
+            trans flop : BT -> BT { N(a, b) to (N [x] (flip a) (flip b)) | L() to (L [0]) }
+            """
+        )
+        t = env.transducers["flip"]
+        out = t.apply_one(node("N", 1, node("L", 7), node("L", 8)))
+        assert out == node("N", 1, node("L", 0), node("L", 0))
+
+    def test_unknown_trans_call(self):
+        with pytest.raises(FastNameError):
+            compile_src(
+                "type A{L(0)} trans t : A -> A { L() to (zz y) }"
+            )
+
+    def test_output_sort_error(self):
+        with pytest.raises(FastTypeError):
+            compile_src(
+                'type BT[x:Int]{L(0),N(2)} trans t : BT -> BT { L() to (L ["s"]) }'
+            )
+
+    def test_given_in_trans(self):
+        env = compile_src(
+            """
+            type BT[x : Int]{L(0), N(2)}
+            lang oddL : BT { L() where (x % 2 = 1) | N(a,b) }
+            trans t : BT -> BT {
+                N(a, b) given (oddL a) to (L [1])
+              | L() to (L [x])
+            }
+            """
+        )
+        t = env.transducers["t"]
+        assert t.apply_one(node("N", 0, node("L", 3), node("L", 2))) == node("L", 1)
+        assert t.apply_one(node("N", 0, node("L", 2), node("L", 2))) is None
+
+
+class TestDefsAndTrees:
+    def test_lang_ops(self):
+        env = compile_src(
+            """
+            type BT[x : Int]{L(0), N(2)}
+            lang pos : BT { L() where (x > 0) | N(a, b) given (pos a) (pos b) }
+            lang odd : BT { L() where (x % 2 = 1) | N(a, b) given (odd a) (odd b) }
+            def both : BT := (intersect pos odd)
+            def neither : BT := (complement (union pos odd))
+            """
+        )
+        both = env.langs["both"]
+        assert both.accepts(node("L", 3)) and not both.accepts(node("L", 2))
+        neither = env.langs["neither"]
+        assert neither.accepts(node("L", -2))
+
+    def test_tree_apply_and_witness(self):
+        env = compile_src(
+            """
+            type BT[x : Int]{L(0), N(2)}
+            lang pos : BT { L() where (x > 0) | N(a, b) given (pos a) (pos b) }
+            trans inc : BT -> BT { L() to (L [x + 1]) | N(a, b) to (N [x] (inc a) (inc b)) }
+            tree t0 : BT := (L [41])
+            tree t1 : BT := (apply inc t0)
+            tree w : BT := (get-witness pos)
+            """
+        )
+        assert env.trees["t1"] == node("L", 42)
+        assert env.langs["pos"].accepts(env.trees["w"])
+
+    def test_domain_def(self):
+        env = compile_src(
+            """
+            type BT[x : Int]{L(0), N(2)}
+            trans posOnly : BT -> BT { L() where (x > 0) to (L [x]) }
+            def d : BT := (domain posOnly)
+            """
+        )
+        d = env.langs["d"]
+        assert d.accepts(node("L", 1)) and not d.accepts(node("L", 0))
+
+
+class TestPrograms:
+    def test_buggy_sanitizer_fails_with_counterexample(self):
+        src = (EXAMPLES / "sanitizer_buggy.fast").read_text()
+        report = run_program(src)
+        assert not report.ok
+        (result,) = report.assertions
+        cex = result.counterexample
+        assert cex is not None and cex.count("node") >= 2
+        # the counterexample smuggles a script node through a sibling
+        assert any(
+            n.ctor == "node" and n.attrs[0] == "script" for n in cex.iter_nodes()
+        )
+
+    def test_fixed_sanitizer_passes(self):
+        src = (EXAMPLES / "sanitizer_fixed.fast").read_text()
+        report = run_program(src)
+        assert report.ok
+
+    def test_list_analysis(self):
+        src = (EXAMPLES / "list_analysis.fast").read_text()
+        report = run_program(src)
+        assert report.ok and len(report.assertions) == 2
+
+    def test_lookahead_negate(self):
+        src = (EXAMPLES / "lookahead_negate.fast").read_text()
+        report = run_program(src)
+        assert report.ok and len(report.assertions) == 3
+
+    def test_world_tagger_conflicts(self):
+        src = (EXAMPLES / "world_tagger.fast").read_text()
+        report = run_program(src)
+        assert report.ok and len(report.assertions) == 3
+        # the conflict witness was bound as a tree
+        assert "conflictWorld" in report.env.trees
+
+
+class TestCli:
+    def test_run_exit_codes(self, capsys):
+        from repro.fast.cli import main
+
+        assert main(["run", str(EXAMPLES / "sanitizer_fixed.fast")]) == 0
+        assert main(["run", str(EXAMPLES / "sanitizer_buggy.fast")]) == 1
+        assert main(["run", "/nonexistent.fast"]) == 2
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" in out
+
+    def test_check_and_fmt(self, capsys):
+        from repro.fast.cli import main
+
+        assert main(["check", str(EXAMPLES / "list_analysis.fast")]) == 0
+        assert main(["fmt", str(EXAMPLES / "list_analysis.fast")]) == 0

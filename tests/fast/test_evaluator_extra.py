@@ -1,0 +1,121 @@
+"""Additional evaluator coverage: print, witnesses, membership, reports."""
+
+import pytest
+
+from repro.fast import FastTypeError, run_program
+from repro.trees import node
+
+BASE = """
+type BT[x : Int]{L(0), N(2)}
+lang pos : BT { L() where (x > 0) | N(a, b) given (pos a) (pos b) }
+lang neg : BT { L() where (x < 0) | N(a, b) given (neg a) (neg b) }
+trans inc : BT -> BT { L() to (L [x + 1]) | N(a, b) to (N [x] (inc a) (inc b)) }
+"""
+
+
+class TestAssertions:
+    def test_lang_equality_assertion(self):
+        report = run_program(
+            BASE + "assert-true (intersect pos pos) == pos\n"
+            "assert-false pos == neg"
+        )
+        assert report.ok
+
+    def test_failed_equality_carries_separator(self):
+        report = run_program(BASE + "assert-true pos == neg")
+        assert not report.ok
+        (res,) = report.assertions
+        assert res.counterexample is not None
+
+    def test_membership_assertions(self):
+        report = run_program(
+            BASE
+            + "tree t : BT := (N [1] (L [2]) (L [3]))\n"
+            + "assert-true t in pos\n"
+            + "assert-false t in neg"
+        )
+        assert report.ok
+
+    def test_typecheck_assertion(self):
+        report = run_program(BASE + "assert-true (type-check pos inc pos)")
+        assert report.ok
+
+    def test_typecheck_failure(self):
+        # inc maps neg trees out of neg (e.g. -1 -> 0).
+        report = run_program(BASE + "assert-true (type-check neg inc neg)")
+        assert not report.ok
+        (res,) = report.assertions
+        assert res.counterexample is not None
+
+    def test_report_render(self):
+        report = run_program(BASE + "assert-true (is-empty (difference pos pos))")
+        text = report.render()
+        assert "PASS" in text and "1/1" in text
+
+    def test_fail_render_includes_counterexample(self):
+        report = run_program(BASE + "assert-true (is-empty pos)")
+        text = report.render()
+        assert "FAIL" in text and "counterexample" in text
+
+
+class TestPrint:
+    def test_print_named_tree(self):
+        report = run_program(
+            BASE + "tree t : BT := (L [7])\nprint t"
+        )
+        assert report.printed == [node("L", 7)]
+
+    def test_print_apply(self):
+        report = run_program(
+            BASE + "tree t : BT := (L [7])\nprint (apply inc t)"
+        )
+        assert report.printed == [node("L", 8)]
+
+    def test_print_witness(self):
+        report = run_program(BASE + "print (get-witness pos)")
+        (tree,) = report.printed
+        assert tree.ctor in ("L", "N")
+
+
+class TestTreeDecls:
+    def test_witness_of_empty_language_errors(self):
+        with pytest.raises(FastTypeError):
+            run_program(
+                BASE + "tree w : BT := (get-witness (intersect pos neg))"
+            )
+
+    def test_apply_outside_domain_errors(self):
+        src = (
+            "type BT[x : Int]{L(0), N(2)}\n"
+            "trans posOnly : BT -> BT { L() where (x > 0) to (L [x]) }\n"
+            "tree t : BT := (L [0 - 5])\n"
+            "tree u : BT := (apply posOnly t)\n"
+        )
+        with pytest.raises(FastTypeError):
+            run_program(src)
+
+    def test_tree_attr_must_be_constant(self):
+        src = (
+            "type BT[x : Int]{L(0), N(2)}\n"
+            "tree t : BT := (L [x])\n"
+        )
+        with pytest.raises(FastTypeError):
+            run_program(src)
+
+    def test_nested_tree_refs(self):
+        report = run_program(
+            BASE
+            + "tree a : BT := (L [1])\n"
+            + "tree b : BT := (N [0] a a)\n"
+            + "assert-true b in pos"
+        )
+        assert report.ok
+
+
+class TestSolverSharing:
+    def test_custom_solver_observes_queries(self):
+        from repro.smt import Solver
+
+        solver = Solver()
+        run_program(BASE + "assert-true (is-empty (intersect pos neg))", solver)
+        assert solver.stats.sat_queries > 0

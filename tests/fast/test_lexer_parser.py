@@ -1,0 +1,152 @@
+"""Tests for the Fast lexer and parser."""
+
+import pytest
+
+from repro.fast import FastSyntaxError, parse_expr, parse_program, pretty
+from repro.fast import ast
+from repro.fast.lexer import tokenize
+
+
+class TestLexer:
+    def test_keywords_and_ids(self):
+        toks = tokenize("type lang trans given where to foo Bar_9")
+        kinds = [(t.kind, t.value) for t in toks[:-1]]
+        assert ("KW", "type") in kinds and ("ID", "foo") in kinds
+
+    def test_hyphenated_operations(self):
+        toks = tokenize("assert-true pre-image restrict-out is-empty get-witness")
+        values = [t.value for t in toks[:-1]]
+        assert values == [
+            "assert-true",
+            "pre-image",
+            "restrict-out",
+            "is-empty",
+            "get-witness",
+        ]
+
+    def test_subtraction_not_hyphenated(self):
+        toks = tokenize("x-1")
+        assert [t.value for t in toks[:-1]] == ["x", "-", "1"]
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\"b\\c\n"')
+        assert toks[0].value == 'a"b\\c\n'
+
+    def test_unicode_operators(self):
+        toks = tokenize('tag ≠ "x" ∧ a ∨ b')
+        assert [t.value for t in toks[:-1]] == ["tag", "!=", '"x"'[1:-1], "&&", "a", "||", "b"]
+
+    def test_comments(self):
+        toks = tokenize("a // comment to end\nb")
+        assert [t.value for t in toks[:-1]] == ["a", "b"]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_unterminated_string(self):
+        with pytest.raises(FastSyntaxError):
+            tokenize('"abc')
+
+    def test_numbers(self):
+        toks = tokenize("42 3.5")
+        assert toks[0].kind == "INT" and toks[1].kind == "REAL"
+
+
+class TestExprParser:
+    def test_infix(self):
+        e = parse_expr('tag != "script"')
+        assert isinstance(e, ast.EOp) and e.op == "!="
+
+    def test_precedence(self):
+        e = parse_expr("a + b * c = d")
+        assert e.op == "="
+        left = e.args[0]
+        assert left.op == "+" and left.args[1].op == "*"
+
+    def test_logical_precedence(self):
+        e = parse_expr('tag = "x" || tag = "y" && b')
+        assert e.op == "or"
+        assert e.args[1].op == "and"
+
+    def test_prefix_form(self):
+        e = parse_expr('(= tag "script")')
+        assert e.op == "=" and len(e.args) == 2
+
+    def test_not_forms(self):
+        for text in ["not b", "! b", "(not b)", "¬ b"]:
+            e = parse_expr(text)
+            assert e.op == "not", text
+
+    def test_mod(self):
+        e = parse_expr("(i + 5) % 26")
+        assert e.op == "%"
+
+    def test_unary_minus(self):
+        e = parse_expr("-3")
+        assert e.op == "neg"
+
+
+PROGRAM = """
+type BT[x : Int]{L(0), N(2)}
+lang p : BT { L() where (x > 0) | N(a, b) given (p a) (p b) }
+trans t : BT -> BT { L() to (L [x + 1]) | N(a, b) to (N [x] (t a) (t b)) }
+def u : BT := (intersect p (complement p))
+def v : BT -> BT := (compose t (restrict t p))
+tree w : BT := (N [1] (L [2]) (L [3]))
+assert-true (is-empty u)
+assert-false w in p
+"""
+
+
+class TestProgramParser:
+    def test_full_program(self):
+        prog = parse_program(PROGRAM)
+        kinds = [type(d).__name__ for d in prog.decls]
+        assert kinds == [
+            "TypeDecl",
+            "LangDecl",
+            "TransDecl",
+            "DefLang",
+            "DefTrans",
+            "TreeDecl",
+            "AssertDecl",
+            "AssertDecl",
+        ]
+
+    def test_lang_rule_structure(self):
+        prog = parse_program(PROGRAM)
+        lang = prog.decls[1]
+        assert lang.rules[0].ctor == "L"
+        assert lang.rules[1].given[0].lang == "p"
+
+    def test_trans_rule_output(self):
+        prog = parse_program(PROGRAM)
+        trans = prog.decls[2]
+        out = trans.rules[1].output
+        assert isinstance(out, ast.OCons) and out.ctor == "N"
+        assert isinstance(out.children[0], ast.OCall)
+
+    def test_missing_brace(self):
+        with pytest.raises(FastSyntaxError):
+            parse_program("lang p : BT { L() ")
+
+    def test_bad_decl(self):
+        with pytest.raises(FastSyntaxError):
+            parse_program("florp x")
+
+    def test_roundtrip_through_pretty(self):
+        prog = parse_program(PROGRAM)
+        text = pretty(prog)
+        again = parse_program(text)
+        assert pretty(again) == text
+
+    def test_paper_figure2_parses(self):
+        import pathlib
+
+        src = (pathlib.Path(__file__).resolve().parents[2] / "examples" / "fast_programs" / "sanitizer_buggy.fast").read_text()
+        prog = parse_program(src)
+        names = [d.name for d in prog.decls if hasattr(d, "name")]
+        assert "remScript" in names and "badOutput" in names
+        text = pretty(prog)
+        assert pretty(parse_program(text)) == text

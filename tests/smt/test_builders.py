@@ -1,0 +1,128 @@
+"""Unit tests for smart-constructor normalization."""
+
+from repro.smt import (
+    FALSE,
+    INT,
+    TRUE,
+    mk_add,
+    mk_and,
+    mk_eq,
+    mk_ge,
+    mk_gt,
+    mk_iff,
+    mk_implies,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_mod,
+    mk_mul,
+    mk_ne,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_str,
+    mk_var,
+)
+
+x = mk_var("x", INT)
+y = mk_var("y", INT)
+
+
+class TestArithFolding:
+    def test_constant_addition(self):
+        assert mk_add(mk_int(2), mk_int(3)) == mk_int(5)
+
+    def test_add_zero_unit(self):
+        assert mk_add(x, mk_int(0)) == x
+
+    def test_add_flattening(self):
+        t = mk_add(mk_add(x, mk_int(1)), mk_int(2))
+        assert t == mk_add(x, mk_int(3))
+
+    def test_mul_zero_annihilates(self):
+        assert mk_mul(x, mk_int(0)) == mk_int(0)
+
+    def test_mul_one_unit(self):
+        assert mk_mul(x, mk_int(1)) == x
+
+    def test_double_negation(self):
+        assert mk_neg(mk_neg(x)) == x
+
+    def test_neg_distributes_over_add(self):
+        assert mk_neg(mk_add(x, mk_int(2))) == mk_add(mk_neg(x), mk_int(-2))
+
+    def test_mod_constant_folds(self):
+        assert mk_mod(mk_int(7), 3) == mk_int(1)
+        assert mk_mod(mk_int(-1), 26) == mk_int(25)
+
+    def test_mod_by_one_is_zero(self):
+        assert mk_mod(x, 1) == mk_int(0)
+
+
+class TestComparisonFolding:
+    def test_ground_comparisons(self):
+        assert mk_lt(mk_int(1), mk_int(2)) == TRUE
+        assert mk_le(mk_int(3), mk_int(2)) == FALSE
+        assert mk_gt(mk_int(3), mk_int(2)) == TRUE
+        assert mk_ge(mk_int(2), mk_int(2)) == TRUE
+
+    def test_eq_reflexive(self):
+        assert mk_eq(x, x) == TRUE
+
+    def test_eq_ground(self):
+        assert mk_eq(mk_str("a"), mk_str("a")) == TRUE
+        assert mk_eq(mk_str("a"), mk_str("b")) == FALSE
+
+    def test_ne_is_negated_eq(self):
+        assert mk_ne(mk_str("a"), mk_str("a")) == FALSE
+
+
+class TestBooleanLaws:
+    a = mk_eq(x, mk_int(0))
+    b = mk_eq(y, mk_int(1))
+
+    def test_and_units(self):
+        assert mk_and() == TRUE
+        assert mk_and(self.a, TRUE) == self.a
+        assert mk_and(self.a, FALSE) == FALSE
+
+    def test_or_units(self):
+        assert mk_or() == FALSE
+        assert mk_or(self.a, FALSE) == self.a
+        assert mk_or(self.a, TRUE) == TRUE
+
+    def test_and_dedup(self):
+        assert mk_and(self.a, self.a) == self.a
+
+    def test_and_contradiction(self):
+        assert mk_and(self.a, mk_not(self.a)) == FALSE
+
+    def test_or_tautology(self):
+        assert mk_or(self.a, mk_not(self.a)) == TRUE
+
+    def test_flattening(self):
+        t = mk_and(mk_and(self.a, self.b), self.a)
+        assert t == mk_and(self.a, self.b)
+
+    def test_not_involution(self):
+        assert mk_not(mk_not(self.a)) == self.a
+
+    def test_implies(self):
+        assert mk_implies(FALSE, self.a) == TRUE
+        assert mk_implies(TRUE, self.a) == self.a
+
+    def test_iff_ground(self):
+        assert mk_iff(TRUE, TRUE) == TRUE
+        assert mk_iff(TRUE, FALSE) == FALSE
+
+    def test_bool_eq_desugars(self):
+        p = mk_var("p", TRUE.sort)
+        q = mk_var("q", TRUE.sort)
+        desugared = mk_eq(p, q)
+        # No Eq node at Bool sort survives.
+        from repro.smt import Eq
+
+        assert not any(
+            isinstance(t, Eq) and t.left.sort is TRUE.sort
+            for t in desugared.iter_subterms()
+        )

@@ -1,0 +1,161 @@
+"""Unit tests for the linearization helper and cube enumeration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import (
+    INT,
+    REAL,
+    FALSE,
+    TRUE,
+    NonLinearError,
+    mk_add,
+    mk_and,
+    mk_eq,
+    mk_int,
+    mk_lt,
+    mk_mod,
+    mk_mul,
+    mk_ne,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_real,
+    mk_sub,
+    mk_var,
+)
+from repro.smt.cubes import classify_atom, iter_cubes, to_nnf
+from repro.smt.linear import LinTerm, ModPresentError, linearize
+
+x = mk_var("x", INT)
+y = mk_var("y", INT)
+r = mk_var("r", REAL)
+
+
+class TestLinTerm:
+    def test_of_drops_zero_coefficients(self):
+        lt = LinTerm.of({"x": Fraction(0), "y": Fraction(2)}, Fraction(1))
+        assert lt.variables == {"y"}
+
+    def test_add_and_scale(self):
+        a = LinTerm.of({"x": Fraction(1)}, Fraction(2))
+        b = LinTerm.of({"x": Fraction(-1), "y": Fraction(3)}, Fraction(1))
+        s = a.add(b)
+        assert s.coeff("x") == 0 and s.coeff("y") == 3 and s.const == 3
+        assert a.scale(2).const == 4
+        assert a.scale(0).is_constant()
+
+    def test_substitute(self):
+        a = LinTerm.of({"x": Fraction(2), "y": Fraction(1)}, Fraction(0))
+        repl = LinTerm.of({"y": Fraction(1)}, Fraction(5))  # x := y + 5
+        s = a.substitute("x", repl)
+        assert s.coeff("y") == 3 and s.const == 10
+
+    def test_evaluate(self):
+        a = LinTerm.of({"x": Fraction(2)}, Fraction(-1))
+        assert a.evaluate({"x": 4}) == 7
+
+    def test_drop(self):
+        a = LinTerm.of({"x": Fraction(2), "y": Fraction(1)}, Fraction(3))
+        assert a.drop("x").variables == {"y"}
+
+
+class TestLinearize:
+    def test_basic(self):
+        lt = linearize(mk_add(mk_mul(mk_int(3), x), mk_neg(y), mk_int(7)))
+        assert lt.coeff("x") == 3 and lt.coeff("y") == -1 and lt.const == 7
+
+    def test_sub(self):
+        lt = linearize(mk_sub(x, y))
+        assert lt.coeff("x") == 1 and lt.coeff("y") == -1
+
+    def test_constant_times_sum(self):
+        lt = linearize(mk_mul(mk_int(2), mk_add(x, mk_int(1))))
+        assert lt.coeff("x") == 2 and lt.const == 2
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(NonLinearError):
+            linearize(mk_mul(x, y))
+
+    def test_mod_rejected(self):
+        with pytest.raises(ModPresentError):
+            linearize(mk_mod(x, 3))
+
+    def test_real_fractions(self):
+        lt = linearize(mk_mul(mk_real(Fraction(1, 2)), r))
+        assert lt.coeff("r") == Fraction(1, 2)
+
+
+class TestNnf:
+    def test_pushes_negation_through_and(self):
+        a = mk_lt(x, mk_int(0))
+        b = mk_lt(y, mk_int(0))
+        f = to_nnf(mk_not(mk_and(a, b)))
+        # becomes not(a) or not(b)
+        from repro.smt import Or
+
+        assert isinstance(f, Or)
+
+    def test_double_negation(self):
+        a = mk_lt(x, mk_int(0))
+        assert to_nnf(mk_not(mk_not(a))) == a
+
+    def test_atom_untouched(self):
+        a = mk_lt(x, mk_int(0))
+        assert to_nnf(a) == a
+
+
+class TestCubes:
+    def test_single_atom(self):
+        a = mk_lt(x, mk_int(0))
+        cubes = list(iter_cubes(a))
+        assert cubes == [[(True, a)]]
+
+    def test_disjunction_branches(self):
+        a = mk_lt(x, mk_int(0))
+        b = mk_lt(y, mk_int(0))
+        cubes = list(iter_cubes(mk_or(a, b)))
+        assert len(cubes) == 2
+
+    def test_conjunction_merges(self):
+        a = mk_lt(x, mk_int(0))
+        b = mk_lt(y, mk_int(0))
+        (cube,) = list(iter_cubes(mk_and(a, b)))
+        assert len(cube) == 2
+
+    def test_contradictory_cube_pruned(self):
+        a = mk_lt(x, mk_int(0))
+        f = mk_and(a, mk_not(a))
+        # smart constructors already fold this to FALSE
+        assert f == FALSE
+        assert list(iter_cubes(f)) == []
+
+    def test_distribution(self):
+        a = mk_lt(x, mk_int(0))
+        b = mk_lt(y, mk_int(0))
+        c = mk_lt(x, y)
+        cubes = list(iter_cubes(mk_and(mk_or(a, b), c)))
+        assert len(cubes) == 2
+        assert all(len(cube) == 2 for cube in cubes)
+
+    def test_true_false(self):
+        assert list(iter_cubes(TRUE)) == [[]]
+        assert list(iter_cubes(FALSE)) == []
+
+
+class TestClassifyAtom:
+    def test_kinds(self):
+        from repro.smt import STRING, BOOL
+
+        assert classify_atom(mk_lt(x, mk_int(0))) == "int"
+        assert classify_atom(mk_lt(r, mk_real(1))) == "real"
+        s = mk_var("s", STRING)
+        from repro.smt.terms import Eq
+
+        assert classify_atom(Eq(s, s)) == "string"
+        assert classify_atom(mk_var("b", BOOL)) == "bool"
+
+    def test_unclassifiable(self):
+        with pytest.raises(ValueError):
+            classify_atom(mk_add(x, y))

@@ -1,0 +1,173 @@
+"""Tests for polynomial arithmetic and the Sturm-sequence decision procedure."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.poly_real import (
+    PolyConstraint,
+    cauchy_bound,
+    count_roots,
+    decide_poly_cube,
+    degree,
+    isolate_roots,
+    poly_add,
+    poly_divmod,
+    poly_eval,
+    poly_gcd,
+    poly_mul,
+    poly_normalize,
+    square_free,
+    sturm_chain,
+)
+
+F = Fraction
+
+
+def P(*coeffs):
+    """Polynomial from coefficients, lowest degree first."""
+    return poly_normalize([F(c) for c in coeffs])
+
+
+class TestPolyArithmetic:
+    def test_add(self):
+        assert poly_add(P(1, 2), P(3, -2, 1)) == P(4, 0, 1)
+
+    def test_mul(self):
+        # (x+1)(x-1) = x^2 - 1
+        assert poly_mul(P(1, 1), P(-1, 1)) == P(-1, 0, 1)
+
+    def test_divmod(self):
+        q, r = poly_divmod(P(-1, 0, 1), P(1, 1))
+        assert q == P(-1, 1) and r == ()
+
+    def test_divmod_with_remainder(self):
+        q, r = poly_divmod(P(1, 0, 1), P(1, 1))
+        assert poly_add(poly_mul(q, P(1, 1)), r) == P(1, 0, 1)
+
+    def test_gcd(self):
+        # gcd((x-1)(x-2), (x-1)(x-3)) = x - 1 (monic)
+        a = poly_mul(P(-1, 1), P(-2, 1))
+        b = poly_mul(P(-1, 1), P(-3, 1))
+        assert poly_gcd(a, b) == P(-1, 1)
+
+    def test_square_free(self):
+        # (x-1)^2 (x+2)  ->  (x-1)(x+2) up to constant
+        p = poly_mul(poly_mul(P(-1, 1), P(-1, 1)), P(2, 1))
+        sf = square_free(p)
+        assert degree(sf) == 2
+        assert poly_eval(sf, F(1)) == 0 and poly_eval(sf, F(-2)) == 0
+
+
+class TestSturm:
+    def test_count_roots_quadratic(self):
+        p = P(-1, 0, 1)  # x^2 - 1, roots +-1
+        chain = sturm_chain(p)
+        assert count_roots(chain, F(-2), F(2)) == 2
+        assert count_roots(chain, F(0), F(2)) == 1
+        assert count_roots(chain, F(2), F(3)) == 0
+
+    def test_cauchy_bound_contains_roots(self):
+        p = P(-6, 11, -6, 1)  # (x-1)(x-2)(x-3)
+        B = cauchy_bound(p)
+        assert B > 3
+
+    def test_isolate_roots_cubic(self):
+        p = P(-6, 11, -6, 1)
+        roots = isolate_roots(p)
+        assert len(roots) == 3
+        # Intervals are ordered and disjoint.
+        for r1, r2 in zip(roots, roots[1:]):
+            assert r1.hi < r2.lo
+
+    def test_isolate_no_real_roots(self):
+        assert isolate_roots(P(1, 0, 1)) == []  # x^2 + 1
+
+
+class TestDecide:
+    def test_simple_interval(self):
+        # x^2 < 4 and x > 1  ->  sat with 1 < x < 2
+        res = decide_poly_cube(
+            [PolyConstraint(P(-4, 0, 1), "<"), PolyConstraint(P(1, -1), "<")]
+        )
+        assert res is not None
+        value, exact = res
+        assert exact and 1 < value < 2
+
+    def test_unsat(self):
+        # x^2 < 0
+        assert decide_poly_cube([PolyConstraint(P(0, 0, 1), "<")]) is None
+
+    def test_boundary_le(self):
+        # x^2 <= 0 is only satisfied at x = 0.
+        res = decide_poly_cube([PolyConstraint(P(0, 0, 1), "<=")])
+        value, exact = res
+        assert exact and value == 0
+
+    def test_equality_rational_root(self):
+        # x^2 = 1/4
+        p = P(F(-1, 4), 0, 1)
+        value, exact = decide_poly_cube([PolyConstraint(p, "=")])
+        assert exact and value in (F(1, 2), F(-1, 2))
+
+    def test_equality_irrational_root(self):
+        # x^3 = 2
+        p = P(-2, 0, 0, 1)
+        value, exact = decide_poly_cube([PolyConstraint(p, "=")])
+        assert not exact
+        assert abs(float(value) ** 3 - 2) < 1e-6
+
+    def test_equality_with_side_constraint(self):
+        # x^2 = 2 and x < 0: the negative root.
+        res = decide_poly_cube(
+            [PolyConstraint(P(-2, 0, 1), "="), PolyConstraint(P(0, 1), "<")]
+        )
+        value, exact = res
+        assert value < 0
+
+    def test_conflicting_roots_unsat(self):
+        # x^2 = 2 and x^2 = 3
+        res = decide_poly_cube(
+            [PolyConstraint(P(-2, 0, 1), "="), PolyConstraint(P(-3, 0, 1), "=")]
+        )
+        assert res is None
+
+    def test_shared_root(self):
+        # (x-1)(x-2) = 0 and (x-1)(x-3) = 0  ->  x = 1
+        a = poly_mul(P(-1, 1), P(-2, 1))
+        b = poly_mul(P(-1, 1), P(-3, 1))
+        value, exact = decide_poly_cube(
+            [PolyConstraint(a, "="), PolyConstraint(b, "=")]
+        )
+        assert exact and value == 1
+
+    def test_disequality(self):
+        res = decide_poly_cube(
+            [PolyConstraint(P(0, 1), "!="), PolyConstraint(P(-1, 0, 1), "<=")]
+        )
+        value, _ = res
+        assert value != 0 and value * value <= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(-4, 4), min_size=2, max_size=5),
+    st.sampled_from(["<", "<=", "!="]),
+)
+def test_decide_single_constraint_witness_checks(coeffs, op):
+    p = P(*coeffs)
+    res = decide_poly_cube([PolyConstraint(p, op)])
+    if res is None:
+        # Spot-check on a grid: no sample should satisfy the constraint.
+        for i in range(-20, 21):
+            v = poly_eval(p, F(i, 2))
+            sign = 0 if v == 0 else (1 if v > 0 else -1)
+            assert not PolyConstraint(p, op).holds_sign(sign)
+    else:
+        value, exact = res
+        if exact:
+            v = poly_eval(p, value)
+            sign = 0 if v == 0 else (1 if v > 0 else -1)
+            assert PolyConstraint(p, op).holds_sign(sign)

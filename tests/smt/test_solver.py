@@ -1,0 +1,275 @@
+"""Unit and property tests for the top-level solver.
+
+The key invariants:
+* every model returned satisfies its formula (checked by evaluation);
+* if brute-force search over a bounded grid finds a solution, the solver
+  must report satisfiable;
+* derived judgments (validity, implication, equivalence) behave.
+"""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    FALSE,
+    TRUE,
+    Solver,
+    mk_add,
+    mk_and,
+    mk_eq,
+    mk_ge,
+    mk_gt,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_mod,
+    mk_mul,
+    mk_ne,
+    mk_not,
+    mk_or,
+    mk_real,
+    mk_str,
+    mk_var,
+)
+
+x = mk_var("x", INT)
+y = mk_var("y", INT)
+z = mk_var("z", INT)
+
+
+@pytest.fixture()
+def solver():
+    return Solver()
+
+
+class TestBasics:
+    def test_true_false(self, solver):
+        assert solver.is_sat(TRUE)
+        assert not solver.is_sat(FALSE)
+
+    def test_model_defaults_cover_all_vars(self, solver):
+        f = mk_or(mk_lt(x, mk_int(0)), mk_lt(y, mk_int(0)))
+        m = solver.get_model(f)
+        assert set(m.assignment) >= {"x", "y"}
+        assert m.satisfies(f)
+
+    def test_cache(self, solver):
+        f = mk_lt(x, mk_int(0))
+        solver.is_sat(f)
+        before = solver.stats.cache_hits
+        solver.is_sat(f)
+        assert solver.stats.cache_hits == before + 1
+
+    def test_validity(self, solver):
+        assert solver.is_valid(mk_or(mk_le(x, mk_int(3)), mk_gt(x, mk_int(3))))
+        assert not solver.is_valid(mk_le(x, mk_int(3)))
+
+    def test_implication(self, solver):
+        assert solver.implies(mk_lt(x, mk_int(0)), mk_lt(x, mk_int(10)))
+        assert not solver.implies(mk_lt(x, mk_int(10)), mk_lt(x, mk_int(0)))
+
+    def test_equivalence(self, solver):
+        f = mk_eq(mk_mod(x, 2), mk_int(1))
+        g = mk_ne(mk_mod(x, 2), mk_int(0))
+        assert solver.equivalent(f, g)
+        assert not solver.equivalent(f, mk_not(f))
+
+
+class TestIntegers:
+    def test_paper_example8_cross_level_unsat(self, solver):
+        # odd(x+1) and odd(x-2) cannot hold together (Example 8).
+        odd1 = mk_eq(mk_mod(mk_add(x, mk_int(1)), 2), mk_int(1))
+        odd2 = mk_eq(mk_mod(mk_add(x, mk_int(-2)), 2), mk_int(1))
+        assert not solver.is_sat(mk_and(mk_gt(x, mk_int(0)), odd1, odd2))
+
+    def test_caesar_guard(self, solver):
+        # (x+5) % 26 = 3 is satisfiable and the model is correct.
+        f = mk_eq(mk_mod(mk_add(x, mk_int(5)), 26), mk_int(3))
+        m = solver.get_model(f)
+        assert (m["x"] + 5) % 26 == 3
+
+    def test_three_variables(self, solver):
+        f = mk_and(
+            mk_eq(mk_add(x, y, z), mk_int(6)),
+            mk_lt(x, y),
+            mk_lt(y, z),
+            mk_ge(x, mk_int(0)),
+        )
+        m = solver.get_model(f)
+        assert m.satisfies(f)
+
+    def test_unsat_tight_bounds(self, solver):
+        f = mk_and(mk_gt(x, mk_int(3)), mk_lt(x, mk_int(4)))
+        assert not solver.is_sat(f)
+
+    def test_negative_modulus_region(self, solver):
+        f = mk_and(mk_lt(x, mk_int(-100)), mk_eq(mk_mod(x, 7), mk_int(5)))
+        m = solver.get_model(f)
+        assert m["x"] < -100 and m["x"] % 7 == 5
+
+    def test_scaled_coefficients(self, solver):
+        f = mk_and(
+            mk_eq(mk_add(mk_mul(mk_int(3), x), mk_mul(mk_int(5), y)), mk_int(1)),
+            mk_ge(x, mk_int(-10)),
+            mk_le(x, mk_int(10)),
+        )
+        m = solver.get_model(f)
+        assert 3 * m["x"] + 5 * m["y"] == 1
+
+    def test_even_times_two_unsat(self, solver):
+        f = mk_eq(mk_mod(mk_mul(mk_int(2), x), 2), mk_int(1))
+        assert not solver.is_sat(f)
+
+
+class TestStrings:
+    s = mk_var("s", STRING)
+    t = mk_var("t", STRING)
+
+    def test_chain_equalities(self, solver):
+        f = mk_and(mk_eq(self.s, self.t), mk_eq(self.t, mk_str("div")))
+        m = solver.get_model(f)
+        assert m["s"] == "div" and m["t"] == "div"
+
+    def test_conflicting_constants(self, solver):
+        f = mk_and(mk_eq(self.s, mk_str("a")), mk_eq(self.s, mk_str("b")))
+        assert not solver.is_sat(f)
+
+    def test_diseq_fresh_values(self, solver):
+        f = mk_and(mk_ne(self.s, self.t), mk_ne(self.s, mk_str("x")))
+        m = solver.get_model(f)
+        assert m["s"] != m["t"] and m["s"] != "x"
+
+    def test_diseq_forced_equal_unsat(self, solver):
+        f = mk_and(mk_eq(self.s, self.t), mk_ne(self.t, self.s))
+        assert not solver.is_sat(f)
+
+
+class TestReals:
+    r = mk_var("r", REAL)
+    q = mk_var("q", REAL)
+
+    def test_dense_order(self, solver):
+        # No integer between 0 and 1 but a real exists.
+        f = mk_and(mk_lt(mk_real(0), self.r), mk_lt(self.r, mk_real(1)))
+        assert solver.is_sat(f)
+        f_int = mk_and(mk_lt(mk_int(0), x), mk_lt(x, mk_int(1)))
+        assert not solver.is_sat(f_int)
+
+    def test_fm_chain(self, solver):
+        f = mk_and(
+            mk_lt(self.r, self.q),
+            mk_le(self.q, mk_real(Fraction(1, 3))),
+            mk_gt(self.r, mk_real(Fraction(1, 4))),
+        )
+        m = solver.get_model(f)
+        assert m.satisfies(f)
+
+    def test_equality_substitution(self, solver):
+        f = mk_and(mk_eq(mk_add(self.r, self.q), mk_real(1)), mk_gt(self.r, mk_real(2)))
+        m = solver.get_model(f)
+        assert m["r"] + m["q"] == 1 and m["r"] > 2
+
+    def test_cubic_sat(self, solver):
+        rrr = mk_mul(self.r, self.r, self.r)
+        f = mk_and(mk_gt(rrr, mk_real(2)), mk_lt(self.r, mk_real(2)))
+        m = solver.get_model(f)
+        assert m.exact and m.satisfies(f)
+
+    def test_cubic_unsat(self, solver):
+        rrr = mk_mul(self.r, self.r, self.r)
+        f = mk_and(mk_gt(rrr, mk_real(8)), mk_lt(self.r, mk_real(2)))
+        assert not solver.is_sat(f)
+
+    def test_poly_equality_irrational_flagged(self, solver):
+        rrr = mk_mul(self.r, self.r, self.r)
+        m = solver.get_model(mk_eq(rrr, mk_real(2)))
+        assert m is not None and not m.exact
+        assert abs(float(m["r"]) ** 3 - 2) < 1e-6
+
+    def test_poly_equality_rational_exact(self, solver):
+        rr = mk_mul(self.r, self.r)
+        m = solver.get_model(mk_eq(rr, mk_real(4)))
+        assert m is not None and m.exact and abs(m["r"]) == 2
+
+    def test_mixed_cubic_and_linear_other_var(self, solver):
+        rrr = mk_mul(self.r, self.r, self.r)
+        f = mk_and(mk_gt(rrr, mk_real(1)), mk_lt(mk_add(self.q, mk_real(1)), mk_real(0)))
+        m = solver.get_model(f)
+        assert m.satisfies(f)
+
+
+# ---------------------------------------------------------------------------
+# Property-based testing against brute force
+# ---------------------------------------------------------------------------
+
+_int_vars = [x, y]
+
+
+def _atoms():
+    lin = st.builds(
+        lambda a, b, c: mk_add(
+            mk_mul(mk_int(a), x), mk_mul(mk_int(b), y), mk_int(c)
+        ),
+        st.integers(-3, 3),
+        st.integers(-3, 3),
+        st.integers(-5, 5),
+    )
+    cmp_atom = st.builds(
+        lambda t, op: op(t, mk_int(0)), lin, st.sampled_from([mk_lt, mk_le, mk_eq])
+    )
+    mod_atom = st.builds(
+        lambda t, k, r: mk_eq(mk_mod(t, k), mk_int(r % k)),
+        lin,
+        st.sampled_from([2, 3, 5]),
+        st.integers(0, 4),
+    )
+    return st.one_of(cmp_atom, mod_atom)
+
+
+def _formulas(depth=2):
+    if depth == 0:
+        return _atoms()
+    sub = _formulas(depth - 1)
+    return st.one_of(
+        _atoms(),
+        st.builds(lambda a, b: mk_and(a, b), sub, sub),
+        st.builds(lambda a, b: mk_or(a, b), sub, sub),
+        st.builds(mk_not, sub),
+    )
+
+
+class TestPropertyInt:
+    @settings(max_examples=150, deadline=None)
+    @given(_formulas())
+    def test_model_satisfies(self, f):
+        solver = Solver()
+        m = solver.get_model(f)
+        if m is not None:
+            assert m.satisfies(f)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_formulas())
+    def test_brute_force_sat_implies_solver_sat(self, f):
+        solver = Solver()
+        found = any(
+            f.evaluate({"x": vx, "y": vy})
+            for vx, vy in itertools.product(range(-8, 9), repeat=2)
+        )
+        if found:
+            assert solver.is_sat(f)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_formulas(depth=1), _formulas(depth=1))
+    def test_conjunction_models(self, f, g):
+        solver = Solver()
+        m = solver.get_model(mk_and(f, g))
+        if m is not None:
+            assert m.satisfies(f) and m.satisfies(g)

@@ -1,0 +1,138 @@
+"""Unit tests for the term AST: construction, sorts, substitution, evaluation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    FALSE,
+    TRUE,
+    Add,
+    Const,
+    Eq,
+    SortError,
+    Var,
+    mk_add,
+    mk_and,
+    mk_eq,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_mod,
+    mk_mul,
+    mk_ne,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_real,
+    mk_str,
+    mk_sub,
+    mk_var,
+)
+
+x = mk_var("x", INT)
+y = mk_var("y", INT)
+s = mk_var("s", STRING)
+
+
+class TestSorts:
+    def test_var_sort(self):
+        assert x.sort is INT
+        assert s.sort is STRING
+
+    def test_const_sort_inference(self):
+        assert mk_int(3).sort is INT
+        assert mk_str("a").sort is STRING
+        assert mk_real(Fraction(1, 2)).sort is REAL
+        assert TRUE.sort is BOOL
+
+    def test_const_sort_mismatch_rejected(self):
+        with pytest.raises(SortError):
+            Const("hello", INT)
+        with pytest.raises(SortError):
+            Const(True, INT)  # bool is not an Int constant
+
+    def test_mixed_sort_comparison_rejected(self):
+        with pytest.raises(SortError):
+            mk_lt(x, mk_str("a"))
+
+    def test_mixed_sort_eq_rejected(self):
+        with pytest.raises(SortError):
+            mk_eq(x, s)
+
+    def test_add_requires_numeric(self):
+        with pytest.raises(SortError):
+            mk_add(s, s)
+
+
+class TestFreeVars:
+    def test_free_vars(self):
+        f = mk_and(mk_lt(x, y), mk_eq(s, mk_str("a")))
+        assert {v.name for v in f.free_vars()} == {"x", "y", "s"}
+
+    def test_closed_term(self):
+        assert mk_int(5).free_vars() == frozenset()
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        f = mk_lt(x, mk_int(5))
+        g = f.substitute({"x": mk_add(y, mk_int(1))})
+        assert g == mk_lt(mk_add(y, mk_int(1)), mk_int(5))
+
+    def test_substitute_simplifies(self):
+        f = mk_lt(x, mk_int(5))
+        g = f.substitute({"x": mk_int(3)})
+        assert g == TRUE
+
+    def test_substitute_sort_checked(self):
+        f = mk_lt(x, mk_int(5))
+        with pytest.raises(SortError):
+            f.substitute({"x": mk_str("bad")})
+
+    def test_substitute_missing_is_identity(self):
+        f = mk_lt(x, mk_int(5))
+        assert f.substitute({"z": y}) == f
+
+
+class TestEvaluation:
+    def test_arith(self):
+        t = mk_add(mk_mul(mk_int(2), x), mk_neg(y))
+        assert t.evaluate({"x": 3, "y": 1}) == 5
+
+    def test_mod_python_semantics(self):
+        t = mk_mod(x, 26)
+        assert t.evaluate({"x": -1}) == 25
+
+    def test_formula(self):
+        f = mk_and(mk_lt(x, y), mk_ne(s, mk_str("q")))
+        assert f.evaluate({"x": 1, "y": 2, "s": "a"}) is True
+        assert f.evaluate({"x": 3, "y": 2, "s": "a"}) is False
+
+    def test_sub(self):
+        assert mk_sub(x, y).evaluate({"x": 10, "y": 4}) == 6
+
+
+class TestHashability:
+    def test_terms_are_hashable_and_equal_by_structure(self):
+        assert mk_add(x, y) == mk_add(x, y)
+        assert hash(mk_add(x, y)) == hash(mk_add(x, y))
+        assert len({mk_lt(x, y), mk_lt(x, y)}) == 1
+
+    def test_iter_subterms(self):
+        f = mk_lt(mk_add(x, y), mk_int(3))
+        subs = list(f.iter_subterms())
+        assert f in subs and x in subs and y in subs
+
+
+class TestOperators:
+    def test_dunder_connectives(self):
+        a = mk_eq(s, mk_str("a"))
+        b = mk_eq(s, mk_str("b"))
+        assert (a & b) == mk_and(a, b)
+        assert (a | b) == mk_or(a, b)
+        assert (~a) == mk_not(a)

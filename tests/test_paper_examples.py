@@ -1,0 +1,323 @@
+"""Executable conformance suite: every numbered example in the paper.
+
+One test per example, written as close to the paper's notation as the
+API allows; this file is the reproduction's "spec sheet".
+"""
+
+import pytest
+
+from repro.automata import Language, STA, accepts, rule
+from repro.smt import (
+    BOOL,
+    INT,
+    STRING,
+    Solver,
+    mk_add,
+    mk_and,
+    mk_bool,
+    mk_eq,
+    mk_gt,
+    mk_int,
+    mk_lt,
+    mk_mod,
+    mk_neg,
+    mk_str,
+    mk_var,
+)
+from repro.transducers import (
+    OutApply,
+    OutNode,
+    STTR,
+    Transducer,
+    compose,
+    run,
+    trule,
+)
+from repro.trees import Tree, make_tree_type, node
+
+
+@pytest.fixture()
+def solver():
+    return Solver()
+
+
+class TestExample1:
+    """HtmlE = T^String_Sigma with nil/val/attr/node."""
+
+    def test_attr_term_inhabits_type(self):
+        html_e = make_tree_type(
+            "HtmlE", [("tag", STRING)], {"nil": 0, "val": 1, "attr": 2, "node": 3}
+        )
+        t = node("attr", "a", node("nil", "b"), node("nil", "c"))
+        html_e.validate(t)
+        assert t.attrs == ("a",)
+
+
+class TestExample2:
+    """The alternating STA over BT with states {o, p, q}."""
+
+    BT = make_tree_type("BT", [("i", INT)], {"L": 0, "N": 2})
+    i = mk_var("i", INT)
+    sta = STA(
+        BT,
+        (
+            rule("p", "L", mk_gt(i, mk_int(0))),
+            rule("p", "N", None, [["p"], ["p"]]),
+            rule("o", "L", mk_eq(mk_mod(i, 2), mk_int(1))),
+            rule("o", "N", None, [["o"], ["o"]]),
+            rule("q", "N", None, [[], ["p", "o"]]),
+        ),
+    )
+
+    def test_first_subtree_unconstrained(self, solver):
+        t = node("N", 0, node("L", -8), node("L", 7))
+        assert accepts(self.sta, "q", t, solver)
+
+    def test_q_has_no_rule_for_L(self, solver):
+        assert not accepts(self.sta, "q", node("L", 7), solver)
+
+    def test_conjunction_of_p_and_o(self, solver):
+        t_even = node("N", 0, node("L", 1), node("L", 2))
+        assert not accepts(self.sta, "q", t_even, solver)
+
+
+class TestExample3:
+    """remScript's three rules: safe, unsafe, harmless."""
+
+    HtmlE = make_tree_type(
+        "HtmlE", [("tag", STRING)], {"nil": 0, "val": 1, "attr": 2, "node": 3}
+    )
+    tag = mk_var("tag", STRING)
+
+    def build(self):
+        V = (self.tag,)
+        ident = [
+            trule(
+                "i",
+                c.name,
+                OutNode(c.name, V, tuple(OutApply("i", k) for k in range(c.rank))),
+                rank=c.rank,
+            )
+            for c in self.HtmlE.constructors
+        ]
+        rules = ident + [
+            trule(
+                "q",
+                "node",
+                OutNode("node", V, (OutApply("i", 0), OutApply("q", 1), OutApply("q", 2))),
+                guard=mk_and(mk_eq(self.tag, self.tag), ~mk_eq(self.tag, mk_str("script"))),
+                rank=3,
+            ),
+            trule("q", "node", OutApply("q", 2), guard=mk_eq(self.tag, mk_str("script")), rank=3),
+            trule("q", "nil", OutNode("nil", V, ()), rank=0),
+        ]
+        return STTR("remScript", self.HtmlE, self.HtmlE, "q", tuple(rules))
+
+    def test_safe_case_copies(self):
+        rs = self.build()
+        t = node("node", "div", node("nil", ""), node("nil", ""), node("nil", ""))
+        assert run(rs, t) == [t]
+
+    def test_unsafe_case_takes_sibling(self):
+        rs = self.build()
+        keep = node("node", "p", node("nil", ""), node("nil", ""), node("nil", ""))
+        t = node("node", "script", node("nil", ""), node("nil", ""), keep)
+        assert run(rs, t) == [keep]
+
+
+class TestExample4:
+    """Deletion breaks STT composition; lookahead repairs it."""
+
+    BBT = make_tree_type("BBT", [("b", BOOL)], {"L": 0, "N": 2})
+    b = mk_var("b", BOOL)
+
+    def test_composed_checks_both_subtrees(self, solver):
+        s1 = STTR(
+            "s1",
+            self.BBT,
+            self.BBT,
+            "q",
+            (
+                trule("q", "L", OutNode("L", (self.b,), ()), guard=self.b, rank=0),
+                trule("q", "N", OutNode("N", (self.b,), (OutApply("q", 0), OutApply("q", 1))), guard=self.b, rank=2),
+            ),
+        )
+        s2 = STTR(
+            "s2",
+            self.BBT,
+            self.BBT,
+            "p",
+            (
+                trule("p", "L", OutNode("L", (mk_bool(True),), ()), rank=0),
+                trule("p", "N", OutNode("L", (mk_bool(True),), ()), rank=2),
+            ),
+        )
+        s = compose(s1, s2, solver)
+        all_true = node("N", True, node("L", True), node("L", True))
+        right_false = node("N", True, node("L", True), node("L", False))
+        assert run(s, all_true) == [node("L", True)]
+        assert run(s, right_false) == []
+
+
+class TestExample5:
+    """Lookahead instead of nondeterministic guessing: the h function."""
+
+    BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+    x = mk_var("x", INT)
+
+    def test_h_negates_on_odd_left_child(self, solver):
+        odd = mk_eq(mk_mod(self.x, 2), mk_int(1))
+        even = mk_eq(mk_mod(self.x, 2), mk_int(0))
+        la = STA(
+            self.BT,
+            (
+                rule("oddRoot", "N", odd, [[], []]),
+                rule("oddRoot", "L", odd),
+                rule("evenRoot", "N", even, [[], []]),
+                rule("evenRoot", "L", even),
+            ),
+        )
+        h = STTR(
+            "h",
+            self.BT,
+            self.BT,
+            "h",
+            (
+                trule("h", "N", OutNode("N", (mk_neg(self.x),), (OutApply("h", 0), OutApply("h", 1))), lookahead=[["oddRoot"], []]),
+                trule("h", "N", OutNode("N", (self.x,), (OutApply("h", 0), OutApply("h", 1))), lookahead=[["evenRoot"], []]),
+                trule("h", "L", OutNode("L", (self.x,), ()), rank=0),
+            ),
+            lookahead_sta=la,
+        )
+        ht = Transducer(h, solver)
+        assert ht.is_deterministic()  # "a more natural solution"
+        t = node("N", 4, node("N", 3, node("L", 2), node("L", 2)), node("L", 0))
+        out = ht.apply_one(t)
+        assert out.attrs == (-4,)  # left child's label 3 is odd
+        assert out.children[0].attrs == (3,)  # its left child 2 is even
+
+
+class TestExample7:
+    """Reduce through a deleting rule yields p.q applied to y2."""
+
+    BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+    x = mk_var("x", INT)
+
+    def test_composed_rule_shape(self, solver):
+        s = STTR(
+            "s",
+            self.BT,
+            self.BT,
+            "p",
+            (
+                trule("p", "N", OutApply("p", 1), guard=mk_gt(self.x, mk_int(0)), rank=2),
+                trule("p", "L", OutNode("L", (self.x,), ()), rank=0),
+            ),
+        )
+        ident = STTR(
+            "id",
+            self.BT,
+            self.BT,
+            "q",
+            (
+                trule("q", "L", OutNode("L", (self.x,), ()), rank=0),
+                trule("q", "N", OutNode("N", (self.x,), (OutApply("q", 0), OutApply("q", 1))), rank=2),
+            ),
+        )
+        comp = compose(s, ident, solver)
+        rules = comp.rules_from(comp.initial, "N")
+        assert len(rules) == 1
+        (r,) = rules
+        # the output is exactly (p.q)~(y1) — pair state applied to child 2
+        assert r.output == OutApply(("pair", "p", "q"), 1)
+
+
+class TestExample8:
+    """Cross-level label dependency makes the composition die."""
+
+    G = make_tree_type("G", [("x", INT)], {"c": 0, "g": 1})
+    x = mk_var("x", INT)
+
+    def test_odd_odd_conflict(self, solver):
+        s = STTR(
+            "s",
+            self.G,
+            self.G,
+            "p",
+            (
+                trule(
+                    "p",
+                    "g",
+                    OutNode(
+                        "g",
+                        (mk_add(self.x, mk_int(1)),),
+                        (OutNode("g", (mk_add(self.x, mk_int(-2)),), (OutApply("p", 0),)),),
+                    ),
+                    guard=mk_gt(self.x, mk_int(0)),
+                    rank=1,
+                ),
+                trule("p", "c", OutNode("c", (self.x,), ()), rank=0),
+            ),
+        )
+        odd = mk_eq(mk_mod(self.x, 2), mk_int(1))
+        todd = STTR(
+            "todd",
+            self.G,
+            self.G,
+            "q",
+            (
+                trule("q", "g", OutNode("g", (self.x,), (OutApply("q", 0),)), guard=odd, rank=1),
+                trule("q", "c", OutNode("c", (self.x,), ()), rank=0),
+            ),
+        )
+        comp = compose(s, todd, solver)
+        assert comp.rules_from(comp.initial, "g") == []
+
+
+class TestExample9:
+    """T_{S.T} over-approximates when S is nondeterministic and T copies."""
+
+    BT = make_tree_type("BT", [("x", INT)], {"c": 0, "g": 1, "f": 2})
+    x = mk_var("x", INT)
+
+    def test_desynchronized_copies(self, solver):
+        # S: p~(c) -> c[1] | c[5]   (stand-ins for the paper's N and 4)
+        # and copies g.
+        s = STTR(
+            "s",
+            self.BT,
+            self.BT,
+            "p",
+            (
+                trule("p", "c", OutNode("c", (mk_int(1),), ()), rank=0),
+                trule("p", "c", OutNode("c", (mk_int(5),), ()), rank=0),
+                trule("p", "g", OutNode("g", (self.x,), (OutApply("p", 0),)), rank=1),
+            ),
+        )
+        # T: q~(g[x](y)) -> f[x](q~(y), q~(y))
+        t = STTR(
+            "t",
+            self.BT,
+            self.BT,
+            "q",
+            (
+                trule("q", "g", OutNode("f", (self.x,), (OutApply("q", 0), OutApply("q", 0))), rank=1),
+                trule("q", "c", OutNode("c", (self.x,), ()), rank=0),
+            ),
+        )
+        comp = compose(s, t, solver)
+        g_c = node("g", 0, node("c", 0))
+        sequential = set()
+        for mid in run(s, g_c):
+            sequential.update(run(t, mid))
+        composed = set(run(comp, g_c))
+        # sequential: f(c1,c1) and f(c5,c5) — synchronized copies.
+        assert sequential == {
+            node("f", 0, node("c", 1), node("c", 1)),
+            node("f", 0, node("c", 5), node("c", 5)),
+        }
+        # composed additionally contains the mixed (de-synchronized) pairs.
+        assert composed == sequential | {
+            node("f", 0, node("c", 1), node("c", 5)),
+            node("f", 0, node("c", 5), node("c", 1)),
+        }

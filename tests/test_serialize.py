@@ -1,0 +1,153 @@
+"""Round-trip tests for JSON serialization of the core objects."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serialize import SerializationError, dumps, loads, sta_from_json, sta_to_json
+from repro.automata import STA, rule
+from repro.smt import (
+    INT,
+    REAL,
+    STRING,
+    mk_add,
+    mk_and,
+    mk_eq,
+    mk_gt,
+    mk_int,
+    mk_mod,
+    mk_mul,
+    mk_ne,
+    mk_not,
+    mk_or,
+    mk_real,
+    mk_str,
+    mk_var,
+)
+from repro.transducers import OutApply, OutNode, STTR, run, trule
+from repro.trees import make_tree_type, node
+
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+
+class TestTerms:
+    CASES = [
+        mk_var("x", INT),
+        mk_int(-7),
+        mk_str("script"),
+        mk_real(Fraction(3, 4)),
+        mk_add(mk_var("x", INT), mk_int(5)),
+        mk_mod(mk_add(mk_var("x", INT), mk_int(5)), 26),
+        mk_and(mk_gt(mk_var("x", INT), mk_int(0)), mk_ne(mk_var("s", STRING), mk_str("a"))),
+        mk_or(mk_eq(mk_var("x", INT), mk_int(1)), mk_not(mk_eq(mk_var("x", INT), mk_int(2)))),
+        mk_mul(mk_var("r", REAL), mk_var("r", REAL), mk_var("r", REAL)),
+    ]
+
+    @pytest.mark.parametrize("term", CASES, ids=lambda t: repr(t)[:40])
+    def test_roundtrip(self, term):
+        assert loads(dumps(term)) == term
+
+
+class TestTreesAndTypes:
+    def test_tree_roundtrip(self):
+        t = node("N", 3, node("L", -1), node("L", 2))
+        assert loads(dumps(t)) == t
+
+    def test_tree_with_fraction_attr(self):
+        W = make_tree_type("W", [("r", REAL)], {"L": 0})
+        t = node("L", Fraction(1, 3))
+        back = loads(dumps(t))
+        assert back == t and W.contains(back)
+
+    def test_tree_type_roundtrip(self):
+        assert loads(dumps(BT)) == BT
+
+    def test_string_attrs(self):
+        t = node("L", 0)
+        H = make_tree_type("H", [("tag", STRING)], {"nil": 0})
+        s = node("nil", 'quote"and\\slash')
+        assert loads(dumps(s)) == s
+
+
+class TestAutomata:
+    def test_sta_roundtrip_preserves_language(self):
+        sta = STA(
+            BT,
+            (
+                rule("pos", "L", mk_gt(x, mk_int(0))),
+                rule("pos", "N", None, [["pos"], ["pos"]]),
+                rule("mix", "N", None, [[], ["pos", "mix"]]),
+            ),
+        )
+        back = loads(dumps(sta))
+        assert back == sta
+        from repro.automata import accepts
+
+        t = node("N", 0, node("L", -1), node("L", 1))
+        assert accepts(back, "pos", t, None) == accepts(sta, "pos", t, None)
+
+    def test_tuple_and_set_states(self):
+        sta = STA(
+            BT,
+            (
+                rule(("pair", "a", frozenset(["x", "y"])), "L"),
+            ),
+        )
+        back = loads(dumps(sta))
+        assert back.rules[0].state == ("pair", "a", frozenset(["x", "y"]))
+
+
+class TestTransducers:
+    def test_sttr_roundtrip_preserves_semantics(self):
+        inc = STTR(
+            "inc",
+            BT,
+            BT,
+            "q",
+            (
+                trule("q", "L", OutNode("L", (mk_add(x, mk_int(1)),), ()), rank=0),
+                trule(
+                    "q",
+                    "N",
+                    OutNode("N", (x,), (OutApply("q", 0), OutApply("q", 1))),
+                    rank=2,
+                ),
+            ),
+        )
+        back = loads(dumps(inc))
+        t = node("N", 0, node("L", 1), node("L", 2))
+        assert run(back, t) == run(inc, t)
+        assert back.name == "inc" and back.initial == "q"
+
+    def test_composed_transducer_roundtrips(self):
+        from repro.smt import Solver
+        from repro.transducers import compose
+
+        solver = Solver()
+        inc = loads(dumps(STTR(
+            "inc",
+            BT,
+            BT,
+            "q",
+            (
+                trule("q", "L", OutNode("L", (mk_add(x, mk_int(1)),), ()), rank=0),
+                trule("q", "N", OutNode("N", (x,), (OutApply("q", 0), OutApply("q", 1))), rank=2),
+            ),
+        )))
+        comp = compose(inc, inc, solver)
+        back = loads(dumps(comp))
+        t = node("L", 5)
+        assert run(back, t) == run(comp, t) == [node("L", 7)]
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            loads('{"kind": "widget", "data": {}}')
+
+    def test_unserializable(self):
+        with pytest.raises(SerializationError):
+            dumps(object())

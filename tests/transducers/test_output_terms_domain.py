@@ -1,0 +1,122 @@
+"""Unit tests for output terms, the domain automaton, and the facade."""
+
+import pytest
+
+from repro.automata import STA, rule as sta_rule
+from repro.smt import INT, Solver, mk_add, mk_gt, mk_int, mk_var
+from repro.transducers import (
+    OutApply,
+    OutNode,
+    STTR,
+    TApp,
+    Transducer,
+    domain_sta,
+    identity_output,
+    identity_sttr,
+    output_is_linear,
+    states_at,
+    substitute_attrs,
+    trule,
+)
+from repro.trees import make_tree_type, node
+
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+
+class TestOutputTerms:
+    def test_states_at(self):
+        out = OutNode(
+            "N",
+            (x,),
+            (OutApply("a", 0), OutNode("N", (x,), (OutApply("b", 0), OutApply("c", 1)))),
+        )
+        assert states_at(out, 0) == {"a", "b"}
+        assert states_at(out, 1) == {"c"}
+
+    def test_linearity(self):
+        dup = OutNode("N", (x,), (OutApply("q", 0), OutApply("q", 0)))
+        lin = OutNode("N", (x,), (OutApply("q", 0), OutApply("q", 1)))
+        assert not output_is_linear(dup)
+        assert output_is_linear(lin)
+        assert output_is_linear(OutNode("L", (x,), ()))
+
+    def test_substitute_attrs(self):
+        out = OutNode("L", (mk_add(x, mk_int(1)),), ())
+        sub = substitute_attrs(out, {"x": mk_int(4)})
+        assert sub == OutNode("L", (mk_int(5),), ())
+
+    def test_substitute_through_tapp(self):
+        term = TApp("q", OutNode("L", (x,), ()))
+        sub = substitute_attrs(term, {"x": mk_int(2)})
+        assert isinstance(sub, TApp) and sub.arg.attr_exprs == (mk_int(2),)
+
+    def test_identity_output(self):
+        out = identity_output(BT, "N", "c")
+        assert out.children == (OutApply("c", 0), OutApply("c", 1))
+        assert out.attr_exprs[0].name == "x"
+
+    def test_iter_terms(self):
+        out = OutNode("N", (x,), (OutApply("a", 0), OutApply("b", 1)))
+        kinds = [type(t).__name__ for t in out.iter_terms()]
+        assert kinds == ["OutNode", "OutApply", "OutApply"]
+
+
+class TestDomainSta:
+    def test_definition6_lookahead_union(self):
+        # Rule with both explicit lookahead and output states on child 0.
+        la = STA(BT, (sta_rule("posL", "L", mk_gt(x, mk_int(0))),))
+        sttr = STTR(
+            "t",
+            BT,
+            BT,
+            "q",
+            (
+                trule(
+                    "q",
+                    "N",
+                    OutNode("N", (x,), (OutApply("r", 0), OutApply("q", 1))),
+                    lookahead=[["posL"], []],
+                ),
+                trule("q", "L", OutNode("L", (x,), ()), rank=0),
+                trule("r", "L", OutNode("L", (x,), ()), rank=0),
+            ),
+            lookahead_sta=la,
+        )
+        dom, start = domain_sta(sttr)
+        (n_rule,) = [r for r in dom.rules if r.state == ("q", "q") and r.ctor == "N"]
+        assert n_rule.lookahead[0] == {("la", "posL"), ("q", "r")}
+        assert n_rule.lookahead[1] == {("q", "q")}
+
+    def test_identity_domain_universal(self):
+        solver = Solver()
+        ident = Transducer(identity_sttr(BT), solver)
+        assert ident.domain().accepts(node("N", -1, node("L", 0), node("L", 1)))
+
+
+class TestFacade:
+    def test_callable(self):
+        solver = Solver()
+        ident = Transducer(identity_sttr(BT), solver)
+        t = node("L", 3)
+        assert ident(t) == t
+
+    def test_properties(self):
+        solver = Solver()
+        ident = Transducer(identity_sttr(BT), solver)
+        assert ident.is_linear() and ident.is_deterministic()
+        assert ident.input_type is BT and ident.output_type is BT
+        assert ident.name == "I"
+
+    def test_size(self):
+        solver = Solver()
+        ident = Transducer(identity_sttr(BT), solver)
+        states, rules = ident.size()
+        assert states == 1 and rules == 2
+
+    def test_compose_names(self):
+        solver = Solver()
+        a = Transducer(identity_sttr(BT, "A"), solver)
+        b = Transducer(identity_sttr(BT, "B"), solver)
+        assert a.compose(b).name == "(A ; B)"
+        assert a.compose(b, name="custom").name == "custom"

@@ -1,0 +1,126 @@
+"""Tests for bounded equivalence testing (the open-problem workaround)."""
+
+import pytest
+
+from repro.smt import INT, mk_add, mk_ge, mk_gt, mk_int, mk_neg, mk_var
+from repro.transducers import OutApply, OutNode, STTR, trule
+from repro.transducers.testing import (
+    attribute_samples,
+    enumerate_trees,
+    equivalent_up_to,
+    find_inequivalence,
+    guard_constants,
+)
+from repro.trees import make_tree_type
+
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+
+def leaf_map(name, expr, guard=None):
+    return STTR(
+        name,
+        BT,
+        BT,
+        "q",
+        (
+            trule("q", "L", OutNode("L", (expr,), ()), guard=guard, rank=0),
+            trule("q", "N", OutNode("N", (x,), (OutApply("q", 0), OutApply("q", 1))), rank=2),
+        ),
+    )
+
+
+class TestSamples:
+    def test_guard_constants_collected(self):
+        t = leaf_map("t", mk_add(x, mk_int(7)), guard=mk_gt(x, mk_int(42)))
+        pools = guard_constants(t)
+        assert 42 in pools[INT] and 7 in pools[INT]
+
+    def test_boundaries_included(self):
+        t1 = leaf_map("a", x, guard=mk_gt(x, mk_int(10)))
+        t2 = leaf_map("b", x, guard=mk_ge(x, mk_int(10)))
+        samples = attribute_samples(t1, t2)
+        assert {9, 10, 11} <= set(samples[INT])
+
+    def test_enumerate_counts(self):
+        samples = {INT: [0, 1]}
+        trees = list(enumerate_trees(BT, 2, samples))
+        # depth 1: 2 leaves; depth 2: 2 attrs * (2*2 leaf pairs) = 8
+        assert len(trees) == 10
+
+    def test_enumerate_depth_strict(self):
+        samples = {INT: [0]}
+        trees = list(enumerate_trees(BT, 3, samples))
+        assert max(t.depth() for t in trees) == 3
+
+
+class TestEquivalence:
+    def test_identical_programs(self):
+        t1 = leaf_map("a", mk_add(x, mk_int(1)))
+        t2 = leaf_map("b", mk_add(mk_int(1), x))  # commuted, same function
+        assert equivalent_up_to(t1, t2, max_depth=2)
+
+    def test_different_functions_refuted(self):
+        t1 = leaf_map("a", mk_add(x, mk_int(1)))
+        t2 = leaf_map("b", mk_neg(x))
+        gap = find_inequivalence(t1, t2, max_depth=2)
+        assert gap is not None
+        assert gap.first_outputs != gap.second_outputs
+
+    def test_off_by_one_guard_found(self):
+        # Differ only at x = 10: boundary sampling must catch it.
+        t1 = leaf_map("a", x, guard=mk_gt(x, mk_int(10)))
+        t2 = leaf_map("b", x, guard=mk_ge(x, mk_int(10)))
+        gap = find_inequivalence(t1, t2, max_depth=1)
+        assert gap is not None and gap.input.attrs[0] == 10
+
+    def test_domain_difference_detected(self):
+        total = leaf_map("a", x)
+        partial = leaf_map("b", x, guard=mk_gt(x, mk_int(0)))
+        gap = find_inequivalence(total, partial, max_depth=1)
+        assert gap is not None
+        assert gap.second_outputs == frozenset()
+
+    def test_nondeterministic_sets_compared(self):
+        nd1 = STTR(
+            "nd1",
+            BT,
+            BT,
+            "q",
+            (
+                trule("q", "L", OutNode("L", (x,), ()), rank=0),
+                trule("q", "L", OutNode("L", (mk_int(5),), ()), rank=0),
+                trule("q", "N", OutNode("N", (x,), (OutApply("q", 0), OutApply("q", 1))), rank=2),
+            ),
+        )
+        nd2 = STTR(
+            "nd2",
+            BT,
+            BT,
+            "q",
+            (
+                trule("q", "L", OutNode("L", (mk_int(5),), ()), rank=0),
+                trule("q", "L", OutNode("L", (x,), ()), rank=0),
+                trule("q", "N", OutNode("N", (x,), (OutApply("q", 0), OutApply("q", 1))), rank=2),
+            ),
+        )
+        assert equivalent_up_to(nd1, nd2, max_depth=2)
+
+    def test_mismatched_types_rejected(self):
+        other = make_tree_type("Other", [("x", INT)], {"Z": 0})
+        t2 = STTR("z", other, other, "q", (trule("q", "Z", OutNode("Z", (x,), ()), rank=0),))
+        t1 = leaf_map("a", x)
+        with pytest.raises(ValueError):
+            find_inequivalence(t1, t2)
+
+    def test_equivalence_after_composition(self):
+        # (x+1)+2 == (x+2)+1 established by composing increments.
+        from repro.smt import Solver
+        from repro.transducers import compose
+
+        inc1 = leaf_map("i1", mk_add(x, mk_int(1)))
+        inc2 = leaf_map("i2", mk_add(x, mk_int(2)))
+        s = Solver()
+        left = compose(inc1, inc2, s)
+        right = compose(inc2, inc1, s)
+        assert equivalent_up_to(left, right, max_depth=2)

@@ -1,0 +1,204 @@
+"""Tests for tree types, values, parsing, and encodings."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import INT, STRING
+from repro.trees import (
+    Tree,
+    TreeTypeError,
+    Unranked,
+    decode_list,
+    decode_string,
+    decode_unranked,
+    encode_list,
+    encode_string,
+    encode_unranked,
+    format_tree,
+    list_tree_type,
+    make_tree_type,
+    node,
+    parse_tree,
+)
+
+HTML_E = make_tree_type(
+    "HtmlE", [("tag", STRING)], {"nil": 0, "val": 1, "attr": 2, "node": 3}
+)
+BT = make_tree_type("BT", [("i", INT)], {"L": 0, "N": 2})
+
+
+class TestTreeType:
+    def test_constructor_lookup(self):
+        assert HTML_E.rank("node") == 3
+        assert HTML_E.rank("nil") == 0
+
+    def test_unknown_constructor(self):
+        with pytest.raises(TreeTypeError):
+            HTML_E.constructor("missing")
+
+    def test_requires_nullary(self):
+        with pytest.raises(TreeTypeError):
+            make_tree_type("Bad", [], {"only": 2})
+
+    def test_duplicate_constructors_rejected(self):
+        from repro.trees.types import Constructor, TreeType
+
+        with pytest.raises(TreeTypeError):
+            TreeType("Bad", (), (Constructor("a", 0), Constructor("a", 1)))
+
+    def test_attr_vars(self):
+        (v,) = BT.attr_vars()
+        assert v.name == "i" and v.sort is INT
+
+    def test_validate_accepts(self):
+        t = node("N", 3, node("L", 1), node("L", 2))
+        BT.validate(t)
+
+    def test_validate_wrong_rank(self):
+        with pytest.raises(TreeTypeError):
+            BT.validate(node("N", 3, node("L", 1)))
+
+    def test_validate_wrong_attr_sort(self):
+        with pytest.raises(TreeTypeError):
+            BT.validate(node("L", "oops"))
+
+    def test_validate_bool_not_int(self):
+        with pytest.raises(TreeTypeError):
+            BT.validate(node("L", True))
+
+    def test_contains(self):
+        assert BT.contains(node("L", 0))
+        assert not BT.contains(node("L", "x"))
+
+    def test_default_attrs(self):
+        assert HTML_E.default_attrs() == ("",)
+        assert BT.default_attrs() == (0,)
+
+
+class TestTree:
+    def test_size_and_depth(self):
+        t = node("N", 0, node("L", 1), node("N", 2, node("L", 3), node("L", 4)))
+        assert t.size() == 5
+        assert t.depth() == 3
+
+    def test_count(self):
+        t = node("N", 0, node("L", 1), node("L", 2))
+        assert t.count("L") == 2
+
+    def test_iter_nodes_preorder(self):
+        t = node("N", 0, node("L", 1), node("L", 2))
+        labels = [n.attrs[0] for n in t.iter_nodes()]
+        assert labels == [0, 1, 2]
+
+    def test_hashable(self):
+        assert node("L", 1) == node("L", 1)
+        assert len({node("L", 1), node("L", 1)}) == 1
+
+
+class TestFormatParse:
+    def test_format(self):
+        t = node("node", "div", node("nil", ""), node("nil", ""), node("nil", ""))
+        assert format_tree(t) == 'node["div"](nil[""], nil[""], nil[""])'
+
+    def test_roundtrip_escapes(self):
+        t = node("val", 'a"b\\c')
+        assert parse_tree(format_tree(t)) == t
+
+    def test_parse_numbers(self):
+        assert parse_tree("L[-3]") == node("L", -3)
+        assert parse_tree("L[3/4]") == node("L", Fraction(3, 4))
+        assert parse_tree("L[1.5]") == node("L", Fraction(3, 2))
+
+    def test_parse_bools(self):
+        assert parse_tree("L[true]") == node("L", True)
+        assert parse_tree("L[false]") == node("L", False)
+
+    def test_parse_nested(self):
+        t = parse_tree('N[1](L[2], N[3](L[4], L[5]))')
+        assert t.size() == 5 and t.attrs == (1,)
+
+    def test_parse_error_trailing(self):
+        from repro.trees import TreeParseError
+
+        with pytest.raises(TreeParseError):
+            parse_tree("L[1] extra")
+
+    def test_parse_error_unterminated_string(self):
+        from repro.trees import TreeParseError
+
+        with pytest.raises(TreeParseError):
+            parse_tree('L["abc')
+
+
+_trees = st.deferred(
+    lambda: st.builds(
+        lambda a, kids: node("N", a, *kids) if kids else node("L", a),
+        st.integers(-100, 100),
+        st.one_of(st.just([]), st.tuples(_trees, _trees).map(list)),
+    )
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_trees)
+def test_format_parse_roundtrip(t):
+    assert parse_tree(format_tree(t)) == t
+
+
+class TestListEncoding:
+    ILIST = list_tree_type("IList", INT)
+
+    def test_roundtrip(self):
+        values = [1, 2, 3, -4]
+        t = encode_list(values, self.ILIST)
+        assert decode_list(t) == values
+        self.ILIST.validate(t)
+
+    def test_empty(self):
+        t = encode_list([], self.ILIST)
+        assert t.ctor == "nil" and decode_list(t) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=30))
+    def test_roundtrip_property(self, values):
+        assert decode_list(encode_list(values, self.ILIST)) == values
+
+
+class TestStringEncoding:
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=20))
+    def test_roundtrip(self, text):
+        assert decode_string(encode_string(text)) == text
+
+
+_unranked = st.deferred(
+    lambda: st.builds(
+        lambda lbl, kids: Unranked(lbl, tuple(kids)),
+        st.sampled_from(["div", "p", "b", "i", "span"]),
+        st.lists(_unranked, max_size=3),
+    )
+)
+
+
+class TestUnrankedEncoding:
+    def test_simple(self):
+        forest = [Unranked("div", (Unranked("p"),)), Unranked("br")]
+        t = encode_unranked(forest)
+        assert decode_unranked(t) == forest
+
+    def test_empty_forest(self):
+        t = encode_unranked([])
+        assert t.ctor == "nil" and decode_unranked(t) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_unranked, max_size=4))
+    def test_roundtrip_property(self, forest):
+        assert decode_unranked(encode_unranked(forest)) == forest
+
+    def test_node_count_preserved(self):
+        forest = [Unranked("a", (Unranked("b"), Unranked("c")))]
+        t = encode_unranked(forest)
+        assert t.count("node") == 3
