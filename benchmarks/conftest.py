@@ -7,6 +7,14 @@ dumped in the terminal summary, so ``pytest benchmarks/ --benchmark-only
 | tee bench_output.txt`` captures both pytest-benchmark's timing stats
 and the reproduced tables/series.
 
+Observability: pass ``--obs-json PATH`` to enable :mod:`repro.obs` for
+the whole run and dump the end-of-run metric snapshot (solver query
+counts, cache hit-rates, composition state counts, ...) to ``PATH`` as
+schema-versioned JSON — future perf PRs can diff counters, not just
+wall-clock.  Setting ``REPRO_OBS=1`` (without a path) also enables
+recording; either way the metric table is appended to the terminal
+summary.
+
 Environment knobs (all optional):
 
 * ``FIG6_TAGGERS``  — taggers for the Figure 6 histogram (default 40;
@@ -21,6 +29,8 @@ import os
 
 import pytest
 
+from repro import obs
+
 _REPORTS: list[tuple[str, str]] = []
 
 
@@ -34,15 +44,40 @@ def report():
     return add_report
 
 
-def pytest_terminal_summary(terminalreporter):
-    if not _REPORTS:
-        return
-    terminalreporter.section("reproduced paper tables & figures")
-    for title, body in _REPORTS:
-        terminalreporter.write_line("")
-        terminalreporter.write_line(f"--- {title} ---")
-        for line in body.rstrip().splitlines():
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs and write the end-of-run metric snapshot "
+        "to PATH as JSON (diffable across PRs)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--obs-json"):
+        obs.enabled(True)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _REPORTS:
+        terminalreporter.section("reproduced paper tables & figures")
+        for title, body in _REPORTS:
+            terminalreporter.write_line("")
+            terminalreporter.write_line(f"--- {title} ---")
+            for line in body.rstrip().splitlines():
+                terminalreporter.write_line(line)
+    if obs.is_enabled():
+        terminalreporter.section("repro.obs metrics")
+        for line in obs.render_metrics().splitlines():
             terminalreporter.write_line(line)
+        path = config.getoption("--obs-json")
+        if path:
+            with open(path, "w") as f:
+                f.write(obs.render_json())
+                f.write("\n")
+            terminalreporter.write_line(f"(snapshot written to {path})")
 
 
 def env_int(name: str, default: int) -> int:

@@ -13,7 +13,9 @@ Public surface:
   :class:`~repro.transducers.Transducer` facade;
 * :mod:`repro.fast` — the Fast language front-end and CLI;
 * :mod:`repro.apps` — the five case studies of the paper's Section 5
-  plus the XPath fragment extension.
+  plus the XPath fragment extension;
+* :mod:`repro.obs` — off-by-default tracing & metrics across the
+  solver, automata, transducer, and compiler pipelines.
 """
 
 from .automata import Language

@@ -31,12 +31,20 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import config as obs_config
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from ..smt.minterms import minterms
 from ..smt.solver import Solver
 from ..smt.terms import Value
 from ..trees.tree import Tree
 from .normalize import normalize
 from .sta import STA, State
+
+_OBS_INSERTED = obs_metrics.counter("antichain.pairs_inserted")
+_OBS_SUBSUMED = obs_metrics.counter("antichain.pairs_subsumed")
+_OBS_EVICTED = obs_metrics.counter("antichain.pairs_evicted")
+_OBS_FRONTIER = obs_metrics.histogram("antichain.frontier_size")
 
 
 @dataclass(frozen=True)
@@ -81,8 +89,14 @@ class _AntichainSearch:
         bucket = self.antichain.setdefault(pair.a, [])
         for existing in bucket:
             if existing.bs <= pair.bs:
+                if obs_config.ENABLED:
+                    _OBS_SUBSUMED.inc()
                 return False  # subsumed
-        bucket[:] = [e for e in bucket if not (pair.bs <= e.bs)]
+        survivors = [e for e in bucket if not (pair.bs <= e.bs)]
+        if obs_config.ENABLED:
+            _OBS_EVICTED.inc(len(bucket) - len(survivors))
+            _OBS_INSERTED.inc()
+        bucket[:] = survivors
         bucket.append(pair)
         self.fresh.append(pair)
         return True
@@ -107,6 +121,8 @@ class _AntichainSearch:
         frontier = self.fresh
         self.fresh = []
         while frontier:
+            if obs_config.ENABLED:
+                _OBS_FRONTIER.observe(len(frontier))
             for ctor in self.tree_type.constructors:
                 if ctor.rank == 0:
                     continue
@@ -163,7 +179,14 @@ def included_in_antichain(
     solver: Solver,
 ) -> Optional[Tree]:
     """None if ``L^lstate ⊆ L^rstate``; otherwise a tree in the gap."""
-    return _AntichainSearch(left, lstate, right, rstate, solver).run()
+    search = _AntichainSearch(left, lstate, right, rstate, solver)
+    with obs_tracer.span("antichain.inclusion") as sp:
+        gap = search.run()
+        sp.set(
+            pairs=sum(len(b) for b in search.antichain.values()),
+            included=gap is None,
+        )
+    return gap
 
 
 def universal_antichain(sta: STA, state: State, solver: Solver) -> Optional[Tree]:

@@ -11,10 +11,16 @@ from __future__ import annotations
 
 import itertools
 
+from ..obs import config as obs_config
+from ..obs import metrics as obs_metrics
 from ..smt import builders as smt
 from ..smt.solver import Solver
 from .determinize import complement as _complement
 from .sta import STA, STARule, State, disjoint_union
+
+_OBS_PRODUCT = obs_metrics.counter("boolean.product_rules")
+_OBS_PRUNED = obs_metrics.counter("boolean.product_rules_pruned")
+_OBS_UNION = obs_metrics.counter("boolean.union_rules")
 
 
 def intersect(
@@ -34,7 +40,11 @@ def intersect(
         for a, b in itertools.product(lrules, rrules):
             guard = smt.mk_and(a.guard, b.guard)
             if guard == smt.FALSE:
+                if obs_config.ENABLED:
+                    _OBS_PRUNED.inc()
                 continue
+            if obs_config.ENABLED:
+                _OBS_PRODUCT.inc()
             lookahead = tuple(
                 la | lb for la, lb in zip(a.lookahead, b.lookahead)
             )
@@ -55,6 +65,8 @@ def union(
         STARule(root, r.ctor, r.guard, r.lookahead)
         for r in combined.rules_from(rmap(rstate))
     ]
+    if obs_config.ENABLED:
+        _OBS_UNION.inc(len(rules))
     return combined.with_rules(rules), root
 
 

@@ -11,11 +11,18 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from ..obs import config as obs_config
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from ..smt.solver import Solver
 from ..smt.terms import Value
 from ..trees.tree import Tree
 from .normalize import NormalizedSTA, normalize
 from .sta import STA, State
+
+_OBS_CHECKS = obs_metrics.counter("emptiness.checks")
+_OBS_PASSES = obs_metrics.counter("emptiness.fixpoint_passes")
+_OBS_NONEMPTY = obs_metrics.histogram("emptiness.nonempty_states")
 
 
 def _attrs_from_model(norm: NormalizedSTA, guard, solver: Solver) -> tuple[Value, ...]:
@@ -33,6 +40,8 @@ def nonempty_witnesses(norm: NormalizedSTA, solver: Solver) -> dict:
     witness: dict = {}
     changed = True
     while changed:
+        if obs_config.ENABLED:
+            _OBS_PASSES.inc()
         changed = False
         for r in norm.sta.rules:
             if r.state in witness:
@@ -57,6 +66,8 @@ def nonempty_witnesses(norm: NormalizedSTA, solver: Solver) -> dict:
     for s in norm.states:
         if not s and s not in witness:
             witness[s] = _any_tree(norm.sta, solver)
+    if obs_config.ENABLED:
+        _OBS_NONEMPTY.observe(len(witness))
     return witness
 
 
@@ -75,9 +86,14 @@ def witness(
     counterexamples printed by failed assertions (Section 2).
     """
     start = frozenset(states)
-    norm = normalize(sta, [start], solver)
-    table = nonempty_witnesses(norm, solver)
-    return table.get(start)
+    with obs_tracer.span("emptiness.witness") as sp:
+        if obs_config.ENABLED:
+            _OBS_CHECKS.inc()
+        norm = normalize(sta, [start], solver)
+        table = nonempty_witnesses(norm, solver)
+        result = table.get(start)
+        sp.set(merged_rules=len(norm.sta.rules), empty=result is None)
+    return result
 
 
 def is_empty(sta: STA, states: Iterable[State], solver: Solver) -> bool:

@@ -1,9 +1,24 @@
-"""Command-line interface: ``fast run|check|fmt program.fast``.
+"""Command-line interface: ``fast [run|check|fmt] program.fast``.
 
 * ``run`` — compile and evaluate all assertions, print the report (and
   anything ``print``-ed), exit nonzero if an assertion fails;
 * ``check`` — parse and type-check only;
 * ``fmt`` — parse and pretty-print back to stdout.
+
+``run`` is the default: ``fast program.fast`` and
+``fast --profile program.fast`` both work without naming a subcommand.
+
+Exit codes are distinct so scripts can tell *what* failed:
+
+* ``0`` — success (all assertions passed);
+* ``1`` — the program compiled but at least one assertion failed;
+* ``2`` — the program could not be read, parsed, or compiled.
+
+``--profile`` enables :mod:`repro.obs` and prints the span tree and
+metric table to stderr after the command; ``--profile-json PATH``
+additionally writes the schema-versioned JSON snapshot to ``PATH``.
+Setting ``REPRO_OBS=1`` in the environment has the same effect as
+``--profile`` minus the printed report.
 """
 
 from __future__ import annotations
@@ -11,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .. import obs
 from ..trees.tree import format_tree
 from .errors import FastSyntaxError, FastTypeError
 from .evaluator import run_program
@@ -18,46 +34,112 @@ from .parser import parse_program
 from .pretty import pretty
 from .compiler import compile_program
 
+#: Exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_ASSERTION_FAILED = 1
+EXIT_ERROR = 2
 
-def main(argv: list[str] | None = None) -> int:
+_COMMANDS = ("run", "check", "fmt")
+
+_EPILOG = """\
+exit codes:
+  0  success — the program ran and every assertion passed
+  1  assertion failure — the program compiled but an assert failed
+  2  error — the file could not be read, parsed, or compiled
+"""
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable repro.obs and print the span tree + metric table "
+        "to stderr when done",
+    )
+    common.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=None,
+        help="also write the observability snapshot as JSON to PATH",
+    )
+    common.add_argument("file", help="path to a .fast program")
+
     parser = argparse.ArgumentParser(
         prog="fast",
         description="Fast: a transducer-based language for tree manipulation "
         "(PLDI 2014 reproduction)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for cmd, desc in [
-        ("run", "compile and evaluate assertions"),
+        ("run", "compile and evaluate assertions (the default command)"),
         ("check", "parse and type-check only"),
         ("fmt", "parse and pretty-print"),
     ]:
-        p = sub.add_parser(cmd, help=desc)
-        p.add_argument("file", help="path to a .fast program")
-    args = parser.parse_args(argv)
+        sub.add_parser(
+            cmd,
+            help=desc,
+            parents=[common],
+            epilog=_EPILOG,
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
+    return parser
+
+
+def _normalize_argv(argv: list[str]) -> list[str]:
+    """Insert the default ``run`` command for ``fast [flags] file``."""
+    if any(a in _COMMANDS for a in argv):
+        return argv
+    if any(not a.startswith("-") for a in argv):
+        return ["run"] + argv
+    return argv  # bare flags like -h / --help go to the main parser
+
+
+def _emit_profile(args: argparse.Namespace) -> None:
+    if args.profile:
+        print(obs.render_text(), file=sys.stderr)
+    if args.profile_json:
+        with open(args.profile_json, "w") as f:
+            f.write(obs.render_json())
+            f.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = _build_parser().parse_args(_normalize_argv(argv))
+
+    if args.profile or args.profile_json:
+        obs.enabled(True)
 
     try:
         with open(args.file) as f:
             source = f.read()
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
     try:
         if args.command == "fmt":
             print(pretty(parse_program(source)), end="")
-            return 0
+            _emit_profile(args)
+            return EXIT_OK
         if args.command == "check":
             compile_program(parse_program(source))
             print("ok")
-            return 0
+            _emit_profile(args)
+            return EXIT_OK
         report = run_program(source)
         for tree in report.printed:
             print(format_tree(tree))
         print(report.render())
-        return 0 if report.ok else 1
+        _emit_profile(args)
+        return EXIT_OK if report.ok else EXIT_ASSERTION_FAILED
     except (FastSyntaxError, FastTypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        _emit_profile(args)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 
 from ..automata import STA, Language, STARule
+from ..obs import tracer as obs_tracer
 from ..smt import builders as smt
 from ..smt.sorts import BASIC_SORTS, BOOL, Sort
 from ..smt.terms import Term
@@ -63,21 +64,27 @@ class Compiler:
 
     def compile(self) -> CompiledProgram:
         decls = self.program.decls
-        for d in decls:
-            if isinstance(d, ast.TypeDecl):
-                self._compile_type(d)
+        with obs_tracer.span("compile.types"):
+            for d in decls:
+                if isinstance(d, ast.TypeDecl):
+                    self._compile_type(d)
         # Group mutually recursive lang/trans declarations up front.
-        self._compile_langs([d for d in decls if isinstance(d, ast.LangDecl)])
-        self._compile_trans_groups(
-            [d for d in decls if isinstance(d, ast.TransDecl)]
-        )
-        for d in decls:
-            if isinstance(d, ast.DefLang):
-                self._register_lang(d.name, self.eval_lang(d.expr), d.type_name, d.pos)
-            elif isinstance(d, ast.DefTrans):
-                self._register_trans(d.name, self.eval_trans(d.expr), d.pos)
-            elif isinstance(d, ast.TreeDecl):
-                self._compile_tree(d)
+        with obs_tracer.span("compile.langs"):
+            self._compile_langs([d for d in decls if isinstance(d, ast.LangDecl)])
+        with obs_tracer.span("compile.trans"):
+            self._compile_trans_groups(
+                [d for d in decls if isinstance(d, ast.TransDecl)]
+            )
+        with obs_tracer.span("compile.defs"):
+            for d in decls:
+                if isinstance(d, ast.DefLang):
+                    self._register_lang(
+                        d.name, self.eval_lang(d.expr), d.type_name, d.pos
+                    )
+                elif isinstance(d, ast.DefTrans):
+                    self._register_trans(d.name, self.eval_trans(d.expr), d.pos)
+                elif isinstance(d, ast.TreeDecl):
+                    self._compile_tree(d)
         return self.env
 
     # -- types --------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import tracer as obs_tracer
 from ..smt.solver import Solver
 from ..trees.tree import Tree, format_tree
 from . import ast
@@ -61,17 +62,29 @@ class ProgramReport:
 
 def run_program(source: str, solver: Solver | None = None) -> ProgramReport:
     """Parse, compile, and evaluate a Fast program."""
-    program = parse_program(source)
-    compiler = Compiler(program, solver)
-    env = compiler.compile()
-    report = ProgramReport(env)
-    for decl in program.decls:
-        if isinstance(decl, ast.AssertDecl):
-            report.assertions.append(_check(compiler, decl))
-        elif isinstance(decl, ast.PrintDecl):
-            # Printing needs a type; infer from the expression when possible.
-            tree = _eval_print(compiler, decl)
-            report.printed.append(tree)
+    with obs_tracer.span("run_program"):
+        with obs_tracer.span("parse"):
+            program = parse_program(source)
+        with obs_tracer.span("compile"):
+            compiler = Compiler(program, solver)
+            env = compiler.compile()
+        report = ProgramReport(env)
+        for decl in program.decls:
+            if isinstance(decl, ast.AssertDecl):
+                # Per-assert solver cost: the query-count delta around the check.
+                before = env.solver.stats.sat_queries
+                with obs_tracer.span("assert", line=decl.pos.line) as sp:
+                    result = _check(compiler, decl)
+                    sp.set(
+                        passed=result.passed,
+                        sat_queries=env.solver.stats.sat_queries - before,
+                    )
+                report.assertions.append(result)
+            elif isinstance(decl, ast.PrintDecl):
+                # Printing needs a type; infer from the expression when possible.
+                with obs_tracer.span("print", line=decl.pos.line):
+                    tree = _eval_print(compiler, decl)
+                report.printed.append(tree)
     return report
 
 

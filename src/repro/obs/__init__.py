@@ -1,0 +1,82 @@
+"""Observability for the reproduction: spans, metrics, reports.
+
+Usage::
+
+    from repro import obs
+
+    obs.enabled(True)                 # or REPRO_OBS=1, or `with obs.observed():`
+    with obs.span("compose", t1="a", t2="b") as sp:
+        ...
+        sp.set(states=42)
+    obs.counter("solver.sat_queries").inc()
+
+    print(obs.render_text())          # span tree + metric table
+    doc = obs.snapshot()              # schema-versioned dict (JSON-able)
+
+Everything is **off by default**; when disabled, :func:`span` returns a
+shared no-op object and instrumented call sites skip recording behind a
+single flag check (see :mod:`repro.obs.config`), so the instrumented
+hot loops stay within noise of un-instrumented timings.
+
+Submodules: :mod:`~repro.obs.config` (the switch),
+:mod:`~repro.obs.tracer` (thread-local span trees),
+:mod:`~repro.obs.metrics` (counter/gauge/histogram registry),
+:mod:`~repro.obs.report` (text/JSON emitters).
+"""
+
+from __future__ import annotations
+
+from .config import enabled, is_enabled, observed
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    counter,
+    gauge,
+    histogram,
+)
+from .report import (
+    SCHEMA,
+    render_json,
+    render_metrics,
+    render_text,
+    render_trace,
+    snapshot,
+)
+from .tracer import NULL_SPAN, Span, current, reset_trace, span, trace
+
+
+def reset() -> None:
+    """Zero all registered metrics and drop this thread's trace."""
+    REGISTRY.reset()
+    reset_trace()
+
+
+__all__ = [
+    "enabled",
+    "is_enabled",
+    "observed",
+    "span",
+    "current",
+    "trace",
+    "reset_trace",
+    "Span",
+    "NULL_SPAN",
+    "counter",
+    "gauge",
+    "histogram",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "REGISTRY",
+    "SCHEMA",
+    "snapshot",
+    "render_json",
+    "render_text",
+    "render_trace",
+    "render_metrics",
+    "reset",
+]

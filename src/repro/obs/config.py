@@ -1,0 +1,51 @@
+"""The observability on/off switch.
+
+Everything in :mod:`repro.obs` is off by default: the hot paths of the
+solver and the automata algorithms check the module-level
+:data:`ENABLED` flag before recording anything, so the disabled cost is
+one attribute load and a branch (verified by the overhead test in
+``tests/obs/test_obs.py``).
+
+Three ways to turn it on:
+
+* the environment variable ``REPRO_OBS=1`` (read once at import);
+* ``obs.enabled(True)`` / ``obs.enabled(False)``;
+* the :func:`observed` context manager, which restores the previous
+  state on exit (used by ``fast --profile`` and the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_FALSY = ("", "0", "false", "False", "no")
+
+#: The global recording flag.  Hot call sites read this directly
+#: (``if config.ENABLED: ...``); everyone else goes through
+#: :func:`is_enabled`.
+ENABLED: bool = os.environ.get("REPRO_OBS", "") not in _FALSY
+
+
+def enabled(on: bool = True) -> None:
+    """Turn recording on (or off with ``enabled(False)``)."""
+    global ENABLED
+    ENABLED = bool(on)
+
+
+def is_enabled() -> bool:
+    """Is recording currently on?"""
+    return ENABLED
+
+
+@contextmanager
+def observed(on: bool = True) -> Iterator[None]:
+    """Temporarily set the recording flag, restoring it on exit."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(on)
+    try:
+        yield
+    finally:
+        ENABLED = previous

@@ -1,0 +1,162 @@
+"""Named counters, gauges, and histograms.
+
+The module-level registry maps metric names (dotted, e.g.
+``solver.sat_queries``) to metric objects.  Instrumented modules obtain
+their handles once at import time::
+
+    _SAT = metrics.counter("solver.sat_queries")
+    ...
+    if config.ENABLED:
+        _SAT.inc()
+
+:func:`reset` zeroes every registered metric **in place**, so handles
+held by instrumented modules stay valid across resets.
+
+The metric classes are also usable stand-alone (un-registered):
+:class:`~repro.smt.solver.SolverStats` keeps private per-solver
+counters this way.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins value (sizes, rates, levels)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Streaming aggregate of observed values (count/sum/min/max/mean)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: Number = 0
+        self.min: Number | None = None
+        self.max: Number | None = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def snapshot(self) -> dict[str, Number]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": 0 if self.min is None else self.min,
+            "max": 0 if self.max is None else self.max,
+            "mean": self.mean,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class Registry:
+    """A named collection of metrics; creation is thread-safe."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls) -> Metric:
+        m = self._metrics.get(name)
+        if m is None:
+            with self._lock:
+                m = self._metrics.setdefault(name, cls())
+        if not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(m).__name__}, not a {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def reset(self) -> None:
+        """Zero every metric in place (handles stay valid)."""
+        for m in self._metrics.values():
+            m.reset()
+
+    def snapshot(self) -> dict[str, object]:
+        """Name -> plain-value snapshot, sorted by name."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+#: The process-wide default registry.
+REGISTRY = Registry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)

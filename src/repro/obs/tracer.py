@@ -1,0 +1,123 @@
+"""Hierarchical span tracer with a thread-local trace buffer.
+
+A *span* is a named, timed region of execution with key/value
+attributes::
+
+    with obs.span("compose", t1=first.name, t2=second.name) as sp:
+        ...
+        sp.set(states=len(done), rules=len(rules))
+
+Spans nest: a span opened while another is active becomes its child, so
+a full run yields a trace *tree* (rendered by :mod:`repro.obs.report`).
+Each thread gets an independent stack and root list — traces from
+worker threads never interleave.
+
+When recording is disabled (:mod:`repro.obs.config`), :func:`span`
+returns a shared no-op object and records nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Optional
+
+from . import config
+
+
+class Span:
+    """One timed region.  Use as a context manager."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "children")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start: float = 0.0
+        self.duration: Optional[float] = None  # None while still open
+        self.children: list[Span] = []
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) key/value attributes on this span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        state = _state()
+        parent = state.stack[-1] if state.stack else None
+        (parent.children if parent is not None else state.roots).append(self)
+        state.stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Exception safety: the span always closes and records, and the
+        # exception (if any) is noted on the span before propagating.
+        self.duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        state = _state()
+        if state.stack and state.stack[-1] is self:
+            state.stack.pop()
+        elif self in state.stack:  # pragma: no cover - defensive
+            state.stack.remove(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ms = "open" if self.duration is None else f"{self.duration * 1e3:.2f}ms"
+        return f"Span({self.name!r}, {ms}, attrs={self.attrs})"
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while recording is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ThreadState(threading.local):
+    def __init__(self) -> None:  # called once per thread
+        self.roots: list[Span] = []
+        self.stack: list[Span] = []
+
+
+_STATE = _ThreadState()
+
+
+def _state() -> _ThreadState:
+    return _STATE
+
+
+def span(name: str, **attrs: Any):
+    """Open a new span (no-op while recording is disabled)."""
+    if not config.ENABLED:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def current():
+    """The innermost open span of this thread (no-op span if none)."""
+    if not config.ENABLED:
+        return NULL_SPAN
+    stack = _state().stack
+    return stack[-1] if stack else NULL_SPAN
+
+
+def trace() -> list[Span]:
+    """This thread's recorded root spans, in start order."""
+    return list(_state().roots)
+
+
+def reset_trace() -> None:
+    """Drop this thread's recorded spans (open spans stay on the stack)."""
+    _state().roots.clear()

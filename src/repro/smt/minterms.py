@@ -14,9 +14,16 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from ..obs import config as obs_config
+from ..obs import metrics as obs_metrics
 from . import builders as b
 from .solver import Solver
 from .terms import Term
+
+_OBS_CALLS = obs_metrics.counter("minterms.enumerations")
+_OBS_EMITTED = obs_metrics.counter("minterms.emitted")
+_OBS_PRUNED = obs_metrics.counter("minterms.unsat_pruned")
+_OBS_FANOUT = obs_metrics.histogram("minterms.fanout")
 
 
 def minterms(
@@ -29,14 +36,27 @@ def minterms(
     pairwise disjoint.
     """
     preds = list(predicates)
+    recording = obs_config.ENABLED
+    emitted = 0
 
     def go(i: int, acc: Term, signs: tuple[bool, ...]) -> Iterator[tuple[tuple[bool, ...], Term]]:
+        nonlocal emitted
         if not solver.is_sat(acc):
+            if recording:
+                _OBS_PRUNED.inc()
             return
         if i == len(preds):
+            emitted += 1
+            if recording:
+                _OBS_EMITTED.inc()
             yield signs, acc
             return
         yield from go(i + 1, b.mk_and(acc, preds[i]), signs + (True,))
         yield from go(i + 1, b.mk_and(acc, b.mk_not(preds[i])), signs + (False,))
 
+    if recording:
+        _OBS_CALLS.inc()
     yield from go(0, b.TRUE, ())
+    if recording:
+        # Only reached when the caller exhausts the enumeration.
+        _OBS_FANOUT.observe(emitted)

@@ -18,10 +18,12 @@ practical (cache statistics feed the evaluation harness).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
 
+from ..obs import config as obs_config
+from ..obs import metrics as obs_metrics
 from . import builders as b
 from .cubes import classify_atom, iter_cubes
 from .lia_cooper import solve_int_cube
@@ -67,13 +69,49 @@ def _default_value(sort: Sort) -> Value:
     raise SmtError(f"no default value for sort {sort}")
 
 
+#: Process-wide solver metrics (all solver instances), recorded only
+#: while :mod:`repro.obs` is enabled; the per-instance ``SolverStats``
+#: counters below are always live.
+_OBS_SAT = obs_metrics.counter("solver.sat_queries")
+_OBS_HITS = obs_metrics.counter("solver.cache_hits")
+_OBS_CUBES = obs_metrics.counter("solver.cubes_checked")
+
+
 @dataclass
 class SolverStats:
-    """Counters exposed to the benchmark harness."""
+    """Counters exposed to the benchmark harness.
 
-    sat_queries: int = 0
-    cache_hits: int = 0
-    cubes_checked: int = 0
+    Since the :mod:`repro.obs` migration this is a thin read-through
+    view over per-solver :class:`~repro.obs.metrics.Counter` objects —
+    the public attributes (``sat_queries`` etc.) are unchanged.
+    """
+
+    _sat: obs_metrics.Counter = field(default_factory=obs_metrics.Counter)
+    _hits: obs_metrics.Counter = field(default_factory=obs_metrics.Counter)
+    _cubes: obs_metrics.Counter = field(default_factory=obs_metrics.Counter)
+
+    @property
+    def sat_queries(self) -> int:
+        return self._sat.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def cubes_checked(self) -> int:
+        return self._cubes.value
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per query; 0.0 before the first query."""
+        queries = self._sat.value
+        return self._hits.value / queries if queries else 0.0
+
+    def reset(self) -> None:
+        self._sat.reset()
+        self._hits.reset()
+        self._cubes.reset()
 
 
 class Solver:
@@ -96,9 +134,13 @@ class Solver:
 
     def get_model(self, formula: Term) -> Optional[Model]:
         """A satisfying assignment covering the formula's variables, or None."""
-        self.stats.sat_queries += 1
+        self.stats._sat.inc()
+        if obs_config.ENABLED:
+            _OBS_SAT.inc()
         if self._cache_enabled and formula in self._sat_cache:
-            self.stats.cache_hits += 1
+            self.stats._hits.inc()
+            if obs_config.ENABLED:
+                _OBS_HITS.inc()
             return self._sat_cache[formula]
         model = self._solve(formula)
         if self._cache_enabled:
@@ -107,7 +149,9 @@ class Solver:
 
     def _solve(self, formula: Term) -> Optional[Model]:
         for cube in iter_cubes(formula):
-            self.stats.cubes_checked += 1
+            self.stats._cubes.inc()
+            if obs_config.ENABLED:
+                _OBS_CUBES.inc()
             model = self._solve_cube(cube)
             if model is not None:
                 for v in formula.free_vars():

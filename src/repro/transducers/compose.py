@@ -29,6 +29,9 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..obs import config as obs_config
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from ..smt import builders as smt
 from ..smt.solver import Solver
 from ..smt.terms import Term
@@ -36,6 +39,12 @@ from .domain import domain_sta
 from .output_terms import OutApply, OutNode, OutputTerm, TApp, states_at
 from .preimage import LookTuple, PreimageBuilder
 from .sttr import STTR, STTRRule, State, TransducerError
+
+_OBS_STATES = obs_metrics.histogram("compose.states_explored")
+_OBS_RULES = obs_metrics.histogram("compose.rules_emitted")
+_OBS_LA_RULES = obs_metrics.histogram("compose.lookahead_rules")
+_OBS_PAIR_STATES = obs_metrics.counter("compose.pair_states")
+_OBS_PRUNED_LA = obs_metrics.counter("compose.lookahead_states_pruned")
 
 
 def compose(
@@ -47,20 +56,32 @@ def compose(
             f"cannot compose: {first.name} outputs {first.output_type.name}, "
             f"{second.name} reads {second.input_type.name}"
         )
-    dt_sta, _ = domain_sta(second)
-    builder = PreimageBuilder(first, dt_sta, solver)
-    composer = _Composer(first, second, builder, solver)
-    composer.run()
-    builder.ensure()
-    composed = STTR(
-        name or f"({first.name} ; {second.name})",
-        first.input_type,
-        second.output_type,
-        ("pair", first.initial, second.initial),
-        tuple(composer.rules),
-        builder.sta(),
-    )
-    return prune_trivial_lookahead(composed, solver)
+    with obs_tracer.span("compose", t1=first.name, t2=second.name) as sp:
+        dt_sta, _ = domain_sta(second)
+        builder = PreimageBuilder(first, dt_sta, solver)
+        composer = _Composer(first, second, builder, solver)
+        composer.run()
+        builder.ensure()
+        lookahead_sta = builder.sta()
+        composed = STTR(
+            name or f"({first.name} ; {second.name})",
+            first.input_type,
+            second.output_type,
+            ("pair", first.initial, second.initial),
+            tuple(composer.rules),
+            lookahead_sta,
+        )
+        if obs_config.ENABLED:
+            _OBS_PAIR_STATES.inc(composer.states_explored)
+            _OBS_STATES.observe(composer.states_explored)
+            _OBS_RULES.observe(len(composer.rules))
+            _OBS_LA_RULES.observe(len(lookahead_sta.rules))
+            sp.set(
+                states=composer.states_explored,
+                rules=len(composer.rules),
+                lookahead_rules=len(lookahead_sta.rules),
+            )
+        return prune_trivial_lookahead(composed, solver)
 
 
 def prune_trivial_lookahead(sttr: STTR, solver: Solver) -> STTR:
@@ -76,6 +97,8 @@ def prune_trivial_lookahead(sttr: STTR, solver: Solver) -> STTR:
     universal = universal_states(sttr.lookahead_sta, solver)
     if not universal:
         return sttr
+    if obs_config.ENABLED:
+        _OBS_PRUNED_LA.inc(len(universal))
     new_rules = tuple(
         STTRRule(
             r.state,
@@ -109,6 +132,7 @@ class _Composer:
         self.builder = builder
         self.solver = solver
         self.rules: list[STTRRule] = []
+        self.states_explored = 0
         self._t_in_fields = [f.name for f in second.input_type.fields]
 
     def run(self) -> None:
@@ -119,6 +143,7 @@ class _Composer:
             if (p, q) in done:
                 continue
             done.add((p, q))
+            self.states_explored = len(done)
             for new_rule in self._compose_state(p, q):
                 self.rules.append(new_rule)
                 for term in new_rule.output.iter_terms():

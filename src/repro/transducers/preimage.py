@@ -37,11 +37,17 @@ from typing import Iterable, Iterator
 
 from ..automata.language import Language
 from ..automata.sta import STA, STARule, State
+from ..obs import config as obs_config
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from ..smt import builders as smt
 from ..smt.solver import Solver
 from ..smt.terms import Term
 from .output_terms import OutApply, OutNode, OutputTerm
 from .sttr import STTR
+
+_OBS_STATES = obs_metrics.counter("preimage.states_built")
+_OBS_RULES = obs_metrics.counter("preimage.rules_built")
 
 #: Lookahead tuples: one frozenset of result-automaton states per child.
 LookTuple = tuple[frozenset, ...]
@@ -87,6 +93,8 @@ class PreimageBuilder:
         if s not in self._built:
             self._built.add(s)
             self._pending.append((p, s[2]))
+            if obs_config.ENABLED:
+                _OBS_STATES.inc()
         return s
 
     def ensure(self) -> None:
@@ -103,6 +111,8 @@ class PreimageBuilder:
                         for l, e in zip(rule.lookahead, extra)
                     )
                     self._rules.append(STARule(source, rule.ctor, guard, lookahead))
+                    if obs_config.ENABLED:
+                        _OBS_RULES.inc()
 
     def sta(self) -> STA:
         """The automaton built so far (call :meth:`ensure` first)."""
@@ -181,7 +191,10 @@ def preimage(sttr: STTR, lang: Language, solver: Solver | None = None) -> Langua
     (paper Theorem 4, since pre-image factors through composition).
     """
     solver = solver or lang.solver
-    builder = PreimageBuilder(sttr, lang.sta, solver)
-    root = builder.state(sttr.initial, [lang.state])
-    builder.ensure()
-    return Language(builder.sta(), root, solver)
+    with obs_tracer.span("preimage", trans=sttr.name) as sp:
+        builder = PreimageBuilder(sttr, lang.sta, solver)
+        root = builder.state(sttr.initial, [lang.state])
+        builder.ensure()
+        sta = builder.sta()
+        sp.set(states=len(builder._built), rules=len(sta.rules))
+    return Language(sta, root, solver)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..automata.language import Language
+from ..obs import tracer as obs_tracer
 from ..smt.solver import Solver
 from ..trees.tree import Tree
 from .preimage import preimage
@@ -27,6 +28,12 @@ def type_check(
 ) -> Optional[Tree]:
     """None when the transduction type-checks; else a counterexample input."""
     solver = solver or input_lang.solver
-    bad_outputs = output_lang.complement()
-    bad_inputs = preimage(sttr, bad_outputs, solver)
-    return input_lang.intersect(bad_inputs).witness()
+    with obs_tracer.span("typecheck", trans=sttr.name) as sp:
+        with obs_tracer.span("typecheck.complement"):
+            bad_outputs = output_lang.complement()
+        with obs_tracer.span("typecheck.preimage"):
+            bad_inputs = preimage(sttr, bad_outputs, solver)
+        with obs_tracer.span("typecheck.emptiness"):
+            cex = input_lang.intersect(bad_inputs).witness()
+        sp.set(ok=cex is None)
+    return cex

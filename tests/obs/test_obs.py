@@ -1,0 +1,294 @@
+"""Tests for the repro.obs observability subsystem."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import config as obs_config
+from repro.obs import tracer
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+from repro.smt import builders as smt
+from repro.smt.solver import Solver, SolverStats
+from repro.smt.sorts import INT
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test starts and ends disabled with empty state."""
+    obs.enabled(False)
+    obs.reset()
+    yield
+    obs.enabled(False)
+    obs.reset()
+
+
+class TestTracer:
+    def test_nested_spans(self):
+        obs.enabled(True)
+        with obs.span("outer", kind="test"):
+            with obs.span("inner1"):
+                pass
+            with obs.span("inner2") as sp:
+                sp.set(n=3)
+        roots = obs.trace()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert outer.attrs == {"kind": "test"}
+        assert [c.name for c in outer.children] == ["inner1", "inner2"]
+        assert outer.children[1].attrs == {"n": 3}
+        assert outer.duration is not None
+        assert all(c.duration is not None for c in outer.children)
+        # children are timed within the parent
+        assert outer.duration >= max(c.duration for c in outer.children)
+
+    def test_sibling_roots(self):
+        obs.enabled(True)
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        assert [r.name for r in obs.trace()] == ["a", "b"]
+
+    def test_exception_safety(self):
+        obs.enabled(True)
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("boom"):
+                    raise ValueError("x")
+        outer = obs.trace()[0]
+        boom = outer.children[0]
+        # both spans closed and recorded, the exception is noted
+        assert outer.duration is not None and boom.duration is not None
+        assert boom.attrs["error"] == "ValueError"
+        assert outer.attrs["error"] == "ValueError"
+        # the stack unwound: a new span is a fresh root
+        with obs.span("after"):
+            pass
+        assert [r.name for r in obs.trace()] == ["outer", "after"]
+
+    def test_thread_locality(self):
+        obs.enabled(True)
+        seen: dict[str, list[str]] = {}
+
+        def worker():
+            with obs.span("worker-span"):
+                pass
+            seen["worker"] = [r.name for r in obs.trace()]
+
+        with obs.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        seen["main"] = [r.name for r in obs.trace()]
+        assert seen["worker"] == ["worker-span"]
+        assert seen["main"] == ["main-span"]
+
+    def test_disabled_is_noop(self):
+        assert not obs.is_enabled()
+        sp = obs.span("nothing", x=1)
+        assert sp is tracer.NULL_SPAN
+        with sp as inner:
+            inner.set(y=2)  # accepted and dropped
+        assert obs.trace() == []
+        assert obs.current() is tracer.NULL_SPAN
+
+    def test_current_span(self):
+        obs.enabled(True)
+        with obs.span("a") as a:
+            assert obs.current() is a
+            with obs.span("b") as b:
+                assert obs.current() is b
+            assert obs.current() is a
+        assert obs.current() is tracer.NULL_SPAN
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = Registry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        g = reg.gauge("g")
+        g.set(2.5)
+        assert g.value == 2.5
+        h = reg.histogram("h")
+        for v in (1, 2, 9):
+            h.observe(v)
+        assert h.count == 3 and h.total == 12 and h.min == 1 and h.max == 9
+        assert h.mean == 4.0
+        snap = reg.snapshot()
+        assert snap["c"] == 5 and snap["g"] == 2.5
+        assert snap["h"]["count"] == 3
+
+    def test_same_handle_and_type_conflict(self):
+        reg = Registry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_reset_keeps_handles_valid(self):
+        reg = Registry()
+        c = reg.counter("kept")
+        c.inc(7)
+        reg.reset()
+        assert c.value == 0
+        c.inc()
+        assert reg.snapshot()["kept"] == 1
+        assert reg.counter("kept") is c
+
+    def test_empty_histogram_snapshot(self):
+        h = Histogram()
+        assert h.snapshot() == {"count": 0, "sum": 0, "min": 0, "max": 0, "mean": 0.0}
+        g = Gauge()
+        assert g.snapshot() == 0
+
+
+class TestReport:
+    def _record_something(self):
+        obs.enabled(True)
+        with obs.span("phase", label="x"):
+            with obs.span("step"):
+                pass
+        obs.counter("widgets.made").inc(3)
+        obs.histogram("widgets.size").observe(10)
+
+    def test_json_round_trip(self):
+        self._record_something()
+        doc = json.loads(obs.render_json())
+        assert doc["schema"] == obs.SCHEMA
+        assert doc["metrics"]["widgets.made"] == 3
+        assert doc["metrics"]["widgets.size"]["count"] == 1
+        (root,) = [t for t in doc["trace"] if t["name"] == "phase"]
+        assert root["attrs"] == {"label": "x"}
+        assert root["children"][0]["name"] == "step"
+        assert root["duration_ms"] is not None
+
+    def test_snapshot_has_derived_hit_rate(self):
+        obs.enabled(True)
+        s = Solver()
+        x = smt.mk_var("x", INT)
+        f = smt.mk_gt(x, smt.mk_int(0))
+        s.is_sat(f)
+        s.is_sat(f)  # cache hit
+        metrics = obs.snapshot()["metrics"]
+        assert metrics["solver.sat_queries"] >= 2
+        assert 0.0 < metrics["solver.cache_hit_rate"] <= 1.0
+
+    def test_render_text_sections(self):
+        self._record_something()
+        text = obs.render_text()
+        assert "== trace ==" in text and "== metrics ==" in text
+        assert "phase" in text and "widgets.made" in text
+
+    def test_render_empty(self):
+        assert "(no spans recorded)" in obs.render_trace()
+
+
+class TestSolverStatsMigration:
+    def test_read_through_view(self):
+        s = Solver()
+        assert isinstance(s.stats, SolverStats)
+        x = smt.mk_var("x", INT)
+        f = smt.mk_gt(x, smt.mk_int(0))
+        assert s.is_sat(f)
+        assert s.is_sat(f)
+        assert s.stats.sat_queries == 2
+        assert s.stats.cache_hits == 1
+        assert s.stats.cubes_checked >= 1
+
+    def test_hit_rate_zero_queries(self):
+        assert Solver().stats.hit_rate == 0.0
+
+    def test_hit_rate(self):
+        s = Solver()
+        x = smt.mk_var("x", INT)
+        f = smt.mk_gt(x, smt.mk_int(0))
+        s.is_sat(f)
+        s.is_sat(f)
+        assert s.stats.hit_rate == 0.5
+
+    def test_per_solver_isolation(self):
+        a, b = Solver(), Solver()
+        x = smt.mk_var("x", INT)
+        a.is_sat(smt.mk_gt(x, smt.mk_int(0)))
+        assert a.stats.sat_queries == 1
+        assert b.stats.sat_queries == 0
+
+    def test_disabled_mode_skips_global_registry(self):
+        before = obs.REGISTRY.counter("solver.sat_queries").value
+        s = Solver()
+        x = smt.mk_var("x", INT)
+        s.is_sat(smt.mk_gt(x, smt.mk_int(0)))
+        assert obs.REGISTRY.counter("solver.sat_queries").value == before
+        assert s.stats.sat_queries == 1  # per-solver stats always live
+
+
+class TestConfig:
+    def test_observed_context_manager(self):
+        assert not obs.is_enabled()
+        with obs.observed():
+            assert obs.is_enabled()
+            with obs.observed(False):
+                assert not obs.is_enabled()
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+    def test_observed_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.observed():
+                raise RuntimeError
+        assert not obs.is_enabled()
+
+
+class TestOverhead:
+    """Disabled-mode recording must be near-free on hot paths."""
+
+    N = 100_000
+
+    def test_disabled_span_is_cheap(self):
+        assert not obs.is_enabled()
+        start = time.perf_counter()
+        for _ in range(self.N):
+            with obs.span("hot"):
+                pass
+        elapsed = time.perf_counter() - start
+        # ~0.2 us/iteration in practice; 20 us/iteration is the alarm line.
+        assert elapsed < self.N * 20e-6, f"disabled span too slow: {elapsed:.3f}s"
+        assert obs.trace() == []
+
+    def test_disabled_flag_guard_is_cheap(self):
+        c = obs.counter("overhead.test")
+        start = time.perf_counter()
+        for _ in range(self.N):
+            if obs_config.ENABLED:
+                c.inc()
+        elapsed = time.perf_counter() - start
+        assert elapsed < self.N * 10e-6, f"flag guard too slow: {elapsed:.3f}s"
+        assert c.value == 0
+
+    def test_instrumented_solver_loop_disabled_vs_enabled(self):
+        """The instrumented solver hot loop stays within noise when
+        disabled: recording off must never be slower than recording on
+        (beyond timer noise), and both must finish the same workload."""
+
+        def workload() -> float:
+            s = Solver(cache=False)
+            x = smt.mk_var("x", INT)
+            formulas = [smt.mk_gt(x, smt.mk_int(i % 7)) for i in range(300)]
+            start = time.perf_counter()
+            for f in formulas:
+                s.is_sat(f)
+            return time.perf_counter() - start
+
+        workload()  # warm-up
+        disabled = min(workload() for _ in range(3))
+        with obs.observed():
+            enabled = min(workload() for _ in range(3))
+        # Generous noise bound: disabled may not cost >50% more than enabled.
+        assert disabled < enabled * 1.5 + 0.01
