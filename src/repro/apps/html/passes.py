@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 
 from ...automata import Language, STA, rule as sta_rule
 from ...smt import builders as smt
-from ...smt.solver import Solver
+from ...smt.solver import DEFAULT_SOLVER, Solver
 from ...transducers import OutApply, OutNode, STTR, Transducer, trule
 from .encoding import HTML_E
 
@@ -184,7 +184,7 @@ class Pipeline:
 
 def build_pipeline(passes: Iterable[STTR], solver: Solver | None = None) -> Pipeline:
     """Compose independent passes into one single-traversal transducer."""
-    solver = solver or Solver()
+    solver = solver or DEFAULT_SOLVER
     passes = list(passes)
     if not passes:
         raise ValueError("a pipeline needs at least one pass")

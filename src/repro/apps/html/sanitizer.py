@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...fast import compile_program, parse_program
-from ...smt.solver import Solver
+from ...smt.solver import DEFAULT_SOLVER, Solver
 from ...trees.tree import Tree
 from .dom import Element, Node, Text
 from .encoding import decode_html, encode_html
@@ -98,7 +98,7 @@ class FastHtmlSanitizer:
     ) -> None:
         self.remove_tags = remove_tags
         source = fast_sanitizer_source(remove_tags)
-        self.env = compile_program(parse_program(source), solver or Solver())
+        self.env = compile_program(parse_program(source), solver or DEFAULT_SOLVER)
         #: the composed one-pass transducer used for sanitization
         self.rem_esc = self.env.transducers["rem_esc"]
         #: the input-restricted transducer used for analysis

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..automata import Language, STA, rule as sta_rule
-from ..smt.solver import Solver
+from ..smt.solver import DEFAULT_SOLVER, Solver
 from ..trees.tree import Tree
 from .deforestation import ILIST, filter_ev, map_caesar
 
@@ -23,7 +23,7 @@ from .deforestation import ILIST, filter_ev, map_caesar
 def non_empty_list_language(solver: Solver | None = None) -> Language:
     """Figure 8's ``not_emp_list``: lists with at least one element."""
     return Language(
-        STA(ILIST, (sta_rule("ne", "cons", None, [[]]),)), "ne", solver or Solver()
+        STA(ILIST, (sta_rule("ne", "cons", None, [[]]),)), "ne", solver or DEFAULT_SOLVER
     )
 
 
@@ -39,7 +39,7 @@ class AnalysisResult:
 
 def analyze_map_filter(solver: Solver | None = None) -> AnalysisResult:
     """Run the full Figure 8 analysis; returns the verdicts and wall time."""
-    solver = solver or Solver()
+    solver = solver or DEFAULT_SOLVER
     t0 = time.perf_counter()
     m = map_caesar(solver)
     f = filter_ev(solver)

@@ -33,7 +33,7 @@ from typing import Iterable, Optional
 from ..automata.language import Language
 from ..automata.sta import STA, STARule, State
 from ..smt import builders as smt
-from ..smt.solver import Solver
+from ..smt.solver import DEFAULT_SOLVER, Solver
 from ..smt.terms import Term
 from ..trees.tree import Tree
 from ..trees.types import TreeType
@@ -231,7 +231,7 @@ def compile_xpath(
     query: XPathQuery | str, solver: Solver | None = None
 ) -> Language:
     """Documents (forests) where the query selects at least one node."""
-    solver = solver or Solver()
+    solver = solver or DEFAULT_SOLVER
     if isinstance(query, str):
         query = parse_xpath(query)
     compiler = _Compiler(solver)
@@ -262,7 +262,7 @@ def contained_in(
 ) -> Optional[Tree]:
     """None if every document matched by ``narrow`` is matched by ``wide``;
     otherwise a witness document (encoded)."""
-    solver = solver or Solver()
+    solver = solver or DEFAULT_SOLVER
     return compile_xpath(narrow, solver).included_in(compile_xpath(wide, solver))
 
 
@@ -270,7 +270,7 @@ def disjoint(
     first: XPathQuery | str, second: XPathQuery | str, solver: Solver | None = None
 ) -> bool:
     """Can no document match both queries?"""
-    solver = solver or Solver()
+    solver = solver or DEFAULT_SOLVER
     return (
         compile_xpath(first, solver)
         .intersect(compile_xpath(second, solver))

@@ -33,6 +33,7 @@ from .smt.terms import (
     Or,
     Term,
     Var,
+    interned,
 )
 from .transducers.output_terms import OutApply, OutNode, OutputTerm
 from .transducers.sttr import STTR, STTRRule
@@ -112,13 +113,13 @@ def term_to_json(term: Term) -> Any:
 
 def term_from_json(data: Any) -> Term:
     if "var" in data:
-        return Var(data["var"], _sort(data["sort"]))
+        return smt.mk_var(data["var"], _sort(data["sort"]))
     if "const" in data:
         value = _value_from_json(data["const"])
         sort = _sort(data["sort"])
         if sort.name == "Real" and isinstance(value, int):
             value = Fraction(value)
-        return Const(value, sort)
+        return smt.mk_const(value, sort)
     if "neg" in data:
         return smt.mk_neg(term_from_json(data["neg"]))
     if "not" in data:
@@ -133,7 +134,9 @@ def term_from_json(data: Any) -> Term:
         return smt.mk_le(term_from_json(left), term_from_json(right))
     if "eq" in data:
         left, right = data["eq"]
-        return Eq(term_from_json(left), term_from_json(right))
+        # A raw (interned) Eq node, not mk_eq: Bool equalities must
+        # round-trip structurally instead of being desugared.
+        return interned(Eq, term_from_json(left), term_from_json(right))
     if "add" in data:
         return smt.mk_add(*(term_from_json(a) for a in data["add"]))
     if "mul" in data:

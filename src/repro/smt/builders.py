@@ -4,6 +4,12 @@ These perform light, local normalization (constant folding, flattening of
 ``And``/``Or``/``Add``, unit/annihilator laws) so that the rest of the
 system can build terms freely without accumulating trivial structure.
 Deeper simplification lives in :mod:`repro.smt.simplify`.
+
+Every node built here is **hash-consed** through the intern table in
+:mod:`repro.smt.terms`: structurally equal results are reference-equal,
+which makes solver-cache lookups, dedup sets, and guard comparisons
+O(1).  All term construction in the library must go through these
+constructors (see DESIGN.md, "Term representation").
 """
 
 from __future__ import annotations
@@ -30,12 +36,14 @@ from .terms import (
     Term,
     Value,
     Var,
+    interned,
+    interned_const,
 )
 
 
 def mk_var(name: str, sort: Sort) -> Var:
     """A variable of the given sort."""
-    return Var(name, sort)
+    return interned(Var, name, sort)  # type: ignore[return-value]
 
 
 def mk_const(value: Value, sort: Sort | None = None) -> Const:
@@ -56,21 +64,21 @@ def mk_const(value: Value, sort: Sort | None = None) -> Const:
             raise SortError(f"cannot infer sort of constant {value!r}")
     if sort is REAL and isinstance(value, int) and not isinstance(value, bool):
         value = Fraction(value)
-    return Const(value, sort)
+    return interned_const(value, sort)
 
 
 def mk_int(value: int) -> Const:
-    return Const(value, INT)
+    return interned_const(value, INT)
 
 
 def mk_real(value: int | float | Fraction) -> Const:
     if isinstance(value, float):
         value = Fraction(value).limit_denominator(10**9)
-    return Const(Fraction(value), REAL)
+    return interned_const(Fraction(value), REAL)
 
 
 def mk_str(value: str) -> Const:
-    return Const(value, STRING)
+    return interned_const(value, STRING)
 
 
 def mk_bool(value: bool) -> Const:
@@ -106,7 +114,7 @@ def mk_add(*args: Term) -> Term:
         rest.append(mk_const(const, sort))
     if len(rest) == 1:
         return rest[0]
-    return Add(tuple(rest))
+    return interned(Add, tuple(rest))
 
 
 def mk_sub(left: Term, right: Term) -> Term:
@@ -120,7 +128,7 @@ def mk_neg(arg: Term) -> Term:
         return arg.arg
     if isinstance(arg, Add):
         return mk_add(*(mk_neg(a) for a in arg.args))
-    return Neg(arg)
+    return interned(Neg, arg)
 
 
 def mk_mul(*args: Term) -> Term:
@@ -149,7 +157,7 @@ def mk_mul(*args: Term) -> Term:
         rest.insert(0, mk_const(const, sort))
     if len(rest) == 1:
         return rest[0]
-    return Mul(tuple(rest))
+    return interned(Mul, tuple(rest))
 
 
 def mk_mod(arg: Term, modulus: int) -> Term:
@@ -178,7 +186,7 @@ def mk_mod(arg: Term, modulus: int) -> Term:
                 parts.append(a)
         if changed:
             return mk_mod(mk_add(*parts), modulus)
-    return Mod(arg, modulus)
+    return interned(Mod, arg, modulus)
 
 
 # ---------------------------------------------------------------------------
@@ -189,13 +197,13 @@ def mk_mod(arg: Term, modulus: int) -> Term:
 def mk_lt(left: Term, right: Term) -> Term:
     if isinstance(left, Const) and isinstance(right, Const):
         return mk_bool(left.value < right.value)  # type: ignore[operator]
-    return Lt(left, right)
+    return interned(Lt, left, right)
 
 
 def mk_le(left: Term, right: Term) -> Term:
     if isinstance(left, Const) and isinstance(right, Const):
         return mk_bool(left.value <= right.value)  # type: ignore[operator]
-    return Le(left, right)
+    return interned(Le, left, right)
 
 
 def mk_gt(left: Term, right: Term) -> Term:
@@ -215,7 +223,7 @@ def mk_eq(left: Term, right: Term) -> Term:
         # Desugar Boolean equality into (a and b) or (not a and not b) so
         # that downstream passes only see propositional structure.
         return mk_or(mk_and(left, right), mk_and(mk_not(left), mk_not(right)))
-    return Eq(left, right)
+    return interned(Eq, left, right)
 
 
 def mk_ne(left: Term, right: Term) -> Term:
@@ -250,7 +258,7 @@ def mk_and(*args: Term) -> Term:
         return TRUE
     if len(flat) == 1:
         return flat[0]
-    return And(tuple(flat))
+    return interned(And, tuple(flat))
 
 
 def mk_or(*args: Term) -> Term:
@@ -276,7 +284,7 @@ def mk_or(*args: Term) -> Term:
         return FALSE
     if len(flat) == 1:
         return flat[0]
-    return Or(tuple(flat))
+    return interned(Or, tuple(flat))
 
 
 def mk_not(arg: Term) -> Term:
@@ -286,7 +294,7 @@ def mk_not(arg: Term) -> Term:
         return TRUE
     if isinstance(arg, Not):
         return arg.arg
-    return Not(arg)
+    return interned(Not, arg)
 
 
 def mk_implies(left: Term, right: Term) -> Term:

@@ -29,7 +29,7 @@ from math import lcm
 from typing import Iterable, Optional
 
 from .linear import LinTerm, linearize
-from .terms import Eq, Le, Lt, Mod, SmtError, Term, Var
+from .terms import Eq, Le, Lt, Mod, SmtError, Term, Var, interned
 
 #: Prefix for solver-internal variables (mod witnesses, scaled variables).
 _INTERNAL = "%"
@@ -77,7 +77,7 @@ def _eliminate_mods(
         if mod is None:
             out.append((pos, atom))
             continue
-        fresh = Var(f"{_INTERNAL}m{next(counter)}", mod.sort)
+        fresh = interned(Var, f"{_INTERNAL}m{next(counter)}", mod.sort)
         replaced = _replace_term(atom, mod, fresh)
         work.insert(0, (pos, replaced))
         # 0 <= fresh < modulus  and  modulus | (arg - fresh).  The chosen

@@ -38,8 +38,16 @@ def minterms(
     preds = list(predicates)
     recording = obs_config.ENABLED
     emitted = 0
+    # Sign choices live in one shared list mutated push/pop around each
+    # branch (building ``signs + (True,)`` tuples per node is quadratic
+    # in the predicate count); tuples materialize only at the leaves.
+    # The accumulated conjunctions go through the interning constructors,
+    # so sibling branches share their common prefix and repeated
+    # enumerations over the same predicates hit the solver cache by
+    # identity.
+    signs: list[bool] = []
 
-    def go(i: int, acc: Term, signs: tuple[bool, ...]) -> Iterator[tuple[tuple[bool, ...], Term]]:
+    def go(i: int, acc: Term) -> Iterator[tuple[tuple[bool, ...], Term]]:
         nonlocal emitted
         if not solver.is_sat(acc):
             if recording:
@@ -49,14 +57,17 @@ def minterms(
             emitted += 1
             if recording:
                 _OBS_EMITTED.inc()
-            yield signs, acc
+            yield tuple(signs), acc
             return
-        yield from go(i + 1, b.mk_and(acc, preds[i]), signs + (True,))
-        yield from go(i + 1, b.mk_and(acc, b.mk_not(preds[i])), signs + (False,))
+        signs.append(True)
+        yield from go(i + 1, b.mk_and(acc, preds[i]))
+        signs[-1] = False
+        yield from go(i + 1, b.mk_and(acc, b.mk_not(preds[i])))
+        signs.pop()
 
     if recording:
         _OBS_CALLS.inc()
-    yield from go(0, b.TRUE, ())
+    yield from go(0, b.TRUE)
     if recording:
         # Only reached when the caller exhausts the enumeration.
         _OBS_FANOUT.observe(emitted)

@@ -25,12 +25,13 @@ from typing import Optional
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
 from . import builders as b
+from . import terms as terms_mod
 from .cubes import classify_atom, iter_cubes
 from .lia_cooper import solve_int_cube
 from .lra_fm import solve_real_cube
 from .sorts import BOOL, INT, REAL, STRING, Sort
 from .strings_solver import solve_string_cube
-from .terms import Const, SmtError, Term, Value, Var
+from .terms import FALSE, TRUE, Const, SmtError, Term, Value, Var
 
 
 @dataclass
@@ -75,6 +76,8 @@ def _default_value(sort: Sort) -> Value:
 _OBS_SAT = obs_metrics.counter("solver.sat_queries")
 _OBS_HITS = obs_metrics.counter("solver.cache_hits")
 _OBS_CUBES = obs_metrics.counter("solver.cubes_checked")
+_OBS_TRIVIAL = obs_metrics.counter("solver.trivial_queries")
+_OBS_IMPLIES_HITS = obs_metrics.counter("solver.implies_cache_hits")
 
 
 @dataclass
@@ -89,6 +92,10 @@ class SolverStats:
     _sat: obs_metrics.Counter = field(default_factory=obs_metrics.Counter)
     _hits: obs_metrics.Counter = field(default_factory=obs_metrics.Counter)
     _cubes: obs_metrics.Counter = field(default_factory=obs_metrics.Counter)
+    _trivial: obs_metrics.Counter = field(default_factory=obs_metrics.Counter)
+    _implies_hits: obs_metrics.Counter = field(
+        default_factory=obs_metrics.Counter
+    )
 
     @property
     def sat_queries(self) -> int:
@@ -103,6 +110,15 @@ class SolverStats:
         return self._cubes.value
 
     @property
+    def trivial_queries(self) -> int:
+        """Queries answered by the TRUE/FALSE identity fast path."""
+        return self._trivial.value
+
+    @property
+    def implies_cache_hits(self) -> int:
+        return self._implies_hits.value
+
+    @property
     def hit_rate(self) -> float:
         """Cache hits per query; 0.0 before the first query."""
         queries = self._sat.value
@@ -112,6 +128,8 @@ class SolverStats:
         self._sat.reset()
         self._hits.reset()
         self._cubes.reset()
+        self._trivial.reset()
+        self._implies_hits.reset()
 
 
 class Solver:
@@ -123,6 +141,7 @@ class Solver:
 
     def __init__(self, cache: bool = True) -> None:
         self._sat_cache: dict[Term, Optional[Model]] = {}
+        self._implies_cache: dict[tuple[Term, Term], bool] = {}
         self._cache_enabled = cache
         self.stats = SolverStats()
 
@@ -130,10 +149,36 @@ class Solver:
 
     def is_sat(self, formula: Term) -> bool:
         """Is the formula satisfiable?"""
+        if formula is TRUE:
+            self.stats._trivial.inc()
+            if obs_config.ENABLED:
+                _OBS_TRIVIAL.inc()
+            return True
+        if formula is FALSE:
+            self.stats._trivial.inc()
+            if obs_config.ENABLED:
+                _OBS_TRIVIAL.inc()
+            return False
         return self.get_model(formula) is not None
 
     def get_model(self, formula: Term) -> Optional[Model]:
-        """A satisfying assignment covering the formula's variables, or None."""
+        """A satisfying assignment covering the formula's variables, or None.
+
+        The hash-consed constants short-circuit before the query counter:
+        asking whether the interned ``TRUE``/``FALSE`` is satisfiable is
+        an identity check, not solver work (tracked separately under
+        ``solver.trivial_queries``).
+        """
+        if formula is TRUE:
+            self.stats._trivial.inc()
+            if obs_config.ENABLED:
+                _OBS_TRIVIAL.inc()
+            return Model({})
+        if formula is FALSE:
+            self.stats._trivial.inc()
+            if obs_config.ENABLED:
+                _OBS_TRIVIAL.inc()
+            return None
         self.stats._sat.inc()
         if obs_config.ENABLED:
             _OBS_SAT.inc()
@@ -223,13 +268,68 @@ class Solver:
         return not self.is_sat(b.mk_not(formula))
 
     def implies(self, antecedent: Term, consequent: Term) -> bool:
-        return not self.is_sat(b.mk_and(antecedent, b.mk_not(consequent)))
+        """Does the antecedent entail the consequent?
+
+        Memoized per ``(antecedent, consequent)`` identity pair — the
+        workhorse of antichain subsumption and ``typecheck`` fires the
+        same entailments thousands of times.
+        """
+        if antecedent is consequent or antecedent is FALSE or consequent is TRUE:
+            self.stats._trivial.inc()
+            if obs_config.ENABLED:
+                _OBS_TRIVIAL.inc()
+            return True
+        if not self._cache_enabled:
+            return not self.is_sat(b.mk_and(antecedent, b.mk_not(consequent)))
+        key = (antecedent, consequent)
+        hit = self._implies_cache.get(key)
+        if hit is None:
+            hit = not self.is_sat(b.mk_and(antecedent, b.mk_not(consequent)))
+            self._implies_cache[key] = hit
+        else:
+            self.stats._implies_hits.inc()
+            if obs_config.ENABLED:
+                _OBS_IMPLIES_HITS.inc()
+        return hit
 
     def equivalent(self, left: Term, right: Term) -> bool:
+        if left is right:
+            self.stats._trivial.inc()
+            if obs_config.ENABLED:
+                _OBS_TRIVIAL.inc()
+            return True
         return self.implies(left, right) and self.implies(right, left)
 
+    # -- cache management --------------------------------------------------
+
+    def cache_info(self) -> dict[str, float]:
+        """Sizes and hit counters of every cache this solver touches.
+
+        Includes the process-wide term-layer caches (intern table,
+        substitution memo) so `--profile` runs can spot leaks.
+        """
+        return {
+            "sat_cache_size": len(self._sat_cache),
+            "implies_cache_size": len(self._implies_cache),
+            "sat_queries": self.stats.sat_queries,
+            "cache_hits": self.stats.cache_hits,
+            "implies_cache_hits": self.stats.implies_cache_hits,
+            "trivial_queries": self.stats.trivial_queries,
+            "hit_rate": self.stats.hit_rate,
+            "intern_table_size": terms_mod.intern_table_size(),
+            "substitution_cache_size": terms_mod.subst_cache_size(),
+        }
+
     def clear_cache(self) -> None:
+        """Drop the sat/implies memos and the shared substitution cache.
+
+        The intern table is left alone (it canonicalizes identity, not
+        results); flush it explicitly with
+        :func:`repro.smt.terms.clear_intern_table`.
+        """
         self._sat_cache.clear()
+        self._implies_cache.clear()
+        terms_mod.clear_substitution_cache()
 
 
 #: Shared default solver used across the library when none is supplied.

@@ -20,6 +20,15 @@ class Sort:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return self.name
 
+    def __reduce__(self):
+        # Unpickle to the module-level singleton: the theory dispatchers
+        # compare sorts with ``is``, so identity must survive pickling.
+        return (_load_sort, (self.name,))
+
+
+def _load_sort(name: str) -> "Sort":
+    return BASIC_SORTS.get(name) or Sort(name)
+
 
 BOOL = Sort("Bool")
 INT = Sort("Int")

@@ -2,9 +2,17 @@
 
 Quantifier-free first-order terms over the basic sorts of
 :mod:`repro.smt.sorts`.  Formulas are simply terms of sort ``Bool``.  The
-AST is immutable (frozen dataclasses) so terms can be used as dictionary
-keys and cached; construction goes through the smart constructors in
-:mod:`repro.smt.builders`, which perform light normalization.
+AST is immutable (frozen dataclasses); construction goes through the
+smart constructors in :mod:`repro.smt.builders`, which perform light
+normalization and **hash-cons** every node: structurally equal terms
+built through the builders are reference-equal (a shared DAG), so
+``__hash__`` is O(1) after construction, ``__eq__`` has an identity fast
+path, and per-node results (``sort``, ``free_vars``, substitutions) are
+computed once and shared.
+
+Directly constructed nodes (``And((a, b))``) remain valid terms — they
+are simply not deduplicated; equality and hashing stay structural, so
+interned and non-interned terms interoperate in every cache and set.
 
 The fragment matches what the paper needs from a label theory
 (Section 3.1): Boolean connectives, equality at every sort, linear
@@ -15,10 +23,13 @@ polynomial) arithmetic over ``Real``, and (dis)equalities over
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, fields as dataclass_fields
 from fractions import Fraction
 from typing import Iterator, Mapping, Union
 
+from ..obs import config as _obs_config
+from ..obs import metrics as _obs_metrics
 from .sorts import BOOL, INT, REAL, STRING, Sort
 
 #: Python carrier values for each sort.
@@ -54,20 +65,66 @@ class Term:
         return ()
 
     def free_vars(self) -> frozenset["Var"]:
-        """The set of free variables (no binders exist, so all variables)."""
-        out: set[Var] = set()
-        stack: list[Term] = [self]
-        while stack:
-            t = stack.pop()
-            if isinstance(t, Var):
-                out.add(t)
+        """The set of free variables (no binders exist, so all variables).
+
+        Computed once per node and cached; on the hash-consed DAG the
+        children's cached sets are shared, so a cold computation is
+        linear in the number of *distinct* subterms.
+        """
+        try:
+            return object.__getattribute__(self, "_fv_cache")
+        except AttributeError:
+            pass
+        if isinstance(self, Var):
+            fv: frozenset[Var] = frozenset((self,))
+        else:
+            kids = self.children
+            if not kids:
+                fv = _NO_VARS
+            elif len(kids) == 1:
+                fv = kids[0].free_vars()
             else:
-                stack.extend(t.children)
-        return frozenset(out)
+                fv = frozenset().union(*(c.free_vars() for c in kids))
+        object.__setattr__(self, "_fv_cache", fv)
+        return fv
+
+    def free_var_names(self) -> frozenset[str]:
+        """Cached set of free-variable *names* (substitution pruning)."""
+        try:
+            return object.__getattribute__(self, "_fvn_cache")
+        except AttributeError:
+            pass
+        names = frozenset(v.name for v in self.free_vars())
+        object.__setattr__(self, "_fvn_cache", names)
+        return names
 
     def substitute(self, mapping: Mapping[str, "Term"]) -> "Term":
-        """Simultaneously substitute terms for variables (by name)."""
-        return _substitute(self, mapping)
+        """Simultaneously substitute terms for variables (by name).
+
+        No-ops (empty mapping, or no free variable mentioned) return
+        ``self`` without walking the term; non-trivial substitutions are
+        memoized in a process-wide cache keyed by the (interned) term
+        and the relevant slice of the mapping.
+        """
+        if not mapping:
+            return self
+        names = self.free_var_names()
+        if names.isdisjoint(mapping):
+            return self
+        relevant = tuple(
+            sorted((k, v) for k, v in mapping.items() if k in names)
+        )
+        key = (self, relevant)
+        hit = _SUBST_CACHE.get(key)
+        if hit is not None:
+            if _obs_config.ENABLED:
+                _OBS_SUBST_HITS.inc()
+            return hit
+        result = _substitute(self, mapping)
+        if len(_SUBST_CACHE) >= _SUBST_CACHE_MAX:
+            _SUBST_CACHE.clear()
+        _SUBST_CACHE[key] = result
+        return result
 
     def evaluate(self, env: Mapping[str, Value]) -> Value:
         """Evaluate under a full assignment of values to variables."""
@@ -406,14 +463,118 @@ class Not(Term):
 
 
 # ---------------------------------------------------------------------------
-# Hash caching
+# Hash consing
 # ---------------------------------------------------------------------------
 #
-# Terms key caches and dedup sets throughout the automaton algorithms;
-# the dataclass-generated __hash__ walks the whole term each call, which
-# profiling shows dominating composition and emptiness.  Wrap every term
-# class's generated __hash__ with a lazy per-object cache (children's
-# hashes are cached too, so a cold hash is linear once, then O(1)).
+# Terms key caches and dedup sets throughout the automaton algorithms.
+# Three layers keep those operations O(1):
+#
+# * every term class's generated __hash__ is wrapped with a lazy
+#   per-object cache (children's hashes are cached too, so a cold hash
+#   is linear once, then O(1));
+# * __eq__ gets an identity fast path plus a cached-hash negative fast
+#   path, falling back to the structural dataclass comparison only for
+#   equal-hash non-identical pairs (i.e. un-interned duplicates);
+# * the smart constructors intern every node in the process-wide table
+#   below, so terms built through :mod:`repro.smt.builders` are
+#   reference-equal iff structurally equal and form a shared DAG.
+#
+# The table maps a structural key (class + constructor arguments) to the
+# canonical instance.  Keys hold strong references: the table is a
+# deliberate process-lifetime cache, sized by the ``terms.intern_table_size``
+# gauge and flushable via :func:`clear_intern_table`.
+
+_NO_VARS: frozenset = frozenset()
+
+_INTERN_TABLE: dict[tuple, "Term"] = {}
+_INTERN_LOCK = threading.Lock()
+
+_SUBST_CACHE: dict[tuple, "Term"] = {}
+_SUBST_CACHE_MAX = 1 << 16
+
+_OBS_INTERNED = _obs_metrics.counter("terms.interned")
+_OBS_INTERN_HITS = _obs_metrics.counter("terms.intern_hits")
+_OBS_SUBST_HITS = _obs_metrics.counter("terms.subst_cache_hits")
+_OBS_TABLE_SIZE = _obs_metrics.gauge("terms.intern_table_size")
+
+
+def _intern(key: tuple, cls: type, args: tuple) -> "Term":
+    t = _INTERN_TABLE.get(key)
+    if t is not None:
+        if _obs_config.ENABLED:
+            _OBS_INTERN_HITS.inc()
+        return t
+    with _INTERN_LOCK:
+        t = _INTERN_TABLE.get(key)
+        if t is None:
+            t = cls(*args)
+            hash(t)  # precompute the cached hash while we hold the node
+            _INTERN_TABLE[key] = t
+            _OBS_TABLE_SIZE.set(len(_INTERN_TABLE))
+            if _obs_config.ENABLED:
+                _OBS_INTERNED.inc()
+        elif _obs_config.ENABLED:
+            _OBS_INTERN_HITS.inc()
+    return t
+
+
+def interned(cls: type, *args) -> "Term":
+    """The canonical instance of ``cls(*args)`` (constructing on miss).
+
+    On a hit the constructor (and its sort validation) is skipped
+    entirely.  Thread-safe: concurrent misses for the same key race to a
+    lock and exactly one instance wins.
+    """
+    if cls is Const:
+        return interned_const(*args)
+    return _intern((cls, *args), cls, args)
+
+
+def interned_const(value: Value, sort: Sort) -> "Const":
+    """Interned :class:`Const`.
+
+    The key includes the carrier's Python type: ``True == 1`` and
+    ``Fraction(1) == 1`` must not alias, and an invalid combination
+    (e.g. ``Const(True, INT)``) must still reach the constructor's sort
+    validation instead of silently resolving to a cached neighbour.
+    """
+    return _intern(  # type: ignore[return-value]
+        (Const, value.__class__, value, sort), Const, (value, sort)
+    )
+
+
+def intern_table_size() -> int:
+    """Number of canonical terms currently interned (leak gauge)."""
+    return len(_INTERN_TABLE)
+
+
+def subst_cache_size() -> int:
+    """Number of memoized substitution results."""
+    return len(_SUBST_CACHE)
+
+
+def clear_substitution_cache() -> None:
+    """Drop all memoized substitution results."""
+    _SUBST_CACHE.clear()
+
+
+def clear_intern_table() -> None:
+    """Flush the intern table (keeps the canonical ``TRUE``/``FALSE``).
+
+    Terms created before the flush stay valid — equality and hashing
+    fall back to the structural path — they just stop being the
+    canonical representatives of their structure.
+    """
+    with _INTERN_LOCK:
+        _INTERN_TABLE.clear()
+        _seed_booleans()
+        _OBS_TABLE_SIZE.set(len(_INTERN_TABLE))
+    _SUBST_CACHE.clear()
+
+
+def _seed_booleans() -> None:
+    _INTERN_TABLE[(Const, True.__class__, True, BOOL)] = TRUE
+    _INTERN_TABLE[(Const, False.__class__, False, BOOL)] = FALSE
 
 
 def _install_cached_hash(cls: type) -> None:
@@ -430,8 +591,62 @@ def _install_cached_hash(cls: type) -> None:
     cls.__hash__ = __hash__  # type: ignore[assignment]
 
 
+def _install_identity_eq(cls: type) -> None:
+    generated = cls.__eq__
+
+    def __eq__(self, other):  # noqa: ANN001
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return generated(self, other)
+
+    cls.__eq__ = __eq__  # type: ignore[assignment]
+
+
+def _unpickle_term(cls: type, args: tuple) -> "Term":
+    if cls is Const:
+        return interned_const(args[0], args[1])
+    return interned(cls, *args)
+
+
+def _install_reduce(cls: type) -> None:
+    names = [f.name for f in dataclass_fields(cls)]
+
+    def __reduce__(self):  # noqa: ANN001
+        return (_unpickle_term, (self.__class__, tuple(getattr(self, n) for n in names)))
+
+    cls.__reduce__ = __reduce__  # type: ignore[assignment]
+
+
+def _install_cached_sort(cls: type) -> None:
+    """Cache ``sort`` for classes that derive it from their children."""
+    getter = cls.sort.fget  # type: ignore[attr-defined]
+
+    def sort(self):  # noqa: ANN001
+        try:
+            return object.__getattribute__(self, "_sort_cache")
+        except AttributeError:
+            value = getter(self)
+            object.__setattr__(self, "_sort_cache", value)
+            return value
+
+    cls.sort = property(sort)  # type: ignore[assignment]
+
+
 for _cls in (Var, Const, Add, Mul, Neg, Mod, Lt, Le, Eq, And, Or, Not):
     _install_cached_hash(_cls)
+    _install_identity_eq(_cls)
+    _install_reduce(_cls)
+
+for _cls in (Add, Mul, Neg):
+    _install_cached_sort(_cls)
+
+_seed_booleans()
+hash(TRUE)
+hash(FALSE)
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +669,8 @@ def _substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
         return repl
     if isinstance(term, Const):
         return term
+    if term.free_var_names().isdisjoint(mapping):
+        return term  # prune untouched subtrees (cached free-variable names)
     if isinstance(term, Add):
         return b.mk_add(*(_substitute(a, mapping) for a in term.args))
     if isinstance(term, Mul):

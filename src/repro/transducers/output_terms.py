@@ -130,11 +130,11 @@ def map_states(term: OutputTerm, fn: Callable) -> OutputTerm:
 
 def identity_output(tree_type: TreeType, ctor_name: str, state: object) -> OutNode:
     """The copying output ``f[x](q~(y1) .. q~(yk))`` for one constructor."""
-    from ..smt.terms import Var
+    from ..smt.builders import mk_var
 
     ctor = tree_type.constructor(ctor_name)
     return OutNode(
         ctor_name,
-        tuple(Var(f.name, f.sort) for f in tree_type.fields),
+        tuple(mk_var(f.name, f.sort) for f in tree_type.fields),
         tuple(OutApply(state, i) for i in range(ctor.rank)),
     )

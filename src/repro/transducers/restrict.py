@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from ..automata.language import Language
 from ..automata.normalize import normalize
+from ..smt.builders import mk_var
 from ..smt.solver import Solver
-from ..smt.terms import Var
 from .compose import compose
 from .output_terms import OutApply, OutNode
 from .sttr import STTR, STTRRule, TransducerError
@@ -27,7 +27,7 @@ def identity_sttr(tree_type, name: str = "I") -> STTR:
     for c in tree_type.constructors:
         out = OutNode(
             c.name,
-            tuple(Var(f.name, f.sort) for f in tree_type.fields),
+            tuple(mk_var(f.name, f.sort) for f in tree_type.fields),
             tuple(OutApply(state, i) for i in range(c.rank)),
         )
         from ..smt import builders as smt
@@ -48,7 +48,7 @@ def restricted_identity(lang: Language, solver: Solver, name: str = "I|L") -> ST
     start = frozenset([lang.state])
     norm = normalize(lang.sta, [start], solver)
     tree_type = lang.tree_type
-    attr_vars = tuple(Var(f.name, f.sort) for f in tree_type.fields)
+    attr_vars = tuple(mk_var(f.name, f.sort) for f in tree_type.fields)
     rules = []
     for r in norm.sta.rules:
         child_states = [next(iter(l)) for l in r.lookahead]

@@ -92,8 +92,10 @@ class TreeType:
         raise TreeTypeError(f"{self.name} has no attribute field {name!r}")
 
     def attr_vars(self) -> tuple[Var, ...]:
-        """The guard variables: one per attribute field."""
-        return tuple(Var(f.name, f.sort) for f in self.fields)
+        """The guard variables: one per attribute field (interned)."""
+        from ..smt.builders import mk_var
+
+        return tuple(mk_var(f.name, f.sort) for f in self.fields)
 
     def nullary(self) -> Constructor:
         """Some nullary constructor (used for witness construction)."""

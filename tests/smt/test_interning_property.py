@@ -1,0 +1,164 @@
+"""Interned construction is observationally equivalent to the seed path.
+
+Builders intern (and lightly simplify) every node; direct dataclass
+construction produces plain structural terms.  Whatever the internal
+representation, both must agree on ``evaluate``, ``substitute`` results,
+and solver verdicts.  The corpus is >=200 generated formulas.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    BOOL,
+    INT,
+    Add,
+    And,
+    Const,
+    Eq,
+    Le,
+    Lt,
+    Mod,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    Solver,
+    Var,
+    mk_add,
+    mk_and,
+    mk_bool,
+    mk_eq,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_mod,
+    mk_mul,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_var,
+)
+
+_NAMES = st.sampled_from(["x", "y", "z"])
+_INTS = st.integers(-8, 8)
+
+# Specs are plain tuples so the same tree can be interpreted through the
+# raw dataclass constructors and through the interning builders.
+_ARITH = st.recursive(
+    st.one_of(
+        st.tuples(st.just("var"), _NAMES),
+        st.tuples(st.just("const"), _INTS),
+    ),
+    lambda inner: st.one_of(
+        st.tuples(st.just("add"), inner, inner),
+        st.tuples(st.just("neg"), inner),
+        st.tuples(st.just("mulc"), st.integers(-3, 3), inner),
+        st.tuples(st.just("mod"), inner, st.integers(1, 5)),
+    ),
+    max_leaves=6,
+)
+
+_FORMULA = st.recursive(
+    st.one_of(
+        st.tuples(st.just("lt"), _ARITH, _ARITH),
+        st.tuples(st.just("le"), _ARITH, _ARITH),
+        st.tuples(st.just("eq"), _ARITH, _ARITH),
+        st.tuples(st.just("bconst"), st.booleans()),
+    ),
+    lambda inner: st.one_of(
+        st.tuples(st.just("and"), inner, inner),
+        st.tuples(st.just("or"), inner, inner),
+        st.tuples(st.just("not"), inner),
+    ),
+    max_leaves=5,
+)
+
+_ENV = st.fixed_dictionaries(
+    {"x": _INTS, "y": _INTS, "z": _INTS}
+)
+
+
+def _raw(spec):
+    tag = spec[0]
+    if tag == "var":
+        return Var(spec[1], INT)
+    if tag == "const":
+        return Const(spec[1], INT)
+    if tag == "bconst":
+        return Const(spec[1], BOOL)
+    if tag == "add":
+        return Add((_raw(spec[1]), _raw(spec[2])))
+    if tag == "neg":
+        return Neg(_raw(spec[1]))
+    if tag == "mulc":
+        return Mul((Const(spec[1], INT), _raw(spec[2])))
+    if tag == "mod":
+        return Mod(_raw(spec[1]), spec[2])
+    if tag == "lt":
+        return Lt(_raw(spec[1]), _raw(spec[2]))
+    if tag == "le":
+        return Le(_raw(spec[1]), _raw(spec[2]))
+    if tag == "eq":
+        return Eq(_raw(spec[1]), _raw(spec[2]))
+    if tag == "and":
+        return And((_raw(spec[1]), _raw(spec[2])))
+    if tag == "or":
+        return Or((_raw(spec[1]), _raw(spec[2])))
+    if tag == "not":
+        return Not(_raw(spec[1]))
+    raise AssertionError(spec)
+
+
+def _built(spec):
+    tag = spec[0]
+    if tag == "var":
+        return mk_var(spec[1], INT)
+    if tag == "const":
+        return mk_int(spec[1])
+    if tag == "bconst":
+        return mk_bool(spec[1])
+    if tag == "add":
+        return mk_add(_built(spec[1]), _built(spec[2]))
+    if tag == "neg":
+        return mk_neg(_built(spec[1]))
+    if tag == "mulc":
+        return mk_mul(mk_int(spec[1]), _built(spec[2]))
+    if tag == "mod":
+        return mk_mod(_built(spec[1]), spec[2])
+    if tag == "lt":
+        return mk_lt(_built(spec[1]), _built(spec[2]))
+    if tag == "le":
+        return mk_le(_built(spec[1]), _built(spec[2]))
+    if tag == "eq":
+        return mk_eq(_built(spec[1]), _built(spec[2]))
+    if tag == "and":
+        return mk_and(_built(spec[1]), _built(spec[2]))
+    if tag == "or":
+        return mk_or(_built(spec[1]), _built(spec[2]))
+    if tag == "not":
+        return mk_not(_built(spec[1]))
+    raise AssertionError(spec)
+
+
+_SOLVER = Solver()
+
+
+@settings(max_examples=220, deadline=None)
+@given(spec=_FORMULA, env=_ENV)
+def test_interned_matches_seed_representation(spec, env):
+    raw = _raw(spec)
+    built = _built(spec)
+
+    assert raw.evaluate(env) == built.evaluate(env)
+
+    sub = {"x": mk_add(mk_var("y", INT), mk_int(1))}
+    assert raw.substitute(sub).evaluate(env) == built.substitute(sub).evaluate(env)
+
+    assert _SOLVER.is_sat(raw) == _SOLVER.is_sat(built)
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec=_ARITH, env=_ENV)
+def test_interned_arithmetic_matches_seed_representation(spec, env):
+    assert _raw(spec).evaluate(env) == _built(spec).evaluate(env)
