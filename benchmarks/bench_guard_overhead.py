@@ -1,0 +1,81 @@
+"""Overhead of resource governance on the hot paths.
+
+The budget hooks (:func:`repro.guard.budget.tick` /
+``charge_query``) sit inside every fixpoint loop and on the solver query
+path, so their no-budget cost must be negligible and their
+active-budget cost modest.  This benchmark runs the same equivalence
+workload ungoverned and governed and asserts the ratio stays small —
+the contract that lets the hooks live in the hot loops at all.
+
+Run: ``python -m pytest benchmarks/bench_guard_overhead.py -q``
+(benchmarks are not part of the default test paths).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.automata import Language, rule
+from repro.guard import scope
+from repro.smt import INT, Solver, mk_eq, mk_gt, mk_int, mk_mod, mk_var
+from repro.trees import make_tree_type
+
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+ROUNDS = 20
+
+
+def _leaves(name, guard_term, solver):
+    return Language.build(
+        BT,
+        name,
+        [rule(name, "L", guard_term), rule(name, "N", None, [[name], [name]])],
+        solver,
+    )
+
+
+def _workload(solver):
+    pos = _leaves("pos", mk_gt(x, mk_int(0)), solver)
+    odd = _leaves("odd", mk_eq(mk_mod(x, 2), mk_int(1)), solver)
+    left, right = pos.union(odd), odd.union(pos)
+    assert left.equals(right)
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_governed_overhead_is_bounded():
+    def ungoverned():
+        for _ in range(ROUNDS):
+            _workload(Solver())
+
+    def governed_run():
+        for _ in range(ROUNDS):
+            with scope(deadline=3600.0, max_steps=10**9, max_solver_queries=10**9):
+                _workload(Solver())
+
+    base = _time(ungoverned)
+    gov = _time(governed_run)
+    ratio = gov / base
+    print(f"\nungoverned={base*1000:.1f}ms governed={gov*1000:.1f}ms ratio={ratio:.2f}")
+    # Generous bound: the hooks must not dominate; CI machines are noisy.
+    assert ratio < 2.0, f"governance overhead too high: {ratio:.2f}x"
+
+
+def test_inactive_hook_cost_is_trivial():
+    from repro.guard.budget import tick
+
+    n = 1_000_000
+    start = time.perf_counter()
+    for _ in range(n):
+        tick()
+    per_call = (time.perf_counter() - start) / n
+    print(f"\ninactive tick: {per_call*1e9:.0f}ns/call")
+    assert per_call < 2e-6  # comfortably sub-microsecond on any hardware

@@ -31,6 +31,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
+from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
@@ -138,6 +139,7 @@ class _AntichainSearch:
         return None
 
     def _step(self, ctor, kids: tuple[_Pair, ...]) -> Optional[Tree]:
+        _tick(kind="antichain.step")
         a_rules = [
             r
             for r in self.a_by_ctor.get(ctor.name, [])

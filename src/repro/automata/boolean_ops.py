@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 
+from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
 from ..smt import builders as smt
@@ -38,6 +39,7 @@ def intersect(
         lrules = combined.rules_from(lmap(lstate), ctor.name)
         rrules = combined.rules_from(rmap(rstate), ctor.name)
         for a, b in itertools.product(lrules, rrules):
+            _tick(kind="boolean.product_rule")
             guard = smt.mk_and(a.guard, b.guard)
             if guard == smt.FALSE:
                 if obs_config.ENABLED:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..guard.budget import tick as _tick
 from ..smt import builders as smt
 from ..smt.solver import Solver
 from .sta import STA, STARule, State
@@ -31,6 +32,7 @@ def universal_states(sta: STA, solver: Solver) -> frozenset[State]:
     while changed:
         changed = False
         for state in list(candidates):
+            _tick(kind="cleanup.state")
             if not _locally_universal(sta, state, candidates, solver):
                 candidates.discard(state)
                 changed = True

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from ..guard.budget import tick as _tick
 from ..smt.minterms import minterms
 from ..smt.solver import Solver
 from ..smt.terms import Term
@@ -84,6 +85,7 @@ def determinize(norm: NormalizedSTA, solver: Solver) -> BottomUpDTA:
         return state_index[m]
 
     def process(key: tuple[str, tuple[int, ...]]) -> None:
+        _tick(kind="determinize.key")
         ctor_name, kids = key
         applicable = [
             r

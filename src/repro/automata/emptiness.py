@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
@@ -46,6 +47,7 @@ def nonempty_witnesses(norm: NormalizedSTA, solver: Solver) -> dict:
         for r in norm.sta.rules:
             if r.state in witness:
                 continue
+            _tick(kind="emptiness.rule")
             child_states = [next(iter(l)) for l in r.lookahead]
             kids: list[Tree] = []
             ok = True

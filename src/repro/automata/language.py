@@ -88,6 +88,48 @@ class Language:
         """(states, rules) of the underlying automaton."""
         return self.sta.size()
 
+    # -- governed (three-valued) queries ------------------------------------
+
+    def is_empty_verdict(self, budget=None):
+        """:meth:`is_empty` under a resource budget.
+
+        Returns a :class:`repro.guard.Verdict`: PROVED when the language
+        is empty, REFUTED with a member-tree witness, UNKNOWN when the
+        budget (deadline / solver queries / steps) ran out first.
+        """
+        from ..guard import governed
+
+        return governed(
+            self.witness,
+            budget,
+            proved="language is empty",
+            refuted="member tree found",
+        )
+
+    def equals_verdict(self, other: "Language", budget=None):
+        """:meth:`equals` under a resource budget (REFUTED carries a
+        separating tree)."""
+        from ..guard import governed
+
+        return governed(
+            lambda: self.separating_tree(other),
+            budget,
+            proved="languages are equal",
+            refuted="separating tree found",
+        )
+
+    def included_in_verdict(self, other: "Language", budget=None):
+        """:meth:`included_in` under a resource budget (REFUTED carries
+        a tree in ``self`` but not ``other``)."""
+        from ..guard import governed
+
+        return governed(
+            lambda: self.included_in(other),
+            budget,
+            proved="inclusion holds",
+            refuted="gap witness found",
+        )
+
     # -- boolean algebra -----------------------------------------------------
 
     def intersect(self, other: "Language") -> "Language":

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 
+from ..guard.budget import tick as _tick
 from ..smt import builders as smt
 from ..smt.solver import Solver
 from .determinize import BottomUpDTA, determinize, to_top_down
@@ -45,6 +46,7 @@ def minimize_dta(
         for p, q in itertools.combinations(range(n), 2):
             if distinct[p][q]:
                 continue
+            _tick(kind="minimize.pair")
             if _one_step_distinguishable(dta, p, q, arms_conflict):
                 distinct[p][q] = distinct[q][p] = True
                 changed = True

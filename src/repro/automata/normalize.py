@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..guard.budget import tick as _tick
 from ..smt import builders as smt
 from ..smt.solver import Solver
 from .sta import STA, STARule, State
@@ -64,6 +65,7 @@ def normalize(
         q = work.pop()
         if q in done:
             continue
+        _tick(kind="normalize.state")
         done.add(q)
         for ctor in sta.tree_type.constructors:
             for guard, children in _merged_rules(sta, q, ctor.name, ctor.rank, solver):

@@ -1,0 +1,68 @@
+"""The common error hierarchy of the reproduction.
+
+Every error the library raises on purpose derives from
+:class:`ReproError`, so callers (and the ``fast`` CLI) can map failures
+to outcomes by family instead of pattern-matching messages:
+
+* front-end errors — :class:`repro.fast.lexer.FastSyntaxError`,
+  :class:`repro.fast.errors.FastTypeError`,
+  :class:`repro.trees.parser.TreeParseError` and the
+  :class:`ParseDepthError` depth caps — exit code 2;
+* resource exhaustion — :class:`repro.guard.BudgetExceeded` and the
+  other :class:`repro.guard.GuardError` degradations — exit code 3;
+* backend errors — :class:`repro.smt.terms.SmtError`,
+  :class:`repro.transducers.sttr.TransducerError` — exit code 4.
+
+Errors that know where they came from carry a :class:`SourceLocation`;
+the constructors of the concrete families fill it in from their own
+position types (token positions, byte offsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in some input text; any subset of the fields may be known."""
+
+    line: Optional[int] = None
+    column: Optional[int] = None
+    offset: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.line is not None and self.column is not None:
+            return f"line {self.line}, column {self.column}"
+        if self.line is not None:
+            return f"line {self.line}"
+        if self.offset is not None:
+            return f"offset {self.offset}"
+        return "unknown location"
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error in the library.
+
+    ``location`` is a :class:`SourceLocation` when the error can point at
+    the input that caused it, else None.
+    """
+
+    def __init__(
+        self, message: str, location: SourceLocation | None = None
+    ) -> None:
+        super().__init__(message)
+        self.location = location
+
+
+class ParseDepthError(ReproError):
+    """Input nesting exceeded a parser's explicit depth cap.
+
+    Raised instead of letting a recursive-descent parser die with a raw
+    ``RecursionError`` on adversarially deep input.  The concrete
+    parsers raise subclasses that also belong to their own error family
+    (:class:`repro.trees.parser.TreeParseDepthError`,
+    :class:`repro.fast.lexer.FastParseDepthError`), so existing
+    ``except`` clauses keep working.
+    """

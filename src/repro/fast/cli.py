@@ -12,7 +12,12 @@ Exit codes are distinct so scripts can tell *what* failed:
 
 * ``0`` — success (all assertions passed);
 * ``1`` — the program compiled but at least one assertion failed;
-* ``2`` — the program could not be read, parsed, or compiled.
+* ``2`` — the program could not be read, parsed, or compiled
+  (front-end errors: syntax, types, parse-depth caps);
+* ``3`` — a resource budget ran out (``--timeout`` /
+  ``--max-solver-queries`` / ``--max-steps``): the answer is *unknown*,
+  not wrong;
+* ``4`` — an internal backend error (solver or transducer invariant).
 
 ``--profile`` enables :mod:`repro.obs` and prints the span tree and
 metric table to stderr after the command; ``--profile-json PATH``
@@ -27,6 +32,9 @@ import argparse
 import sys
 
 from .. import obs
+from ..errors import ReproError
+from ..guard import Budget, BudgetExceeded, scope as guard_scope
+from ..trees.parser import TreeParseError
 from ..trees.tree import format_tree
 from .errors import FastSyntaxError, FastTypeError
 from .evaluator import run_program
@@ -38,6 +46,8 @@ from .compiler import compile_program
 EXIT_OK = 0
 EXIT_ASSERTION_FAILED = 1
 EXIT_ERROR = 2
+EXIT_BUDGET = 3
+EXIT_INTERNAL = 4
 
 _COMMANDS = ("run", "check", "fmt")
 
@@ -46,6 +56,9 @@ exit codes:
   0  success — the program ran and every assertion passed
   1  assertion failure — the program compiled but an assert failed
   2  error — the file could not be read, parsed, or compiled
+  3  budget exhausted — --timeout/--max-solver-queries/--max-steps ran
+     out before an answer was reached (the result is unknown)
+  4  internal error — a solver or transducer invariant failed
 """
 
 
@@ -62,6 +75,28 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the observability snapshot as JSON to PATH",
+    )
+    common.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock budget for the whole command; exceeded -> exit 3",
+    )
+    common.add_argument(
+        "--max-solver-queries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cap on SMT satisfiability queries; exceeded -> exit 3",
+    )
+    common.add_argument(
+        "--max-steps",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cap on fixpoint/enumeration steps across all algorithms; "
+        "exceeded -> exit 3",
     )
     common.add_argument("file", help="path to a .fast program")
 
@@ -106,6 +141,35 @@ def _emit_profile(args: argparse.Namespace) -> None:
             f.write("\n")
 
 
+def _budget(args: argparse.Namespace) -> Budget | None:
+    if (
+        args.timeout is None
+        and args.max_solver_queries is None
+        and args.max_steps is None
+    ):
+        return None
+    return Budget(
+        deadline=args.timeout,
+        max_solver_queries=args.max_solver_queries,
+        max_steps=args.max_steps,
+    )
+
+
+def _run_command(args: argparse.Namespace, source: str) -> int:
+    if args.command == "fmt":
+        print(pretty(parse_program(source)), end="")
+        return EXIT_OK
+    if args.command == "check":
+        compile_program(parse_program(source))
+        print("ok")
+        return EXIT_OK
+    report = run_program(source)
+    for tree in report.printed:
+        print(format_tree(tree))
+    print(report.render())
+    return EXIT_OK if report.ok else EXIT_ASSERTION_FAILED
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     args = _build_parser().parse_args(_normalize_argv(argv))
@@ -120,26 +184,28 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
 
+    budget = _budget(args)
     try:
-        if args.command == "fmt":
-            print(pretty(parse_program(source)), end="")
-            _emit_profile(args)
-            return EXIT_OK
-        if args.command == "check":
-            compile_program(parse_program(source))
-            print("ok")
-            _emit_profile(args)
-            return EXIT_OK
-        report = run_program(source)
-        for tree in report.printed:
-            print(format_tree(tree))
-        print(report.render())
+        if budget is not None:
+            with guard_scope(budget):
+                code = _run_command(args, source)
+        else:
+            code = _run_command(args, source)
         _emit_profile(args)
-        return EXIT_OK if report.ok else EXIT_ASSERTION_FAILED
-    except (FastSyntaxError, FastTypeError) as exc:
+        return code
+    except BudgetExceeded as exc:
+        print(f"unknown: {exc}", file=sys.stderr)
+        print(f"  resources at abort: {exc.snapshot}", file=sys.stderr)
+        _emit_profile(args)
+        return EXIT_BUDGET
+    except (FastSyntaxError, FastTypeError, TreeParseError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         _emit_profile(args)
         return EXIT_ERROR
+    except ReproError as exc:
+        print(f"internal error: {exc}", file=sys.stderr)
+        _emit_profile(args)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover

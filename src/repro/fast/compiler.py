@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 
 from ..automata import STA, Language, STARule
+from ..guard.budget import tick as _tick
 from ..obs import tracer as obs_tracer
 from ..smt import builders as smt
 from ..smt.sorts import BASIC_SORTS, BOOL, Sort
@@ -64,6 +65,7 @@ class Compiler:
 
     def compile(self) -> CompiledProgram:
         decls = self.program.decls
+        _tick(len(decls), kind="fast.decl")
         with obs_tracer.span("compile.types"):
             for d in decls:
                 if isinstance(d, ast.TypeDecl):

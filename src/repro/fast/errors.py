@@ -2,18 +2,26 @@
 
 from __future__ import annotations
 
-from .lexer import FastSyntaxError
+from ..errors import ReproError, SourceLocation
+from .lexer import FastParseDepthError, FastSyntaxError
 
-__all__ = ["FastSyntaxError", "FastTypeError", "FastNameError"]
+__all__ = [
+    "FastParseDepthError",
+    "FastSyntaxError",
+    "FastTypeError",
+    "FastNameError",
+]
 
 
-class FastTypeError(Exception):
+class FastTypeError(ReproError):
     """A Fast program is ill-typed (sorts, arities, or tree types)."""
 
     def __init__(self, message: str, pos=None) -> None:
+        location = None
         if pos is not None:
             message = f"{message} (line {pos.line}, column {pos.column})"
-        super().__init__(message)
+            location = SourceLocation(line=pos.line, column=pos.column)
+        super().__init__(message, location=location)
         self.pos = pos
 
 

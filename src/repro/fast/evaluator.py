@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..guard.budget import tick as _tick
 from ..obs import tracer as obs_tracer
 from ..smt.solver import Solver
 from ..trees.tree import Tree, format_tree
@@ -99,6 +100,7 @@ def _eval_print(compiler: Compiler, decl: ast.PrintDecl) -> Tree:
 
 
 def _check(compiler: Compiler, decl: ast.AssertDecl) -> AssertionResult:
+    _tick(kind="fast.assert")
     a = decl.assertion
     counterexample: Optional[Tree] = None
     if isinstance(a, ast.AIsEmptyLang):

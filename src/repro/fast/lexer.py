@@ -10,14 +10,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ParseDepthError, ReproError, SourceLocation
 
-class FastSyntaxError(Exception):
+
+class FastSyntaxError(ReproError):
     """A lexical or syntactic error in a Fast program."""
 
     def __init__(self, message: str, line: int, column: int) -> None:
-        super().__init__(f"{message} (line {line}, column {column})")
+        super().__init__(
+            f"{message} (line {line}, column {column})",
+            location=SourceLocation(line=line, column=column),
+        )
         self.line = line
         self.column = column
+
+
+class FastParseDepthError(ParseDepthError, FastSyntaxError):
+    """Expression nesting in a Fast program exceeded the parser's cap."""
 
 
 @dataclass(frozen=True)

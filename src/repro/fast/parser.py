@@ -12,7 +12,14 @@ from fractions import Fraction
 from typing import Optional
 
 from . import ast
-from .lexer import FastSyntaxError, Token, tokenize
+from .lexer import FastParseDepthError, FastSyntaxError, Token, tokenize
+
+#: Default cap on expression nesting.  Recursive descent spends up to
+#: ~9 Python frames per parenthesis level (the Pratt precedence chain),
+#: so the cap must keep ``depth * 9`` comfortably under the interpreter
+#: recursion limit (~1000) — 64 leaves headroom even under pytest while
+#: being far deeper than any human-written Fast program.
+DEFAULT_MAX_DEPTH = 64
 
 #: Infix binary operators by precedence level (low to high).
 _PRECEDENCE = [
@@ -57,11 +64,24 @@ _TREE_OPS = {"apply", "get-witness"}
 
 
 class Parser:
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str, max_depth: int = DEFAULT_MAX_DEPTH) -> None:
         self.tokens = tokenize(text)
         self.pos = 0
+        self.max_depth = max_depth
+        self._depth = 0
 
     # -- token plumbing ----------------------------------------------------
+
+    def _enter(self) -> None:
+        """Charge one nesting level; typed error instead of RecursionError."""
+        if self._depth >= self.max_depth:
+            tok = self.peek()
+            raise FastParseDepthError(
+                f"expression nesting exceeds max_depth={self.max_depth}",
+                tok.line,
+                tok.column,
+            )
+        self._depth += 1
 
     def peek(self, offset: int = 0) -> Token:
         return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
@@ -215,6 +235,13 @@ class Parser:
         return ast.TransRule(base, output)
 
     def parse_out_expr(self) -> ast.OutExpr:
+        self._enter()
+        try:
+            return self._parse_out_expr()
+        finally:
+            self._depth -= 1
+
+    def _parse_out_expr(self) -> ast.OutExpr:
         tok = self.peek()
         if tok.kind == "ID":
             self.next()
@@ -266,6 +293,13 @@ class Parser:
     # -- operation expressions ----------------------------------------------
 
     def parse_lang_expr(self) -> ast.LangExpr:
+        self._enter()
+        try:
+            return self._parse_lang_expr()
+        finally:
+            self._depth -= 1
+
+    def _parse_lang_expr(self) -> ast.LangExpr:
         tok = self.peek()
         if tok.kind == "ID":
             self.next()
@@ -294,6 +328,13 @@ class Parser:
         raise self.error(f"unknown language operation {op!r}", tok)
 
     def parse_trans_expr(self) -> ast.TransExpr:
+        self._enter()
+        try:
+            return self._parse_trans_expr()
+        finally:
+            self._depth -= 1
+
+    def _parse_trans_expr(self) -> ast.TransExpr:
         tok = self.peek()
         if tok.kind == "ID":
             self.next()
@@ -325,6 +366,13 @@ class Parser:
         return ast.TreeDecl(self.pos_of(start), name, type_name, expr)
 
     def parse_tree_expr(self) -> ast.TreeExpr:
+        self._enter()
+        try:
+            return self._parse_tree_expr()
+        finally:
+            self._depth -= 1
+
+    def _parse_tree_expr(self) -> ast.TreeExpr:
         tok = self.peek()
         if tok.kind == "ID":
             self.next()
@@ -431,6 +479,13 @@ class Parser:
         return left
 
     def _parse_atom(self) -> ast.Expr:
+        self._enter()
+        try:
+            return self._parse_atom_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_atom_inner(self) -> ast.Expr:
         tok = self.peek()
         pos = ast.Pos(tok.line, tok.column)
         if tok.kind == "INT":
@@ -481,9 +536,9 @@ def _canon_op(op: str) -> str:
     return {"||": "or", "&&": "and", "==": "="}.get(op, op)
 
 
-def parse_program(text: str) -> ast.Program:
+def parse_program(text: str, max_depth: int = DEFAULT_MAX_DEPTH) -> ast.Program:
     """Parse a Fast program from source text."""
-    return Parser(text).parse_program()
+    return Parser(text, max_depth=max_depth).parse_program()
 
 
 def parse_expr(text: str) -> ast.Expr:

@@ -1,0 +1,127 @@
+"""Resource governance: budgets, deadlines, three-valued verdicts.
+
+The paper leans on Z3, which degrades gracefully under resource limits
+by answering *unknown*.  This package gives the reproduction's own
+pipelines the same discipline:
+
+* :class:`Budget` + :func:`scope` — an ambient (thread-local) bundle of
+  wall-clock deadline, solver-query budget, and fixpoint-step fuel,
+  charged by every governed loop in :mod:`repro.smt`,
+  :mod:`repro.automata`, :mod:`repro.transducers`, and
+  :mod:`repro.fast`;
+* :class:`BudgetExceeded` and friends — typed aborts carrying a
+  :class:`BudgetSnapshot`, raised only at safe points so all
+  process-wide caches stay consistent;
+* :class:`Verdict` / :func:`governed` — PROVED / REFUTED / UNKNOWN
+  results for the user-facing analyses (``Language.*_verdict``,
+  ``Transducer.type_check_verdict``) instead of hangs or raw errors;
+* :mod:`repro.guard.chaos` (imported explicitly) — a deterministic
+  fault-injection harness for the solver facade, so the degradation
+  paths above are testable.
+
+Quick use::
+
+    from repro import guard
+
+    v = lang1.equals_verdict(lang2, budget=guard.Budget(deadline=0.5))
+    if v.is_unknown:
+        print("gave up:", v.reason, v.snapshot)
+
+CLI: ``fast --timeout 0.5 --max-solver-queries 10000 program.fast``
+exits with code 3 when a budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from .budget import (
+    Budget,
+    BudgetExceeded,
+    BudgetSnapshot,
+    DeadlineExceeded,
+    GuardError,
+    SolverBudgetExceeded,
+    SolverUnknown,
+    StepBudgetExceeded,
+    charge_query,
+    current,
+    scope,
+    tick,
+)
+from .verdict import (
+    Outcome,
+    PROVED,
+    REFUTED,
+    UNKNOWN,
+    Verdict,
+    governed,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "BudgetSnapshot",
+    "DeadlineExceeded",
+    "GuardError",
+    "SolverBudgetExceeded",
+    "SolverUnknown",
+    "StepBudgetExceeded",
+    "charge_query",
+    "current",
+    "scope",
+    "tick",
+    "Outcome",
+    "PROVED",
+    "REFUTED",
+    "UNKNOWN",
+    "Verdict",
+    "governed",
+    "check_solver_consistency",
+]
+
+
+def check_solver_consistency(solver) -> dict[str, int]:
+    """Verify a solver's memo tables and the shared intern table.
+
+    The abort-safety contract: after *any* abort (budget exhaustion,
+    injected fault) every cached entry is complete and correct —
+    results are published only after they are fully computed.  This
+    checker makes the contract testable:
+
+    * every sat-cache model actually satisfies its formula (and every
+      unsat entry stays unsat under re-solving with a fresh solver);
+    * the implies-cache holds only booleans keyed by term pairs;
+    * the process-wide intern table maps every structural key to a term
+      that rebuilds to an equal node with an equal hash.
+
+    Returns the number of entries checked per table; raises
+    ``AssertionError`` on any violation.
+    """
+    from ..smt import terms as terms_mod
+    from ..smt.solver import Model, Solver
+
+    checked = {"sat_cache": 0, "implies_cache": 0, "intern_table": 0}
+    fresh = Solver(cache=False)
+    for formula, model in list(solver._sat_cache.items()):
+        assert isinstance(formula, terms_mod.Term), (
+            f"sat cache key is not a Term: {formula!r}"
+        )
+        if model is None:
+            assert fresh.get_model(formula) is None, (
+                f"cached UNSAT entry is satisfiable: {formula!r}"
+            )
+        else:
+            assert isinstance(model, Model)
+            assert model.satisfies(formula), (
+                f"cached model does not satisfy its formula: {formula!r}"
+            )
+        checked["sat_cache"] += 1
+    for key, value in list(solver._implies_cache.items()):
+        assert (
+            isinstance(key, tuple)
+            and len(key) == 2
+            and all(isinstance(t, terms_mod.Term) for t in key)
+        ), f"bad implies cache key: {key!r}"
+        assert isinstance(value, bool), f"bad implies cache value: {value!r}"
+        checked["implies_cache"] += 1
+    checked["intern_table"] = terms_mod.check_intern_invariants()
+    return checked

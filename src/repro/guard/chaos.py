@@ -1,0 +1,206 @@
+"""Fault injection for the solver facade: make degradation paths testable.
+
+The governance story of :mod:`repro.guard` is only credible if the
+abort and recovery paths actually run under test.  This module injects
+deterministic, seeded failures at the solver boundary — the single
+choke point every pipeline funnels through — so the chaos suite can
+demonstrate that a solver fault, a blown deadline, or an exhausted
+query budget each end in a clean typed outcome with consistent caches.
+
+Injections (all off by default, all reproducible from ``seed``):
+
+* ``fault_rate`` / ``fault_after`` — raise :class:`SolverFault`, the
+  moral equivalent of the backend solver crashing;
+* ``unknown_rate`` — raise
+  :class:`~repro.guard.budget.SolverUnknown`, a Z3-style give-up;
+* ``latency`` — sleep before each query (a slow solver must trip
+  deadlines, not hang pipelines);
+* ``flush_rate`` — call ``solver.clear_cache()`` mid-flight.  This one
+  is *semantics-preserving*: results must not change when memo tables
+  evaporate at arbitrary query boundaries, which is exactly the
+  cache-consistency contract the abort-safety tests rely on.  The CI
+  chaos-smoke job runs the full tier-1 suite under latency + flush
+  injection and requires it to stay green.
+
+Use :class:`ChaosSolver` to wrap a single solver, :func:`inject` to
+patch every :class:`~repro.smt.solver.Solver` in the process for a
+``with`` block, or ``REPRO_CHAOS="seed=7,flush_rate=0.02"`` +
+:func:`install_from_env` (wired into ``tests/conftest.py``) to run a
+whole test session under chaos.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..obs import config as obs_config
+from ..obs import metrics as obs_metrics
+from ..smt.solver import Solver
+from ..smt.terms import FALSE, TRUE
+from .budget import GuardError, SolverUnknown
+
+
+class SolverFault(GuardError):
+    """An injected backend-solver failure (the solver "crashed")."""
+
+
+_OBS_FAULTS = obs_metrics.counter("chaos.faults_injected")
+_OBS_UNKNOWNS = obs_metrics.counter("chaos.unknowns_injected")
+_OBS_FLUSHES = obs_metrics.counter("chaos.flushes_injected")
+_OBS_DELAYS = obs_metrics.counter("chaos.queries_delayed")
+
+
+@dataclass
+class ChaosPolicy:
+    """A deterministic, seeded injection policy.
+
+    The same seed and the same sequence of queries produce the same
+    injections, so every chaos test is reproducible.  ``counts`` tracks
+    what actually fired (also mirrored to ``chaos.*`` obs counters).
+    """
+
+    seed: int = 0
+    fault_rate: float = 0.0
+    unknown_rate: float = 0.0
+    latency: float = 0.0
+    flush_rate: float = 0.0
+    #: Inject exactly one fault on the Nth non-trivial query (0-based);
+    #: independent of the rates — the surgical knob for abort tests.
+    fault_after: Optional[int] = None
+    queries_seen: int = field(default=0, init=False)
+    counts: dict[str, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self.counts = {"fault": 0, "unknown": 0, "flush": 0, "delay": 0}
+
+    def reset(self) -> None:
+        """Rewind to the initial seeded state."""
+        self._rng = random.Random(self.seed)
+        self.queries_seen = 0
+        self.counts = {"fault": 0, "unknown": 0, "flush": 0, "delay": 0}
+
+    def before_query(self, solver: Solver) -> None:
+        """Run the injections due before one non-trivial solver query."""
+        index = self.queries_seen
+        self.queries_seen += 1
+        if self.latency:
+            self.counts["delay"] += 1
+            if obs_config.ENABLED:
+                _OBS_DELAYS.inc()
+            time.sleep(self.latency)
+        if self.flush_rate and self._rng.random() < self.flush_rate:
+            self.counts["flush"] += 1
+            if obs_config.ENABLED:
+                _OBS_FLUSHES.inc()
+            solver.clear_cache()
+        if self.fault_after is not None and index == self.fault_after:
+            self.counts["fault"] += 1
+            if obs_config.ENABLED:
+                _OBS_FAULTS.inc()
+            raise SolverFault(
+                f"injected solver fault on query #{index} (fault_after)"
+            )
+        if self.fault_rate and self._rng.random() < self.fault_rate:
+            self.counts["fault"] += 1
+            if obs_config.ENABLED:
+                _OBS_FAULTS.inc()
+            raise SolverFault(f"injected solver fault on query #{index}")
+        if self.unknown_rate and self._rng.random() < self.unknown_rate:
+            self.counts["unknown"] += 1
+            if obs_config.ENABLED:
+                _OBS_UNKNOWNS.inc()
+            raise SolverUnknown(f"injected solver unknown on query #{index}")
+
+
+class ChaosSolver(Solver):
+    """A solver whose every non-trivial query first consults a policy.
+
+    Drop-in for :class:`~repro.smt.solver.Solver` anywhere one is
+    accepted (facades, compilers, algorithms).  The hash-consed
+    ``TRUE``/``FALSE`` identity fast path stays fault-free: those are
+    not solver work, so chaos does not apply to them.
+    """
+
+    def __init__(self, policy: ChaosPolicy, cache: bool = True) -> None:
+        super().__init__(cache=cache)
+        self.policy = policy
+
+    def get_model(self, formula):
+        if formula is not TRUE and formula is not FALSE:
+            self.policy.before_query(self)
+        return super().get_model(formula)
+
+
+def install(policy: ChaosPolicy) -> Callable[[], None]:
+    """Patch ``Solver.get_model`` process-wide; returns the undo function.
+
+    Covers :data:`~repro.smt.solver.DEFAULT_SOLVER` and every solver
+    instance created before or after the call.
+    """
+    original = Solver.get_model
+
+    def chaotic_get_model(self, formula, _orig=original, _policy=policy):
+        if formula is not TRUE and formula is not FALSE:
+            _policy.before_query(self)
+        return _orig(self, formula)
+
+    Solver.get_model = chaotic_get_model  # type: ignore[method-assign]
+
+    def uninstall() -> None:
+        Solver.get_model = original  # type: ignore[method-assign]
+
+    return uninstall
+
+
+@contextmanager
+def inject(policy: ChaosPolicy) -> Iterator[ChaosPolicy]:
+    """Process-wide chaos for the dynamic extent of a ``with`` block."""
+    uninstall = install(policy)
+    try:
+        yield policy
+    finally:
+        uninstall()
+
+
+def policy_from_spec(spec: str) -> ChaosPolicy:
+    """Parse ``"seed=7,latency=0.0002,flush_rate=0.02"`` into a policy.
+
+    Keys are the :class:`ChaosPolicy` field names; values are ints for
+    ``seed``/``fault_after`` and floats otherwise.
+    """
+    kwargs: dict[str, object] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"bad chaos spec item {item!r} (expected key=value)")
+        key, _, value = item.partition("=")
+        key = key.strip()
+        if key in ("seed", "fault_after"):
+            kwargs[key] = int(value)
+        elif key in ("fault_rate", "unknown_rate", "latency", "flush_rate"):
+            kwargs[key] = float(value)
+        else:
+            raise ValueError(f"unknown chaos spec key {key!r}")
+    return ChaosPolicy(**kwargs)  # type: ignore[arg-type]
+
+
+def install_from_env(var: str = "REPRO_CHAOS") -> Optional[Callable[[], None]]:
+    """Install chaos from an environment spec, if set; returns the undo.
+
+    The CI chaos-smoke job exports ``REPRO_CHAOS`` and lets
+    ``tests/conftest.py`` call this, so the whole tier-1 suite runs
+    against a perturbed solver.
+    """
+    import os
+
+    spec = os.environ.get(var, "")
+    if not spec:
+        return None
+    return install(policy_from_spec(spec))

@@ -1,0 +1,154 @@
+"""Three-valued verdicts for governed analyses.
+
+The paper's analyses are decision procedures, but under resource limits
+a decision procedure has three outcomes, not two: the property is
+PROVED, it is REFUTED (usually with a witness tree), or the budget ran
+out first and the answer is UNKNOWN.  :class:`Verdict` makes the third
+outcome a first-class value with a reason and a resource snapshot
+instead of a hang or a raw exception.
+
+:func:`governed` is the bridge: it runs a witness-style check (a
+callable returning ``None`` for "holds" or a counterexample tree) under
+an optional budget and maps every :class:`~repro.guard.budget.GuardError`
+degradation — deadline, query budget, step budget, injected solver
+fault, solver *unknown* — to an UNKNOWN verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from .budget import Budget, BudgetSnapshot, GuardError, current, scope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trees.tree import Tree
+
+
+class Outcome(enum.Enum):
+    """The three truth values of a governed analysis."""
+
+    PROVED = "PROVED"
+    REFUTED = "REFUTED"
+    UNKNOWN = "UNKNOWN"
+
+
+#: Re-exported members so call sites can write ``guard.PROVED``.
+PROVED = Outcome.PROVED
+REFUTED = Outcome.REFUTED
+UNKNOWN = Outcome.UNKNOWN
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The outcome of a governed analysis.
+
+    * ``outcome`` — :data:`PROVED`, :data:`REFUTED`, or :data:`UNKNOWN`;
+    * ``reason`` — human-readable justification (for UNKNOWN: which
+      resource ran out or which fault fired);
+    * ``witness`` — the counterexample tree of a REFUTED verdict, when
+      the analysis produces one;
+    * ``snapshot`` — resources consumed, when a budget was attached.
+
+    A verdict is deliberately **not** a boolean: truth-testing raises so
+    that three-valued results cannot be silently collapsed to two.  Use
+    :attr:`is_proved` / :attr:`is_refuted` / :attr:`is_unknown`.
+    """
+
+    outcome: Outcome
+    reason: str = ""
+    witness: Optional["Tree"] = None
+    snapshot: Optional[BudgetSnapshot] = None
+
+    @property
+    def is_proved(self) -> bool:
+        return self.outcome is Outcome.PROVED
+
+    @property
+    def is_refuted(self) -> bool:
+        return self.outcome is Outcome.REFUTED
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.outcome is Outcome.UNKNOWN
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Verdict is three-valued; test .is_proved / .is_refuted / "
+            ".is_unknown instead of truthiness"
+        )
+
+    def __str__(self) -> str:
+        parts = [self.outcome.value]
+        if self.reason:
+            parts.append(f"({self.reason})")
+        if self.snapshot is not None:
+            parts.append(f"[{self.snapshot}]")
+        return " ".join(parts)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def proved(
+        reason: str = "", snapshot: BudgetSnapshot | None = None
+    ) -> "Verdict":
+        return Verdict(Outcome.PROVED, reason, None, snapshot)
+
+    @staticmethod
+    def refuted(
+        reason: str = "",
+        witness: "Tree | None" = None,
+        snapshot: BudgetSnapshot | None = None,
+    ) -> "Verdict":
+        return Verdict(Outcome.REFUTED, reason, witness, snapshot)
+
+    @staticmethod
+    def unknown(
+        reason: str, snapshot: BudgetSnapshot | None = None
+    ) -> "Verdict":
+        return Verdict(Outcome.UNKNOWN, reason, None, snapshot)
+
+
+def governed(
+    check: Callable[[], Any],
+    budget: Budget | None = None,
+    *,
+    proved: str = "property holds",
+    refuted: str = "counterexample found",
+) -> Verdict:
+    """Run a witness-style check under a budget; never hang, never leak.
+
+    ``check`` returns ``None`` when the property holds or a witness
+    (counterexample) value when it does not — the convention of
+    ``Language.witness``, ``separating_tree``, ``type_check``, etc.
+    Any :class:`GuardError` raised along the way (budget exhaustion,
+    injected fault, solver unknown) becomes an UNKNOWN verdict carrying
+    the error's resource snapshot.
+    """
+    if budget is not None:
+        try:
+            with scope(budget):
+                w = check()
+        except GuardError as exc:
+            snap = getattr(exc, "snapshot", None) or budget.snapshot()
+            return Verdict.unknown(_describe(exc), snap)
+        snap = budget.snapshot()
+    else:
+        ambient = current()
+        try:
+            w = check()
+        except GuardError as exc:
+            snap = getattr(exc, "snapshot", None) or (
+                ambient.snapshot() if ambient is not None else None
+            )
+            return Verdict.unknown(_describe(exc), snap)
+        snap = ambient.snapshot() if ambient is not None else None
+    if w is None:
+        return Verdict.proved(proved, snap)
+    return Verdict.refuted(refuted, w, snap)
+
+
+def _describe(exc: GuardError) -> str:
+    text = str(exc)
+    return text if text else type(exc).__name__

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
 
+from ..guard.budget import charge_query as _charge_query, tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
 from . import builders as b
@@ -187,6 +188,12 @@ class Solver:
             if obs_config.ENABLED:
                 _OBS_HITS.inc()
             return self._sat_cache[formula]
+        # Ambient resource governance: cache hits are free; a solved
+        # query charges the active budget (repro.guard) and may abort
+        # *here*, before any partial result could reach the cache —
+        # results are published below only once fully computed
+        # (abort-safe, journaled insertion).
+        _charge_query()
         model = self._solve(formula)
         if self._cache_enabled:
             self._sat_cache[formula] = model
@@ -194,6 +201,7 @@ class Solver:
 
     def _solve(self, formula: Term) -> Optional[Model]:
         for cube in iter_cubes(formula):
+            _tick(kind="solver.cube")
             self.stats._cubes.inc()
             if obs_config.ENABLED:
                 _OBS_CUBES.inc()

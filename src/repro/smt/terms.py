@@ -28,6 +28,7 @@ from dataclasses import dataclass, fields as dataclass_fields
 from fractions import Fraction
 from typing import Iterator, Mapping, Union
 
+from ..errors import ReproError
 from ..obs import config as _obs_config
 from ..obs import metrics as _obs_metrics
 from .sorts import BOOL, INT, REAL, STRING, Sort
@@ -36,7 +37,7 @@ from .sorts import BOOL, INT, REAL, STRING, Sort
 Value = Union[bool, int, Fraction, str]
 
 
-class SmtError(Exception):
+class SmtError(ReproError):
     """Base class for errors raised by the label-theory layer."""
 
 
@@ -575,6 +576,43 @@ def clear_intern_table() -> None:
 def _seed_booleans() -> None:
     _INTERN_TABLE[(Const, True.__class__, True, BOOL)] = TRUE
     _INTERN_TABLE[(Const, False.__class__, False, BOOL)] = FALSE
+
+
+def check_intern_invariants(sample: int | None = 512) -> int:
+    """Verify the intern table maps every key to its canonical term.
+
+    For (a sample of) the entries, rebuilding the term from the
+    structural key must produce a node that is structurally equal to the
+    stored canonical instance with an identical hash — i.e. no abort or
+    injected fault left a half-published or mismatched entry behind.
+    Returns the number of entries checked; raises :class:`SmtError` on
+    a violation.  Part of the abort-safety contract of
+    :mod:`repro.guard` (see ``guard.check_solver_consistency``).
+    """
+    items = list(_INTERN_TABLE.items())
+    if sample is not None and len(items) > sample:
+        stride = max(1, len(items) // sample)
+        items = items[::stride]
+    for key, term in items:
+        cls = key[0]
+        if not isinstance(term, cls):
+            raise SmtError(
+                f"intern table entry {key!r} holds a "
+                f"{type(term).__name__}, not a {cls.__name__}"
+            )
+        if cls is Const:
+            _, pycls, value, sort = key
+            rebuilt: Term = Const(value, sort)
+            if term.value.__class__ is not pycls:
+                raise SmtError(
+                    f"interned Const carrier drifted: {term.value!r} is not "
+                    f"a {pycls.__name__}"
+                )
+        else:
+            rebuilt = cls(*key[1:])
+        if rebuilt != term or hash(rebuilt) != hash(term):
+            raise SmtError(f"interned term for key {key!r} is inconsistent")
+    return len(items)
 
 
 def _install_cached_hash(cls: type) -> None:

@@ -16,7 +16,7 @@ from .output_terms import (
 from .preimage import PreimageBuilder, preimage
 from .properties import composition_is_exact, is_deterministic, is_linear, single_valued
 from .restrict import identity_sttr, restrict_input, restrict_output, restricted_identity
-from .run import TransductionError, run, run_one
+from .run import OutputTruncated, TransductionError, run, run_checked, run_one
 from .sttr import STTR, STTRRule, TransducerError, trule
 from .testing import Inequivalence, equivalent_up_to, find_inequivalence
 from .typecheck import type_check
@@ -29,6 +29,7 @@ __all__ = [
     "STTR",
     "STTRRule",
     "TApp",
+    "OutputTruncated",
     "TransducerError",
     "Transducer",
     "TransductionError",
@@ -49,6 +50,7 @@ __all__ = [
     "restrict_output",
     "restricted_identity",
     "run",
+    "run_checked",
     "run_one",
     "single_valued",
     "states_at",

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
@@ -142,6 +143,7 @@ class _Composer:
             p, q = work.pop()
             if (p, q) in done:
                 continue
+            _tick(kind="compose.pair")
             done.add((p, q))
             self.states_explored = len(done)
             for new_rule in self._compose_state(p, q):

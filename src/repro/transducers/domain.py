@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..automata.language import Language
 from ..automata.sta import STA, STARule, State
+from ..guard.budget import tick as _tick
 from ..smt.solver import Solver
 from .output_terms import states_at
 from .sttr import STTR
@@ -31,6 +32,7 @@ def domain_sta(sttr: STTR) -> tuple[STA, State]:
             )
         )
     for r in sttr.rules:
+        _tick(kind="domain.rule")
         lookahead = tuple(
             frozenset(("la", s) for s in l)
             | frozenset(("q", q) for q in states_at(r.output, i))

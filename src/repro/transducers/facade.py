@@ -21,7 +21,7 @@ from .compose import compose as _compose
 from .domain import domain as _domain
 from .preimage import preimage as _preimage
 from .restrict import restrict_input, restrict_output
-from .run import run as _run, run_one as _run_one
+from .run import OutputTruncated, run_checked as _run_checked, run_one as _run_one
 from .sttr import STTR
 from .typecheck import type_check as _type_check
 
@@ -47,9 +47,34 @@ class Transducer:
 
     # -- execution -----------------------------------------------------------
 
-    def apply(self, tree: Tree, limit: Optional[int] = None) -> list[Tree]:
-        """All outputs on ``tree`` (Definition 7), optionally capped."""
-        return _run(self.sttr, tree, limit=limit)
+    def apply(
+        self,
+        tree: Tree,
+        limit: Optional[int] = None,
+        on_truncate: str = "raise",
+    ) -> list[Tree]:
+        """All outputs on ``tree`` (Definition 7), optionally capped.
+
+        When ``limit`` actually cuts the enumeration the cut is not
+        silent: with ``on_truncate="raise"`` (the default) a
+        :class:`~repro.transducers.run.OutputTruncated` is raised
+        carrying the partial result; ``on_truncate="truncate"`` opts
+        back into the plain shortened list.
+        """
+        if on_truncate not in ("raise", "truncate"):
+            raise ValueError(
+                f"on_truncate must be 'raise' or 'truncate', got {on_truncate!r}"
+            )
+        outputs, truncated = _run_checked(self.sttr, tree, limit=limit)
+        if truncated and on_truncate == "raise":
+            raise OutputTruncated(
+                f"{self.name}: output enumeration cut off at limit={limit} "
+                f"({len(outputs)} outputs kept; pass on_truncate='truncate' "
+                f"to accept partial results)",
+                outputs,
+                limit,
+            )
+        return outputs
 
     def apply_one(self, tree: Tree) -> Optional[Tree]:
         """One output, or None when ``tree`` is outside the domain."""
@@ -90,6 +115,37 @@ class Transducer:
     def is_empty(self) -> bool:
         """Fast's ``is-empty`` on transductions: is the domain empty?"""
         return self.domain().is_empty()
+
+    # -- governed (three-valued) variants -----------------------------------------
+
+    def type_check_verdict(
+        self, input_lang: Language, output_lang: Language, budget=None
+    ):
+        """:meth:`type_check` under a resource budget.
+
+        Returns a :class:`repro.guard.Verdict`: PROVED when every input
+        in ``input_lang`` maps into ``output_lang``, REFUTED with a
+        counterexample witness, UNKNOWN when the budget ran out first.
+        """
+        from ..guard import governed
+
+        return governed(
+            lambda: self.type_check(input_lang, output_lang),
+            budget,
+            proved="transduction type-checks",
+            refuted="counterexample input found",
+        )
+
+    def is_empty_verdict(self, budget=None):
+        """:meth:`is_empty` under a resource budget (PROVED = domain empty)."""
+        from ..guard import governed
+
+        return governed(
+            lambda: self.domain().witness(),
+            budget,
+            proved="transduction domain is empty",
+            refuted="domain witness found",
+        )
 
     # -- properties ---------------------------------------------------------------
 

@@ -37,6 +37,7 @@ from typing import Iterable, Iterator
 
 from ..automata.language import Language
 from ..automata.sta import STA, STARule, State
+from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
@@ -101,6 +102,7 @@ class PreimageBuilder:
         """Build rules for all pending pre-image states (to a fixpoint)."""
         while self._pending:
             p, targets = self._pending.pop()
+            _tick(kind="preimage.state")
             source = ("pre", p, targets)
             for rule in self.sttr.rules_from(p):
                 rank = len(rule.lookahead)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
+from ..errors import ReproError
 from ..smt import builders as smt
 from ..smt.terms import Term
 from ..trees.types import TreeType
@@ -35,7 +36,7 @@ from .output_terms import (
 State = Hashable
 
 
-class TransducerError(Exception):
+class TransducerError(ReproError):
     """Structural errors in transducer construction."""
 
 

@@ -9,23 +9,33 @@ CLI, and error messages.  Attribute literals: double-quoted strings
 from __future__ import annotations
 
 from fractions import Fraction
+from typing import Optional
 
+from ..errors import ParseDepthError, ReproError, SourceLocation
 from ..smt.terms import Value
 from .tree import Tree
 
 
-class TreeParseError(Exception):
+class TreeParseError(ReproError):
     """The input is not a well-formed tree term."""
 
     def __init__(self, message: str, position: int) -> None:
-        super().__init__(f"{message} (at offset {position})")
+        super().__init__(
+            f"{message} (at offset {position})",
+            location=SourceLocation(offset=position),
+        )
         self.position = position
 
 
+class TreeParseDepthError(ParseDepthError, TreeParseError):
+    """Tree nesting exceeded the parser's ``max_depth`` cap."""
+
+
 class _Parser:
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str, max_depth: Optional[int] = None) -> None:
         self.text = text
         self.pos = 0
+        self.max_depth = max_depth
 
     def error(self, message: str) -> TreeParseError:
         return TreeParseError(message, self.pos)
@@ -104,7 +114,8 @@ class _Parser:
             return False
         raise self.error(f"unknown attribute literal {word!r}")
 
-    def tree(self) -> Tree:
+    def header(self) -> tuple[str, tuple[Value, ...]]:
+        """Constructor name plus the ``[...]`` attribute block, if any."""
         self.skip_ws()
         ctor = self.ident()
         attrs: list[Value] = []
@@ -116,21 +127,54 @@ class _Parser:
                 attrs.append(self.attr())
                 self.skip_ws()
             self.pos += 1
-        children: list[Tree] = []
-        self.skip_ws()
-        if self.peek() == "(":
-            self.pos += 1
-            self.skip_ws()
-            while self.peek() != ")":
-                children.append(self.tree())
+        return ctor, tuple(attrs)
+
+    def tree(self) -> Tree:
+        # Iterative descent with an explicit frame stack: a frame is an
+        # open ``ctor[attrs](`` waiting for its children, so input depth
+        # costs heap, not Python stack — a million-deep ``f(f(...))``
+        # parses fine (subject only to the opt-in ``max_depth`` cap).
+        stack: list[tuple[str, tuple[Value, ...], list[Tree]]] = []
+        done: Optional[Tree] = None
+        while True:
+            if done is None:
+                ctor, attrs = self.header()
                 self.skip_ws()
-            self.pos += 1
-        return Tree(ctor, tuple(attrs), tuple(children))
+                if self.peek() == "(":
+                    self.pos += 1
+                    if self.max_depth is not None and len(stack) >= self.max_depth:
+                        raise TreeParseDepthError(
+                            f"tree nesting exceeds max_depth={self.max_depth}",
+                            self.pos,
+                        )
+                    stack.append((ctor, attrs, []))
+                    self.skip_ws()
+                    if self.peek() == ")":
+                        self.pos += 1
+                        c, a, kids = stack.pop()
+                        done = Tree(c, a, tuple(kids))
+                    continue
+                done = Tree(ctor, attrs, ())
+            if not stack:
+                return done
+            stack[-1][2].append(done)
+            done = None
+            self.skip_ws()
+            if self.peek() == ")":
+                self.pos += 1
+                c, a, kids = stack.pop()
+                done = Tree(c, a, tuple(kids))
 
 
-def parse_tree(text: str) -> Tree:
-    """Parse a tree term from text."""
-    parser = _Parser(text)
+def parse_tree(text: str, max_depth: Optional[int] = None) -> Tree:
+    """Parse a tree term from text.
+
+    ``max_depth`` optionally caps the nesting depth (raising
+    :class:`TreeParseDepthError` past it); by default depth is unbounded
+    — the parser is iterative, so deep input cannot blow the Python
+    stack.
+    """
+    parser = _Parser(text, max_depth=max_depth)
     tree = parser.tree()
     parser.skip_ws()
     if parser.pos != len(text):

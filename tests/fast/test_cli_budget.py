@@ -1,0 +1,150 @@
+"""CLI resource-governance flags: --timeout / --max-solver-queries /
+--max-steps and the exit-code families."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.fast.cli import (
+    EXIT_BUDGET,
+    EXIT_ERROR,
+    EXIT_INTERNAL,
+    EXIT_OK,
+    main,
+)
+
+#: Exponential composition chain of a nondeterministic transducer: each
+#: compose multiplies the leaf rules, so evaluating the assertion is
+#: deliberately far beyond any sane budget.
+HARD = """\
+type BT[v : Int]{L(0), N(2)}
+trans f : BT -> BT {
+  L() where (v > 0) to (L [v + 1])
+  | L() to (L [v + v])
+  | N(l, r) to (N [v] (f l) (f r))
+}
+def f2 : BT -> BT := (compose f f)
+def f4 : BT -> BT := (compose f2 f2)
+def f8 : BT -> BT := (compose f4 f4)
+def f16 : BT -> BT := (compose f8 f8)
+def f32 : BT -> BT := (compose f16 f16)
+assert-false (is-empty f32)
+"""
+
+EASY = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+
+
+@pytest.fixture(autouse=True)
+def restore_obs():
+    yield
+    obs.enabled(False)
+    obs.reset()
+
+
+@pytest.fixture()
+def program(tmp_path):
+    def write(source: str, name: str = "prog.fast") -> str:
+        p = tmp_path / name
+        p.write_text(source)
+        return str(p)
+
+    return write
+
+
+class TestBudgetFlags:
+    def test_hard_query_times_out_bounded(self, program, capsys):
+        start = time.monotonic()
+        code = main(["run", "--timeout", "0.1", program(HARD)])
+        elapsed = time.monotonic() - start
+        assert code == EXIT_BUDGET
+        assert elapsed < 10.0  # bounded, nowhere near the true cost
+        err = capsys.readouterr().err
+        assert "unknown:" in err and "deadline" in err
+        assert "resources at abort" in err
+
+    def test_max_solver_queries(self, program, capsys):
+        code = main(["run", "--max-solver-queries", "5", program(HARD)])
+        assert code == EXIT_BUDGET
+        assert "solver-query budget" in capsys.readouterr().err
+
+    def test_max_steps(self, program, capsys):
+        code = main(["run", "--max-steps", "10", program(HARD)])
+        assert code == EXIT_BUDGET
+        assert "step budget" in capsys.readouterr().err
+
+    def test_generous_budget_passes(self, program):
+        code = main(
+            [
+                "run",
+                "--timeout",
+                "60",
+                "--max-solver-queries",
+                "100000",
+                program(EASY),
+            ]
+        )
+        assert code == EXIT_OK
+
+    def test_default_command_with_budget_flags(self, program):
+        # `fast --timeout 60 prog.fast` (no subcommand) still normalizes.
+        assert main(["--timeout", "60", program(EASY)]) == EXIT_OK
+
+    def test_check_honours_budget(self, program):
+        assert main(["check", "--max-steps", "1", program(EASY)]) == EXIT_BUDGET
+
+
+class TestExitFamilies:
+    def test_front_end_error_stays_2(self, program, capsys):
+        assert main(["run", "--timeout", "60", program("type )((")]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_depth_cap_is_2(self, program, capsys):
+        deep = (
+            "type BT[v : Int]{L(0), N(2)}\n"
+            "lang pos : BT { N(l, r) where "
+            + "(" * 5000
+            + "v > 0"
+            + ")" * 5000
+            + " given (pos l) (pos r) | L() }\n"
+        )
+        assert main(["run", program(deep)]) == EXIT_ERROR
+        assert "max_depth" in capsys.readouterr().err
+
+    def test_backend_error_is_4(self, program, capsys, monkeypatch):
+        from repro.smt.terms import SmtError
+
+        def boom(source):
+            raise SmtError("backend invariant broke")
+
+        monkeypatch.setattr("repro.fast.cli.run_program", boom)
+        assert main(["run", program(EASY)]) == EXIT_INTERNAL
+        assert "internal error" in capsys.readouterr().err
+
+
+class TestBudgetObservability:
+    def test_guard_metrics_in_profile(self, program, tmp_path, capsys):
+        out = tmp_path / "obs.json"
+        code = main(
+            [
+                "run",
+                "--timeout",
+                "0.1",
+                "--profile-json",
+                str(out),
+                program(HARD),
+            ]
+        )
+        assert code == EXIT_BUDGET
+        snapshot = json.loads(out.read_text())
+        text = json.dumps(snapshot)
+        assert "guard.steps" in text
+        assert "guard.deadline_aborts" in text
+        assert "guard.abort" in text  # the abort span

@@ -1,0 +1,66 @@
+"""Depth caps in the Fast parser: typed errors instead of RecursionError."""
+
+import pytest
+
+from repro.errors import ParseDepthError
+from repro.fast.errors import FastParseDepthError, FastSyntaxError
+from repro.fast.parser import DEFAULT_MAX_DEPTH, Parser, parse_program
+
+HEADER = "type BT[v : Int]{L(0), N(2)}\n"
+
+
+def nested_expr_program(depth: int) -> str:
+    expr = "(" * depth + "v > 0" + ")" * depth
+    return (
+        HEADER
+        + "lang pos : BT { N(l, r) where "
+        + expr
+        + " given (pos l) (pos r) | L() }\n"
+    )
+
+
+def nested_tree_program(depth: int) -> str:
+    tree = "(N [1] " * depth + "(L [0]) (L [0])" + ")" * depth
+    return HEADER + f"tree t : BT := {tree}\n"
+
+
+class TestFastDepthCap:
+    def test_reasonable_nesting_parses(self):
+        parse_program(nested_expr_program(30))
+        parse_program(nested_tree_program(50))
+
+    def test_adversarial_expr_nesting_is_typed(self):
+        with pytest.raises(FastParseDepthError) as ei:
+            parse_program(nested_expr_program(5000))
+        exc = ei.value
+        assert isinstance(exc, ParseDepthError)
+        assert isinstance(exc, FastSyntaxError)  # old except clauses still work
+        assert exc.line == 2 and exc.column > 0
+        assert exc.location is not None and exc.location.line == 2
+        assert f"max_depth={DEFAULT_MAX_DEPTH}" in str(exc)
+
+    def test_adversarial_tree_nesting_is_typed(self):
+        with pytest.raises(FastParseDepthError):
+            parse_program(nested_tree_program(5000))
+
+    def test_never_a_recursion_error(self):
+        for depth in (500, 2000, 20_000):
+            with pytest.raises(FastSyntaxError):
+                parse_program(nested_expr_program(depth))
+
+    def test_cap_is_configurable(self):
+        text = nested_expr_program(30)
+        with pytest.raises(FastParseDepthError):
+            Parser(text, max_depth=10).parse_program()
+        Parser(text, max_depth=100).parse_program()
+
+    def test_depth_resets_between_expressions(self):
+        # Sequential (non-nested) parens must not accumulate depth.
+        exprs = " && ".join("(v > 0)" for _ in range(DEFAULT_MAX_DEPTH * 2))
+        source = (
+            HEADER
+            + "lang pos : BT { N(l, r) where "
+            + exprs
+            + " given (pos l) (pos r) | L() }\n"
+        )
+        parse_program(source)

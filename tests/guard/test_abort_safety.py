@@ -1,0 +1,134 @@
+"""Property test: aborts anywhere leave the world consistent.
+
+For arbitrary small budgets and arbitrary injected-fault positions, an
+abort in the middle of composition / equivalence / emptiness must leave
+the solver memo tables and the process-wide intern table consistent,
+and an immediate retry with a fresh budget must produce exactly the
+answer an uninterrupted fresh run produces.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import Language, rule
+from repro.guard import GuardError, check_solver_consistency, scope
+from repro.guard.chaos import ChaosPolicy, ChaosSolver
+from repro.smt import (
+    INT,
+    Solver,
+    mk_add,
+    mk_eq,
+    mk_gt,
+    mk_int,
+    mk_mod,
+    mk_var,
+)
+from repro.transducers import OutApply, OutNode, STTR, Transducer, trule
+from repro.trees import make_tree_type, node
+
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+_SENTINEL = object()
+
+
+def leaves(name, guard_term, solver):
+    return Language.build(
+        BT,
+        name,
+        [rule(name, "L", guard_term), rule(name, "N", None, [[name], [name]])],
+        solver,
+    )
+
+
+def _transducer(name, attr_expr, solver):
+    return Transducer(
+        STTR(
+            name,
+            BT,
+            BT,
+            "c",
+            (
+                trule("c", "L", OutNode("L", (attr_expr,), ()), rank=0),
+                trule(
+                    "c",
+                    "N",
+                    OutNode(
+                        "N", (attr_expr,), (OutApply("c", 0), OutApply("c", 1))
+                    ),
+                    rank=2,
+                ),
+            ),
+        ),
+        solver,
+    )
+
+
+def _task(kind: str, solver):
+    """A closure running one pipeline end-to-end on ``solver``."""
+    if kind == "equals":
+        pos = leaves("pos", mk_gt(x, mk_int(0)), solver)
+        odd = leaves("odd", mk_eq(mk_mod(x, 2), mk_int(1)), solver)
+        left, right = pos.union(odd), odd.union(pos)
+        return lambda: left.equals(right)
+    if kind == "compose":
+        inc = _transducer("inc", mk_add(x, mk_int(1)), solver)
+        inc2 = inc.compose(inc)
+        tree = node("N", [1], node("L", [2]), node("L", [3]))
+        return lambda: inc2.apply_one(tree)
+    if kind == "emptiness":
+        pos = leaves("pos", mk_gt(x, mk_int(0)), solver)
+        neg = leaves("neg", mk_gt(mk_int(0), x), solver)
+        return lambda: pos.intersect(neg).minimize().is_empty()
+    raise AssertionError(kind)
+
+
+@lru_cache(maxsize=None)
+def _baseline(kind: str):
+    """The uninterrupted answer, computed on a pristine solver."""
+    return _task(kind, Solver())()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(["equals", "compose", "emptiness"]),
+    fuel=st.integers(min_value=1, max_value=40),
+    mode=st.sampled_from(["steps", "queries", "fault"]),
+)
+def test_abort_midway_is_recoverable(kind, fuel, mode):
+    if mode == "fault":
+        solver = ChaosSolver(ChaosPolicy(fault_after=fuel % 12))
+    else:
+        solver = Solver()
+    task = _task(kind, solver)
+
+    result = _SENTINEL
+    try:
+        if mode == "steps":
+            with scope(max_steps=fuel):
+                result = task()
+        elif mode == "queries":
+            with scope(max_solver_queries=max(1, fuel // 4)):
+                result = task()
+        else:
+            result = task()
+    except GuardError:
+        pass  # aborted mid-pipeline — exactly the case under test
+
+    # 1. Whatever happened, every shared table is consistent.
+    check_solver_consistency(solver)
+
+    # 2. Retry with a fresh (unlimited) budget on the SAME solver —
+    #    partial cache contents from the aborted run must not change
+    #    the answer an uninterrupted fresh run produces.
+    if mode == "fault":
+        solver.policy.fault_after = None
+    assert task() == _baseline(kind)
+
+    # 3. If the first run did complete, it was already correct.
+    if result is not _SENTINEL:
+        assert result == _baseline(kind)

@@ -1,0 +1,203 @@
+"""Budgets, scopes, and typed aborts (repro.guard.budget)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import guard
+from repro.automata import Language, rule
+from repro.guard import (
+    Budget,
+    BudgetExceeded,
+    DeadlineExceeded,
+    SolverBudgetExceeded,
+    StepBudgetExceeded,
+    scope,
+    tick,
+)
+from repro.guard.budget import charge_query
+from repro.smt import INT, Solver, mk_eq, mk_gt, mk_int, mk_mod, mk_var
+from repro.trees import make_tree_type
+
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+
+def leaves(name, guard_term, solver=None):
+    return Language.build(
+        BT,
+        name,
+        [rule(name, "L", guard_term), rule(name, "N", None, [[name], [name]])],
+        solver,
+    )
+
+
+class TestTickAndScope:
+    def test_tick_is_noop_without_scope(self):
+        for _ in range(10_000):
+            tick()
+        assert guard.current() is None
+
+    def test_scope_activates_and_deactivates(self):
+        assert guard.current() is None
+        with scope(max_steps=100) as b:
+            assert guard.current() is b
+            tick(3)
+        assert guard.current() is None
+        assert b.steps == 3
+
+    def test_step_budget_exhausts(self):
+        with pytest.raises(StepBudgetExceeded) as ei:
+            with scope(max_steps=5):
+                for _ in range(10):
+                    tick(kind="test.step")
+        exc = ei.value
+        assert exc.resource == "steps"
+        assert exc.snapshot is not None
+        assert exc.snapshot.steps == 6
+        assert exc.snapshot.max_steps == 5
+        assert "test.step" in str(exc)
+
+    def test_deadline_exhausts(self):
+        with pytest.raises(DeadlineExceeded) as ei:
+            with scope(deadline=0.005):
+                while True:
+                    time.sleep(0.001)
+                    tick()
+        snap = ei.value.snapshot
+        assert snap is not None and snap.elapsed >= 0.005
+        assert ei.value.resource == "deadline"
+
+    def test_query_budget_exhausts(self):
+        solver = Solver()
+        with pytest.raises(SolverBudgetExceeded):
+            with scope(max_solver_queries=3):
+                for i in range(10):
+                    # Distinct formulas so the memo cache cannot absorb them.
+                    solver.is_sat(mk_gt(x, mk_int(1000 + i)))
+
+    @pytest.mark.cache_sensitive
+    def test_cache_hits_are_free(self):
+        solver = Solver()
+        f = mk_gt(x, mk_int(0))
+        solver.is_sat(f)  # warm the cache outside any scope
+        with scope(max_solver_queries=1) as b:
+            for _ in range(50):
+                solver.is_sat(f)
+        assert b.solver_queries == 0
+
+    def test_nested_scopes_all_charge(self):
+        with scope(max_steps=100) as outer:
+            with scope(max_steps=100) as inner:
+                tick(7)
+            assert inner.steps == 7
+        assert outer.steps == 7
+
+    def test_inner_budget_cannot_shield_outer(self):
+        with pytest.raises(StepBudgetExceeded):
+            with scope(max_steps=3):
+                # A generous inner budget must not reset the outer meter.
+                with scope(max_steps=1000):
+                    for _ in range(10):
+                        tick()
+
+    def test_charge_query_noop_without_scope(self):
+        charge_query()  # must not raise
+
+    def test_explicit_budget_object(self):
+        b = Budget(max_steps=2)
+        with pytest.raises(StepBudgetExceeded):
+            with scope(b):
+                tick(5)
+        # Counters survive the abort for post-mortem inspection.
+        assert b.steps == 5
+        snap = b.snapshot()
+        assert snap.as_dict()["steps"] == 5
+        assert "steps=5/2" in str(snap)
+
+
+class TestPipelinesAreGoverned:
+    """Each major pipeline must hit a charge point and abort cleanly."""
+
+    def _pos_odd(self, solver):
+        pos = leaves("pos", mk_gt(x, mk_int(0)), solver)
+        odd = leaves("odd", mk_eq(mk_mod(x, 2), mk_int(1)), solver)
+        return pos, odd
+
+    def test_emptiness_aborts(self):
+        solver = Solver()
+        pos, _ = self._pos_odd(solver)
+        with pytest.raises(BudgetExceeded):
+            with scope(max_steps=1):
+                pos.is_empty()
+
+    def test_equivalence_aborts(self):
+        solver = Solver()
+        pos, odd = self._pos_odd(solver)
+        with pytest.raises(BudgetExceeded):
+            with scope(max_steps=2):
+                pos.union(odd).equals(odd.union(pos))
+
+    def test_boolean_ops_abort(self):
+        solver = Solver()
+        pos, odd = self._pos_odd(solver)
+        with pytest.raises(BudgetExceeded):
+            with scope(max_steps=1):
+                pos.intersect(odd).minimize()
+
+    def test_transducer_apply_aborts(self):
+        from repro.transducers import OutApply, OutNode, STTR, Transducer, trule
+
+        ident = Transducer(
+            STTR(
+                "ident",
+                BT,
+                BT,
+                "c",
+                (
+                    trule("c", "L", OutNode("L", (x,), ()), rank=0),
+                    trule(
+                        "c",
+                        "N",
+                        OutNode("N", (x,), (OutApply("c", 0), OutApply("c", 1))),
+                        rank=2,
+                    ),
+                ),
+            )
+        )
+        from repro.trees import node
+
+        deep = node("L", [1])
+        for _ in range(50):
+            deep = node("N", [1], deep, node("L", [2]))
+        with pytest.raises(StepBudgetExceeded):
+            with scope(max_steps=10):
+                ident.apply(deep)
+
+    def test_fast_program_aborts(self):
+        from repro.fast.evaluator import run_program
+
+        source = (
+            "type BT[v : Int]{L(0), N(2)}\n"
+            "lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) "
+            "| L() }\n"
+            "assert-false (is-empty pos)\n"
+        )
+        with pytest.raises(BudgetExceeded):
+            with scope(max_steps=1):
+                run_program(source)
+
+    def test_retry_after_abort_gets_full_answer(self):
+        solver = Solver()
+        pos, odd = self._pos_odd(solver)
+        try:
+            with scope(max_steps=2):
+                pos.union(odd).equals(odd.union(pos))
+            raised = False
+        except BudgetExceeded:
+            raised = True
+        assert raised
+        # Same solver, fresh (unlimited) budget: the answer comes out.
+        assert pos.union(odd).equals(odd.union(pos))

@@ -191,6 +191,7 @@ class TestReport:
 
 
 class TestSolverStatsMigration:
+    @pytest.mark.cache_sensitive
     def test_read_through_view(self):
         s = Solver()
         assert isinstance(s.stats, SolverStats)
@@ -205,6 +206,7 @@ class TestSolverStatsMigration:
     def test_hit_rate_zero_queries(self):
         assert Solver().stats.hit_rate == 0.0
 
+    @pytest.mark.cache_sensitive
     def test_hit_rate(self):
         s = Solver()
         x = smt.mk_var("x", INT)

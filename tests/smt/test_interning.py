@@ -165,6 +165,7 @@ class TestSubstitutionCache:
 
 
 class TestSolverCachePlumbing:
+    @pytest.mark.cache_sensitive
     def test_hit_rate_improves_on_repeated_queries(self):
         solver = Solver()
         x = mk_var("x", INT)
@@ -187,6 +188,7 @@ class TestSolverCachePlumbing:
         assert solver.stats.sat_queries == 0
         assert solver.stats.trivial_queries == 4
 
+    @pytest.mark.cache_sensitive
     def test_implies_memoized(self):
         solver = Solver()
         x = mk_var("x", INT)
@@ -199,6 +201,7 @@ class TestSolverCachePlumbing:
         assert not solver.implies(b, a)
         assert solver.equivalent(a, a)
 
+    @pytest.mark.cache_sensitive
     def test_cache_info_and_clear(self):
         solver = Solver()
         x = mk_var("x", INT)

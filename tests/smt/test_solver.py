@@ -61,6 +61,7 @@ class TestBasics:
         assert set(m.assignment) >= {"x", "y"}
         assert m.satisfies(f)
 
+    @pytest.mark.cache_sensitive
     def test_cache(self, solver):
         f = mk_lt(x, mk_int(0))
         solver.is_sat(f)

@@ -1,0 +1,96 @@
+"""``apply(limit=...)`` must signal truncation, not silently shorten."""
+
+import pytest
+
+from repro.smt import INT, mk_add, mk_int, mk_var
+from repro.transducers import (
+    OutApply,
+    OutNode,
+    OutputTruncated,
+    STTR,
+    Transducer,
+    run,
+    run_checked,
+    run_one,
+    trule,
+)
+from repro.trees import make_tree_type, node
+
+BT = make_tree_type("BT", [("x", INT)], {"L": 0, "N": 2})
+x = mk_var("x", INT)
+
+
+def fuzzer(choices: int) -> Transducer:
+    """Nondeterministic: each leaf maps to ``choices`` distinct outputs."""
+    rules = [
+        trule("c", "L", OutNode("L", (mk_add(x, mk_int(i)),), ()), rank=0)
+        for i in range(choices)
+    ]
+    rules.append(
+        trule(
+            "c",
+            "N",
+            OutNode("N", (x,), (OutApply("c", 0), OutApply("c", 1))),
+            rank=2,
+        )
+    )
+    return Transducer(STTR("fuzz", BT, BT, "c", tuple(rules)))
+
+
+TREE = node("N", [0], node("L", [0]), node("L", [10]))  # 2 leaves
+FUZZ2 = fuzzer(2)  # 2 choices/leaf -> exactly 4 outputs on TREE
+
+
+class TestApplyTruncation:
+    def test_no_limit_no_signal(self):
+        assert len(FUZZ2.apply(TREE)) == 4
+
+    def test_cut_raises_with_partial_outputs(self):
+        with pytest.raises(OutputTruncated) as ei:
+            FUZZ2.apply(TREE, limit=2)
+        exc = ei.value
+        assert exc.limit == 2
+        assert len(exc.outputs) == 2
+        full = FUZZ2.apply(TREE)
+        assert all(o in full for o in exc.outputs)
+        assert "limit=2" in str(exc)
+
+    def test_exactly_at_limit_is_not_truncation(self):
+        # The probe enumerates limit+1 before trimming, so a set of
+        # exactly `limit` outputs must NOT be flagged.
+        assert len(FUZZ2.apply(TREE, limit=4)) == 4
+        assert len(FUZZ2.apply(TREE, limit=5)) == 4
+
+    def test_opt_in_truncate_keeps_old_behaviour(self):
+        outs = FUZZ2.apply(TREE, limit=2, on_truncate="truncate")
+        assert len(outs) == 2
+
+    def test_bad_on_truncate_rejected(self):
+        with pytest.raises(ValueError):
+            FUZZ2.apply(TREE, limit=2, on_truncate="whatever")
+
+    def test_run_checked_reports_flag(self):
+        outs, cut = run_checked(FUZZ2.sttr, TREE, limit=2)
+        assert cut and len(outs) == 2
+        outs, cut = run_checked(FUZZ2.sttr, TREE, limit=4)
+        assert not cut and len(outs) == 4
+        outs, cut = run_checked(FUZZ2.sttr, TREE)
+        assert not cut and len(outs) == 4
+
+    def test_plain_run_stays_silent(self):
+        # The low-level entry point keeps its historical contract.
+        assert len(run(FUZZ2.sttr, TREE, limit=2)) == 2
+
+    def test_run_one_unaffected(self):
+        out = run_one(FUZZ2.sttr, TREE)
+        assert out is not None and out in FUZZ2.apply(TREE)
+
+    def test_cut_deep_in_tree_taints_root(self):
+        # 3 leaves, 3 choices each -> 27 outputs; a per-task cap of 8
+        # bites at the leaves/inner nodes, and the taint must reach the
+        # root even though intermediate sets get trimmed along the way.
+        deep = node("N", [0], node("L", [0]), node("N", [1], node("L", [5]), node("L", [9])))
+        f3 = fuzzer(3)
+        with pytest.raises(OutputTruncated):
+            f3.apply(deep, limit=8)
+        assert len(f3.apply(deep)) == 27

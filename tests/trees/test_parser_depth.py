@@ -1,0 +1,48 @@
+"""Deeply nested input must parse iteratively, never blow the stack."""
+
+import pytest
+
+from repro.errors import ParseDepthError, ReproError
+from repro.trees.parser import TreeParseDepthError, TreeParseError, parse_tree
+
+
+class TestDeepTrees:
+    def test_parses_far_beyond_recursion_limit(self):
+        depth = 50_000
+        text = "f(" * depth + "leaf[1]" + ")" * depth
+        tree = parse_tree(text)
+        d = 0
+        while tree.children:
+            tree = tree.children[0]
+            d += 1
+        assert d == depth
+        assert tree.ctor == "leaf" and tree.attrs == (1,)
+
+    def test_wide_and_deep_roundtrip(self):
+        from repro.trees.tree import format_tree
+
+        text = "n(" * 200 + "a b[2] c" + ")" * 200
+        t = parse_tree(text)
+        assert parse_tree(format_tree(t)) == t
+
+    def test_depth_cap_raises_typed_error(self):
+        text = "f(" * 10 + "leaf" + ")" * 10
+        with pytest.raises(TreeParseDepthError) as ei:
+            parse_tree(text, max_depth=3)
+        exc = ei.value
+        # Belongs to all three families and carries a position.
+        assert isinstance(exc, ParseDepthError)
+        assert isinstance(exc, TreeParseError)
+        assert isinstance(exc, ReproError)
+        assert exc.position == 8
+        assert exc.location is not None and exc.location.offset == 8
+        assert "max_depth=3" in str(exc)
+
+    def test_cap_allows_exact_depth(self):
+        text = "f(" * 3 + "leaf" + ")" * 3
+        assert parse_tree(text, max_depth=3).ctor == "f"
+
+    def test_malformed_input_still_positioned(self):
+        with pytest.raises(TreeParseError) as ei:
+            parse_tree("f(g(,")
+        assert ei.value.location is not None
