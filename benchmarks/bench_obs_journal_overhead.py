@@ -1,0 +1,137 @@
+"""Journal overhead budget: enabled ring mode stays within 5% of disabled.
+
+The structured event journal (:mod:`repro.obs.journal`) sits on the
+tracer/metric/guard hot paths, so its cost must be provable, not
+assumed.  This benchmark times the Figure 7 deforestation workload
+(``composed_n`` + ``run_deforested`` on a random integer list) three
+ways:
+
+* **disabled** — obs off, no journal: the PR-1 baseline configuration;
+* **ring**     — journal enabled in ring-buffer mode (the default);
+* **spill**    — journal in JSONL spill mode (informational only; disk
+  I/O makes it workload-dependent, so it is reported but not gated).
+
+Min-of-N timing; the gate asserts
+``ring <= disabled * 1.05 + 10ms`` (the ISSUE's 5% budget plus timer
+noise slack).  A per-event micro-benchmark of ``Journal.emit`` is also
+reported; measured numbers live in ``BENCH_baseline.json`` under
+``obs_journal_overhead``.
+
+Run directly for a quick report::
+
+    PYTHONPATH=src python benchmarks/bench_obs_journal_overhead.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import obs  # noqa: E402
+from repro.apps.deforestation import (  # noqa: E402
+    ILIST,
+    composed_n,
+    encode_list,
+    random_list,
+    run_deforested,
+)
+from repro.obs import journal  # noqa: E402
+from repro.smt import Solver  # noqa: E402
+
+LIST_LENGTH = int(os.environ.get("OBS_OVERHEAD_LIST_LENGTH", 2048))
+COMPOSITIONS = int(os.environ.get("OBS_OVERHEAD_N", 8))
+ROUNDS = int(os.environ.get("OBS_OVERHEAD_ROUNDS", 5))
+RELATIVE_BUDGET = 0.05  # the ISSUE's 5% ring-mode ceiling
+SLACK_SECONDS = 0.010  # timer noise floor for sub-second workloads
+
+
+def _workload():
+    """One fig7-shaped unit of work: compose n times, run once."""
+    solver = Solver()
+    data = encode_list(random_list(LIST_LENGTH, seed=7), ILIST)
+    composed = composed_n(COMPOSITIONS, solver)
+    return run_deforested(composed, data)
+
+
+def _best_of(rounds: int, fn) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_modes(tmp_spill_path: str) -> dict[str, float]:
+    """Best-of-N workload seconds per journal mode."""
+    results: dict[str, float] = {}
+
+    obs.enabled(False)
+    journal.disable()
+    results["disabled"] = _best_of(ROUNDS, _workload)
+
+    with journal.journaled():
+        results["ring"] = _best_of(ROUNDS, _workload)
+        results["ring_events"] = float(journal.active().emitted)
+
+    with journal.journaled(spill_path=tmp_spill_path):
+        results["spill"] = _best_of(ROUNDS, _workload)
+
+    obs.enabled(False)
+    return results
+
+
+def emit_cost_ns(events: int = 100_000) -> float:
+    """Average nanoseconds per ``Journal.emit`` call (ring mode)."""
+    j = journal.Journal()
+    t0 = time.perf_counter()
+    for i in range(events):
+        j.emit("C", "bench.counter", i)
+    return (time.perf_counter() - t0) / events * 1e9
+
+
+def render(results: dict[str, float], per_emit_ns: float) -> str:
+    disabled, ring, spill = results["disabled"], results["ring"], results["spill"]
+    limit = disabled * (1 + RELATIVE_BUDGET) + SLACK_SECONDS
+    lines = [
+        f"workload: fig7 deforestation, list={LIST_LENGTH}, "
+        f"n={COMPOSITIONS}, best of {ROUNDS}",
+        f"journal disabled : {disabled * 1e3:8.1f} ms   (baseline)",
+        f"journal ring     : {ring * 1e3:8.1f} ms   "
+        f"({(ring / disabled - 1) * 100:+.1f}%, limit {limit * 1e3:.1f} ms)",
+        f"journal spill    : {spill * 1e3:8.1f} ms   "
+        f"({(spill / disabled - 1) * 100:+.1f}%, informational)",
+        f"events journaled per ring run: {int(results['ring_events'])}",
+        f"Journal.emit cost: {per_emit_ns:.0f} ns/event",
+    ]
+    return "\n".join(lines)
+
+
+def test_ring_mode_overhead_within_budget(tmp_path, report):
+    results = measure_modes(str(tmp_path / "spill.jsonl"))
+    per_emit = emit_cost_ns()
+    report("journal overhead (ring mode <= 5%)", render(results, per_emit))
+    limit = results["disabled"] * (1 + RELATIVE_BUDGET) + SLACK_SECONDS
+    assert results["ring"] <= limit, (
+        f"ring-mode journal overhead blew the 5% budget: "
+        f"{results['ring']:.3f}s > {limit:.3f}s "
+        f"(disabled baseline {results['disabled']:.3f}s)"
+    )
+
+
+def test_disabled_mode_emits_nothing(tmp_path):
+    obs.enabled(False)
+    journal.disable()
+    _workload()
+    assert journal.active() is None
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as d:
+        res = measure_modes(os.path.join(d, "spill.jsonl"))
+    print(render(res, emit_cost_ns()))

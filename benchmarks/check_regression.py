@@ -1,68 +1,50 @@
-"""Fail CI when a benchmark's solver counters regress past the baseline.
+"""Fail CI when a benchmark's counters regress past the baseline.
 
-Usage::
+Thin compatibility wrapper over :mod:`repro.obs.diff` (the regression
+gate now lives in the library so it can be tested and reused)::
 
     python benchmarks/check_regression.py \
         --baseline BENCH_baseline.json \
         --snapshot /tmp/obs.json \
         --bench fig7_max_n_32 [--tolerance 0.2]
 
-The baseline file (repo root ``BENCH_baseline.json``) stores, per
-benchmark, a ``guard`` mapping of obs counter names to their expected
-values.  A counter regresses when the fresh snapshot exceeds
-``baseline * (1 + tolerance) + slack`` — the small absolute ``slack``
-keeps zero-valued baselines (e.g. fig7's ``solver.sat_queries``, which
-hash-consing drives to exactly 0) from tripping on incidental noise
-while still catching any real reintroduction of solver work.
+Equivalent to::
 
-Counters only ever improve silently: a snapshot *below* baseline passes
-and prints the delta so the baseline can be ratcheted down by hand.
+    python -m repro.obs.diff --baseline BENCH_baseline.json \
+        --bench fig7_max_n_32 --snapshot /tmp/obs.json
+
+The baseline file stores, per benchmark, a ``guard`` mapping of obs
+counter names to expected values, and optionally a ``tolerances``
+mapping overriding the relative tolerance per counter.  A counter
+regresses when the fresh snapshot exceeds
+``baseline * (1 + tolerance) + slack``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
 
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-def check(baseline_path: str, snapshot_path: str, bench: str, tolerance: float, slack: int) -> int:
-    with open(baseline_path) as f:
-        baseline = json.load(f)
-    with open(snapshot_path) as f:
-        snapshot = json.load(f)
+from repro.obs import diff as obs_diff  # noqa: E402
 
-    benchmarks = baseline.get("benchmarks", {})
-    if bench not in benchmarks:
-        print(f"error: benchmark {bench!r} not in {baseline_path} "
-              f"(have: {', '.join(sorted(benchmarks))})", file=sys.stderr)
-        return 2
-    guard = benchmarks[bench].get("guard", {})
-    if not guard:
-        print(f"warning: benchmark {bench!r} has no guarded counters; nothing to check")
-        return 0
 
-    metrics = snapshot.get("metrics", snapshot)
-    failures = []
-    for name, expected in guard.items():
-        actual = metrics.get(name)
-        if actual is None:
-            failures.append(f"{name}: missing from snapshot (baseline {expected})")
-            continue
-        limit = expected * (1.0 + tolerance) + slack
-        verdict = "FAIL" if actual > limit else "ok"
-        print(f"{verdict:4} {name}: baseline={expected} actual={actual} limit={limit:g}")
-        if actual > limit:
-            failures.append(f"{name}: {actual} > limit {limit:g} (baseline {expected})")
-
-    if failures:
-        print(f"\n{bench}: {len(failures)} counter(s) regressed past "
-              f"{tolerance:.0%} tolerance:", file=sys.stderr)
-        for f_ in failures:
-            print(f"  - {f_}", file=sys.stderr)
-        return 1
-    print(f"\n{bench}: all guarded counters within {tolerance:.0%} of baseline")
-    return 0
+def check(
+    baseline_path: str,
+    snapshot_path: str,
+    bench: str,
+    tolerance: float,
+    slack: float,
+) -> int:
+    return obs_diff.gate(
+        obs_diff.load(baseline_path),
+        bench,
+        obs_diff.load(snapshot_path),
+        tolerance=tolerance,
+        slack=slack,
+    )
 
 
 def main() -> int:
@@ -70,9 +52,9 @@ def main() -> int:
     parser.add_argument("--baseline", default="BENCH_baseline.json")
     parser.add_argument("--snapshot", required=True, help="--obs-json output of a fresh run")
     parser.add_argument("--bench", required=True, help="key under 'benchmarks' in the baseline")
-    parser.add_argument("--tolerance", type=float, default=0.2,
+    parser.add_argument("--tolerance", type=float, default=obs_diff.DEFAULT_TOLERANCE,
                         help="allowed relative regression (default 0.2 = 20%%)")
-    parser.add_argument("--slack", type=int, default=10,
+    parser.add_argument("--slack", type=float, default=obs_diff.DEFAULT_SLACK,
                         help="allowed absolute regression on top (default 10)")
     args = parser.parse_args()
     return check(args.baseline, args.snapshot, args.bench, args.tolerance, args.slack)

@@ -13,7 +13,9 @@ counts, cache hit-rates, composition state counts, ...) to ``PATH`` as
 schema-versioned JSON — future perf PRs can diff counters, not just
 wall-clock.  Setting ``REPRO_OBS=1`` (without a path) also enables
 recording; either way the metric table is appended to the terminal
-summary.
+summary.  Pass ``--trace-json PATH`` to additionally enable the
+structured event journal and write the whole run as a Chrome/Perfetto
+trace-event file (open it at ``ui.perfetto.dev``).
 
 Environment knobs (all optional):
 
@@ -53,11 +55,21 @@ def pytest_addoption(parser):
         help="enable repro.obs and write the end-of-run metric snapshot "
         "to PATH as JSON (diffable across PRs)",
     )
+    parser.addoption(
+        "--trace-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="enable the repro.obs event journal and write the run as a "
+        "Chrome/Perfetto trace-event file (open at ui.perfetto.dev)",
+    )
 
 
 def pytest_configure(config):
     if config.getoption("--obs-json"):
         obs.enabled(True)
+    if config.getoption("--trace-json"):
+        obs.journal.enable()  # implies obs.enabled(True)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -78,6 +90,15 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 f.write(obs.render_json())
                 f.write("\n")
             terminalreporter.write_line(f"(snapshot written to {path})")
+        trace_path = config.getoption("--trace-json")
+        journal = obs.journal.active()
+        if trace_path and journal is not None:
+            obs.write_chrome_trace(trace_path, journal)
+            stats = journal.stats()
+            terminalreporter.write_line(
+                f"(trace written to {trace_path}: {stats['emitted']} events, "
+                f"{stats['dropped']} dropped by the ring)"
+            )
 
 
 def env_int(name: str, default: int) -> int:

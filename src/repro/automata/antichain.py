@@ -34,11 +34,12 @@ from typing import Optional
 from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
+from ..obs import provenance as prov
 from ..obs import tracer as obs_tracer
 from ..smt.minterms import minterms
 from ..smt.solver import Solver
 from ..smt.terms import Value
-from ..trees.tree import Tree
+from ..trees.tree import Tree, format_tree
 from .normalize import normalize
 from .sta import STA, State
 
@@ -183,11 +184,19 @@ def included_in_antichain(
     """None if ``L^lstate ⊆ L^rstate``; otherwise a tree in the gap."""
     search = _AntichainSearch(left, lstate, right, rstate, solver)
     with obs_tracer.span("antichain.inclusion") as sp:
-        gap = search.run()
-        sp.set(
-            pairs=sum(len(b) for b in search.antichain.values()),
-            included=gap is None,
-        )
+        with prov.step(
+            "inclusion",
+            f"antichain inclusion L[{lstate}] <= L[{rstate}]",
+        ) as st:
+            gap = search.run()
+            pairs = sum(len(b) for b in search.antichain.values())
+            st.set(holds=gap is None, antichain_pairs=pairs)
+            if gap is not None:
+                prov.note(
+                    "witness",
+                    f"gap tree found outside L[{rstate}]: {format_tree(gap)}",
+                )
+        sp.set(pairs=pairs, included=gap is None)
     return gap
 
 

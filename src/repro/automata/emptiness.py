@@ -14,10 +14,11 @@ from typing import Iterable, Optional
 from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
+from ..obs import provenance as prov
 from ..obs import tracer as obs_tracer
 from ..smt.solver import Solver
 from ..smt.terms import Value
-from ..trees.tree import Tree
+from ..trees.tree import Tree, format_tree
 from .normalize import NormalizedSTA, normalize
 from .sta import STA, State
 
@@ -36,8 +37,16 @@ def _attrs_from_model(norm: NormalizedSTA, guard, solver: Solver) -> tuple[Value
     )
 
 
-def nonempty_witnesses(norm: NormalizedSTA, solver: Solver) -> dict:
-    """Map every non-empty merged state to one witness tree (fixpoint)."""
+def nonempty_witnesses(
+    norm: NormalizedSTA, solver: Solver, derivation: dict | None = None
+) -> dict:
+    """Map every non-empty merged state to one witness tree (fixpoint).
+
+    When ``derivation`` is given, it is filled with
+    ``state -> (rule, attrs)`` recording which rule (and which model of
+    its guard) first made each state non-empty — the raw material for
+    provenance explanations.
+    """
     witness: dict = {}
     changed = True
     while changed:
@@ -63,6 +72,8 @@ def nonempty_witnesses(norm: NormalizedSTA, solver: Solver) -> dict:
                 continue
             attrs = _attrs_from_model(norm, r.guard, solver)
             witness[r.state] = Tree(r.ctor, attrs, tuple(kids))
+            if derivation is not None:
+                derivation[r.state] = (r, attrs)
             changed = True
     # The empty merged state is always non-empty (accepts everything).
     for s in norm.states:
@@ -79,6 +90,63 @@ def _any_tree(sta: STA, solver: Solver) -> Tree:
     return Tree(c.name, sta.tree_type.default_attrs(), ())
 
 
+#: Cap on "rule fired" provenance notes per witness derivation.
+_MAX_DERIVATION_RULES = 100
+
+
+def _fmt_state(state) -> str:
+    if isinstance(state, frozenset):
+        return "{" + ",".join(sorted(str(s) for s in state)) + "}"
+    return str(state)  # pragma: no cover - merged states are frozensets
+
+
+def _record_derivation(start, derivation: dict, from_tree) -> None:
+    """Walk the rules that built the witness, noting each one fired.
+
+    ``from_tree`` maps the empty merged state (no constraints) case:
+    states reached only through "accept anything" need no rule.
+    """
+    with prov.step(
+        "witness", f"witness derivation from state {_fmt_state(start)}"
+    ) as st:
+        first = derivation.get(start)
+        if first is not None:
+            r, attrs = first
+            prov.note(
+                "query",
+                f"decisive query: guard {r.guard!r} satisfiable",
+                model=attrs,
+            )
+        seen: set = set()
+        stack = [start]
+        fired = 0
+        while stack:
+            s = stack.pop()
+            if s in seen or not s:
+                continue
+            seen.add(s)
+            entry = derivation.get(s)
+            if entry is None:
+                continue
+            if fired >= _MAX_DERIVATION_RULES:
+                prov.note(
+                    "truncated",
+                    f"rule walk capped at {_MAX_DERIVATION_RULES} rules",
+                )
+                break
+            r, attrs = entry
+            fired += 1
+            kids = [next(iter(l)) for l in r.lookahead]
+            prov.note(
+                "rule",
+                f"rule fired: {_fmt_state(s)} --{r.ctor}"
+                f"[{r.guard!r}]--> ({', '.join(_fmt_state(k) for k in kids)})",
+                model=attrs,
+            )
+            stack.extend(kids)
+        st.set(rules_fired=fired, witness=format_tree(from_tree))
+
+
 def witness(
     sta: STA, states: Iterable[State], solver: Solver
 ) -> Optional[Tree]:
@@ -88,13 +156,26 @@ def witness(
     counterexamples printed by failed assertions (Section 2).
     """
     start = frozenset(states)
+    collect = prov.is_active()
     with obs_tracer.span("emptiness.witness") as sp:
         if obs_config.ENABLED:
             _OBS_CHECKS.inc()
         norm = normalize(sta, [start], solver)
-        table = nonempty_witnesses(norm, solver)
+        derivation: dict | None = {} if collect else None
+        table = nonempty_witnesses(norm, solver, derivation)
         result = table.get(start)
         sp.set(merged_rules=len(norm.sta.rules), empty=result is None)
+        if collect:
+            if result is not None:
+                _record_derivation(start, derivation or {}, result)
+            else:
+                prov.note(
+                    "fixpoint",
+                    f"emptiness fixpoint closed: {len(table)} of "
+                    f"{len(norm.states)} merged states non-empty; start "
+                    f"state {_fmt_state(start)} stayed empty over "
+                    f"{len(norm.sta.rules)} merged rules",
+                )
     return result
 
 

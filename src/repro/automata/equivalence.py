@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import provenance as prov
 from ..smt.solver import Solver
 from ..trees.tree import Tree
 from .boolean_ops import difference
@@ -22,15 +23,28 @@ def included_in(
     left: STA, lstate: State, right: STA, rstate: State, solver: Solver
 ) -> Optional[Tree]:
     """None if ``L^lstate`` is a subset of ``L^rstate``; else a tree in the gap."""
-    diff_sta, diff_state = difference(left, lstate, right, rstate, solver)
-    return witness(diff_sta, [diff_state], solver)
+    with prov.step(
+        "inclusion",
+        f"inclusion L[{lstate}] <= L[{rstate}] via difference + emptiness",
+    ) as st:
+        diff_sta, diff_state = difference(left, lstate, right, rstate, solver)
+        gap = witness(diff_sta, [diff_state], solver)
+        st.set(holds=gap is None)
+    return gap
 
 
 def equivalent(
     left: STA, lstate: State, right: STA, rstate: State, solver: Solver
 ) -> Optional[Tree]:
     """None if the two languages are equal; else a separating tree."""
-    gap = included_in(left, lstate, right, rstate, solver)
-    if gap is not None:
-        return gap
-    return included_in(right, rstate, left, lstate, solver)
+    with prov.step(
+        "equivalence", f"equivalence L[{lstate}] == L[{rstate}]"
+    ) as st:
+        gap = included_in(left, lstate, right, rstate, solver)
+        if gap is not None:
+            st.set(separating_direction="left minus right")
+            return gap
+        gap = included_in(right, rstate, left, lstate, solver)
+        if gap is not None:
+            st.set(separating_direction="right minus left")
+    return gap

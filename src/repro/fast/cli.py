@@ -1,9 +1,12 @@
-"""Command-line interface: ``fast [run|check|fmt] program.fast``.
+"""Command-line interface: ``fast [run|check|fmt|explain] program.fast``.
 
 * ``run`` — compile and evaluate all assertions, print the report (and
   anything ``print``-ed), exit nonzero if an assertion fails;
 * ``check`` — parse and type-check only;
-* ``fmt`` — parse and pretty-print back to stdout.
+* ``fmt`` — parse and pretty-print back to stdout;
+* ``explain`` — evaluate assertions as provenance-carrying verdicts and
+  print each one's derivation (rules fired, decisive solver queries,
+  witness trees); ``--json`` emits the same as structured JSON.
 
 ``run`` is the default: ``fast program.fast`` and
 ``fast --profile program.fast`` both work without naming a subcommand.
@@ -22,6 +25,12 @@ Exit codes are distinct so scripts can tell *what* failed:
 ``--profile`` enables :mod:`repro.obs` and prints the span tree and
 metric table to stderr after the command; ``--profile-json PATH``
 additionally writes the schema-versioned JSON snapshot to ``PATH``.
+``--trace-json PATH`` enables the structured event journal and writes a
+Chrome/Perfetto trace-event file (open it at ``ui.perfetto.dev``);
+``--flamegraph PATH`` writes collapsed-stack lines for flamegraph
+tools.  All of these are emitted however the command exits — assertion
+failures, budget exhaustion, and crashes still produce their
+observability outputs, so failed runs are debuggable.
 Setting ``REPRO_OBS=1`` in the environment has the same effect as
 ``--profile`` minus the printed report.
 """
@@ -29,15 +38,17 @@ Setting ``REPRO_OBS=1`` in the environment has the same effect as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .. import obs
 from ..errors import ReproError
 from ..guard import Budget, BudgetExceeded, scope as guard_scope
+from ..obs import journal as obs_journal
 from ..trees.parser import TreeParseError
 from ..trees.tree import format_tree
 from .errors import FastSyntaxError, FastTypeError
-from .evaluator import run_program
+from .evaluator import explain_program, run_program
 from .parser import parse_program
 from .pretty import pretty
 from .compiler import compile_program
@@ -49,7 +60,7 @@ EXIT_ERROR = 2
 EXIT_BUDGET = 3
 EXIT_INTERNAL = 4
 
-_COMMANDS = ("run", "check", "fmt")
+_COMMANDS = ("run", "check", "fmt", "explain")
 
 _EPILOG = """\
 exit codes:
@@ -74,7 +85,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile-json",
         metavar="PATH",
         default=None,
-        help="also write the observability snapshot as JSON to PATH",
+        help="also write the observability snapshot as JSON to PATH "
+        "(written even on nonzero exits)",
+    )
+    common.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="enable the event journal and write a Chrome/Perfetto "
+        "trace-event file to PATH (open at ui.perfetto.dev)",
+    )
+    common.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        default=None,
+        help="enable the event journal and write collapsed-stack "
+        "flamegraph lines to PATH",
     )
     common.add_argument(
         "--timeout",
@@ -112,14 +138,21 @@ def _build_parser() -> argparse.ArgumentParser:
         ("run", "compile and evaluate assertions (the default command)"),
         ("check", "parse and type-check only"),
         ("fmt", "parse and pretty-print"),
+        ("explain", "evaluate assertions and print each verdict's derivation"),
     ]:
-        sub.add_parser(
+        p = sub.add_parser(
             cmd,
             help=desc,
             parents=[common],
             epilog=_EPILOG,
             formatter_class=argparse.RawDescriptionHelpFormatter,
         )
+        if cmd == "explain":
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="emit the explanations as structured JSON",
+            )
     return parser
 
 
@@ -132,13 +165,30 @@ def _normalize_argv(argv: list[str]) -> list[str]:
     return argv  # bare flags like -h / --help go to the main parser
 
 
-def _emit_profile(args: argparse.Namespace) -> None:
-    if args.profile:
-        print(obs.render_text(), file=sys.stderr)
-    if args.profile_json:
-        with open(args.profile_json, "w") as f:
-            f.write(obs.render_json())
-            f.write("\n")
+def _emit_outputs(args: argparse.Namespace) -> None:
+    """Write every requested observability output.
+
+    Runs in ``main``'s ``finally``, so profile/trace/flamegraph files
+    appear whatever the exit path — assertion failure, budget
+    exhaustion, even an unexpected crash.  Write failures warn instead
+    of raising (they must not mask the command's own exit code).
+    """
+    try:
+        if args.profile:
+            print(obs.render_text(), file=sys.stderr)
+        if args.profile_json:
+            with open(args.profile_json, "w") as f:
+                f.write(obs.render_json())
+                f.write("\n")
+        j = obs_journal.ACTIVE
+        if j is not None:
+            if args.trace_json:
+                obs.write_chrome_trace(args.trace_json, j)
+            if args.flamegraph:
+                obs.write_flamegraph(args.flamegraph, j)
+    except OSError as exc:
+        print(f"warning: could not write observability output: {exc}",
+              file=sys.stderr)
 
 
 def _budget(args: argparse.Namespace) -> Budget | None:
@@ -163,6 +213,17 @@ def _run_command(args: argparse.Namespace, source: str) -> int:
         compile_program(parse_program(source))
         print("ok")
         return EXIT_OK
+    if args.command == "explain":
+        explained = explain_program(source)
+        if args.json:
+            print(json.dumps(explained.to_dict(), indent=2))
+        else:
+            print(explained.render())
+        if any(a.passed is False for a in explained.assertions):
+            return EXIT_ASSERTION_FAILED
+        if explained.any_unknown:
+            return EXIT_BUDGET
+        return EXIT_OK
     report = run_program(source)
     for tree in report.printed:
         print(format_tree(tree))
@@ -176,36 +237,37 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.profile or args.profile_json:
         obs.enabled(True)
+    if args.trace_json or args.flamegraph:
+        obs_journal.enable()  # implies obs.enabled(True)
 
     try:
-        with open(args.file) as f:
-            source = f.read()
-    except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_ERROR
+        try:
+            with open(args.file) as f:
+                source = f.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
 
-    budget = _budget(args)
-    try:
-        if budget is not None:
-            with guard_scope(budget):
-                code = _run_command(args, source)
-        else:
-            code = _run_command(args, source)
-        _emit_profile(args)
-        return code
-    except BudgetExceeded as exc:
-        print(f"unknown: {exc}", file=sys.stderr)
-        print(f"  resources at abort: {exc.snapshot}", file=sys.stderr)
-        _emit_profile(args)
-        return EXIT_BUDGET
-    except (FastSyntaxError, FastTypeError, TreeParseError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        _emit_profile(args)
-        return EXIT_ERROR
-    except ReproError as exc:
-        print(f"internal error: {exc}", file=sys.stderr)
-        _emit_profile(args)
-        return EXIT_INTERNAL
+        budget = _budget(args)
+        try:
+            if budget is not None:
+                with guard_scope(budget):
+                    return _run_command(args, source)
+            return _run_command(args, source)
+        except BudgetExceeded as exc:
+            print(f"unknown: {exc}", file=sys.stderr)
+            print(f"  resources at abort: {exc.snapshot}", file=sys.stderr)
+            return EXIT_BUDGET
+        except (FastSyntaxError, FastTypeError, TreeParseError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        except ReproError as exc:
+            print(f"internal error: {exc}", file=sys.stderr)
+            return EXIT_INTERNAL
+    finally:
+        # Observability outputs are emitted on every exit path,
+        # including uncaught exceptions.
+        _emit_outputs(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,13 +4,20 @@
 ``assert-false``; failed emptiness assertions come with a witness tree,
 mirroring the counterexample the paper's implementation prints for the
 buggy sanitizer of Section 2.
+
+``explain_program`` runs the same assertions through governed,
+provenance-collecting verdicts (:func:`repro.guard.governed`), so each
+answer carries the derivation that produced it — rules fired, decisive
+solver queries, witness trees.  The ``fast explain`` CLI subcommand
+renders the result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
+from ..guard import Verdict, governed
 from ..guard.budget import tick as _tick
 from ..obs import tracer as obs_tracer
 from ..smt.solver import Solver
@@ -158,3 +165,179 @@ def _check(compiler: Compiler, decl: ast.AssertDecl) -> AssertionResult:
         actual,
         counterexample,
     )
+
+
+# -- explain: governed, provenance-carrying assertion checks -----------------
+
+
+@dataclass
+class ExplainedAssertion:
+    """One assertion plus the verdict (and derivation) that decided it."""
+
+    pos: ast.Pos
+    description: str
+    expected: bool
+    verdict: Verdict
+
+    @property
+    def passed(self) -> Optional[bool]:
+        """True/False when decided; None when the verdict is UNKNOWN."""
+        if self.verdict.is_unknown:
+            return None
+        return self.verdict.is_proved == self.expected
+
+    def render(self) -> str:
+        status = {True: "PASS", False: "FAIL", None: "UNKNOWN"}[self.passed]
+        lines = [f"[{status}] line {self.pos.line}: {self.description}"]
+        for line in self.verdict.explain().splitlines():
+            lines.append(f"    {line}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.pos.line,
+            "assertion": self.description,
+            "expected": self.expected,
+            "passed": self.passed,
+            **self.verdict.explain_dict(),
+        }
+
+
+@dataclass
+class ExplainReport:
+    """Every assertion of a program, explained."""
+
+    env: CompiledProgram
+    assertions: list[ExplainedAssertion] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(a.passed is True for a in self.assertions)
+
+    @property
+    def any_unknown(self) -> bool:
+        return any(a.passed is None for a in self.assertions)
+
+    def render(self) -> str:
+        lines = [a.render() for a in self.assertions]
+        passed = sum(a.passed is True for a in self.assertions)
+        unknown = sum(a.passed is None for a in self.assertions)
+        summary = f"{passed}/{len(self.assertions)} assertions passed"
+        if unknown:
+            summary += f" ({unknown} unknown)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"assertions": [a.to_dict() for a in self.assertions]}
+
+
+def _assertion_plan(
+    compiler: Compiler, decl: ast.AssertDecl
+) -> tuple[str, Callable[[], Optional[Tree]], str, str]:
+    """``(description, witness-style check, proved msg, refuted msg)``.
+
+    Mirrors :func:`_check`'s dispatch, but defers all evaluation into the
+    returned callable so it runs *inside* ``governed()`` — under the
+    ambient budget and the provenance collector.
+    """
+    a = decl.assertion
+    if isinstance(a, ast.AIsEmptyLang):
+        # Same language/transducer ambiguity resolution as _check.
+        if (
+            isinstance(a.lang, ast.LRef)
+            and a.lang.name not in compiler.env.langs
+            and a.lang.name in compiler.env.transducers
+        ):
+            a = ast.AIsEmptyTrans(a.pos, ast.TRef(a.lang.pos, a.lang.name))
+        else:
+            lang_expr = a.lang
+            return (
+                "(is-empty <lang>)",
+                lambda: compiler.eval_lang(lang_expr).witness(),
+                "language is empty",
+                "member tree found",
+            )
+    if isinstance(a, ast.AIsEmptyTrans):
+        trans_expr = a.trans
+        return (
+            "(is-empty <trans>)",
+            lambda: compiler.eval_trans(trans_expr).domain().witness(),
+            "transduction domain is empty",
+            "domain witness found",
+        )
+    if isinstance(a, ast.ALangEq):
+        left_expr, right_expr = a.left, a.right
+        return (
+            "<lang> == <lang>",
+            lambda: compiler.eval_lang(left_expr).separating_tree(
+                compiler.eval_lang(right_expr)
+            ),
+            "languages are equal",
+            "separating tree found",
+        )
+    if isinstance(a, ast.AMember):
+        member = a
+
+        def check_member() -> Optional[Tree]:
+            lang = compiler.eval_lang(member.lang)
+            tree = compiler.eval_tree(member.tree, lang.tree_type)
+            return None if lang.accepts(tree) else tree
+
+        return (
+            "<tree> in <lang>",
+            check_member,
+            "tree is a member",
+            "tree rejected by the language",
+        )
+    if isinstance(a, ast.ATypeCheck):
+        tc = a
+
+        def check_tc() -> Optional[Tree]:
+            input_lang = compiler.eval_lang(tc.input_lang)
+            trans = compiler.eval_trans(tc.trans)
+            output_lang = compiler.eval_lang(tc.output_lang)
+            return trans.type_check(input_lang, output_lang)
+
+        return (
+            "(type-check <lang> <trans> <lang>)",
+            check_tc,
+            "transduction type-checks",
+            "counterexample input found",
+        )
+    raise ValueError(f"unknown assertion {a!r}")
+
+
+def explain_program(source: str, solver: Solver | None = None) -> ExplainReport:
+    """Parse, compile, and *explain* every assertion of a Fast program.
+
+    Each assertion runs as a governed, provenance-collecting verdict:
+    the result records the derivation (rules fired, decisive solver
+    queries, witness trees) alongside PASS/FAIL/UNKNOWN.
+    """
+    with obs_tracer.span("explain_program"):
+        with obs_tracer.span("parse"):
+            program = parse_program(source)
+        with obs_tracer.span("compile"):
+            compiler = Compiler(program, solver)
+            env = compiler.compile()
+        report = ExplainReport(env)
+        for decl in program.decls:
+            if not isinstance(decl, ast.AssertDecl):
+                continue
+            description, check, proved_msg, refuted_msg = _assertion_plan(
+                compiler, decl
+            )
+            with obs_tracer.span("explain.assert", line=decl.pos.line) as sp:
+                verdict = governed(check, proved=proved_msg, refuted=refuted_msg)
+                sp.set(outcome=verdict.outcome.value)
+            report.assertions.append(
+                ExplainedAssertion(
+                    decl.pos,
+                    f"{'assert-true' if decl.expect else 'assert-false'} "
+                    f"{description}",
+                    decl.expect,
+                    verdict,
+                )
+            )
+    return report

@@ -41,6 +41,7 @@ from typing import Iterator, Optional
 
 from ..errors import ReproError
 from ..obs import config as obs_config
+from ..obs import journal as obs_journal
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
 
@@ -232,6 +233,9 @@ class Budget:
                 "guard.abort", reason=exc_cls.resource, detail=message
             ):
                 pass
+        j = obs_journal.ACTIVE
+        if j is not None:
+            j.emit("I", "guard.abort", {"resource": exc_cls.resource, "detail": message})
         raise exc_cls(message, snap)
 
 
@@ -293,6 +297,9 @@ def tick(n: int = 1, kind: str = "step") -> None:
         return
     if obs_config.ENABLED:
         _OBS_STEPS.inc(n)
+    j = obs_journal.ACTIVE
+    if j is not None:
+        j.emit("G", kind, n)
     for b in stack:
         b.charge_step(n, kind)
 
@@ -304,5 +311,8 @@ def charge_query() -> None:
         return
     if obs_config.ENABLED:
         _OBS_QUERIES.inc()
+    j = obs_journal.ACTIVE
+    if j is not None:
+        j.emit("G", "solver.query", 1)
     for b in stack:
         b.charge_query()

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 from ..obs import config as obs_config
+from ..obs import journal as obs_journal
 from ..obs import metrics as obs_metrics
 from ..smt.solver import Solver
 from ..smt.terms import FALSE, TRUE
@@ -52,6 +53,13 @@ _OBS_FAULTS = obs_metrics.counter("chaos.faults_injected")
 _OBS_UNKNOWNS = obs_metrics.counter("chaos.unknowns_injected")
 _OBS_FLUSHES = obs_metrics.counter("chaos.flushes_injected")
 _OBS_DELAYS = obs_metrics.counter("chaos.queries_delayed")
+
+_INJECTION_COUNTERS = {
+    "fault": _OBS_FAULTS,
+    "unknown": _OBS_UNKNOWNS,
+    "flush": _OBS_FLUSHES,
+    "delay": _OBS_DELAYS,
+}
 
 
 @dataclass
@@ -84,36 +92,35 @@ class ChaosPolicy:
         self.queries_seen = 0
         self.counts = {"fault": 0, "unknown": 0, "flush": 0, "delay": 0}
 
+    def _injected(self, kind: str, index: int) -> None:
+        """Book-keep one fired injection (counts, obs, journal)."""
+        self.counts[kind] += 1
+        if obs_config.ENABLED:
+            _INJECTION_COUNTERS[kind].inc()
+        j = obs_journal.ACTIVE
+        if j is not None:
+            j.emit("I", f"chaos.{kind}", {"query": index})
+
     def before_query(self, solver: Solver) -> None:
         """Run the injections due before one non-trivial solver query."""
         index = self.queries_seen
         self.queries_seen += 1
         if self.latency:
-            self.counts["delay"] += 1
-            if obs_config.ENABLED:
-                _OBS_DELAYS.inc()
+            self._injected("delay", index)
             time.sleep(self.latency)
         if self.flush_rate and self._rng.random() < self.flush_rate:
-            self.counts["flush"] += 1
-            if obs_config.ENABLED:
-                _OBS_FLUSHES.inc()
+            self._injected("flush", index)
             solver.clear_cache()
         if self.fault_after is not None and index == self.fault_after:
-            self.counts["fault"] += 1
-            if obs_config.ENABLED:
-                _OBS_FAULTS.inc()
+            self._injected("fault", index)
             raise SolverFault(
                 f"injected solver fault on query #{index} (fault_after)"
             )
         if self.fault_rate and self._rng.random() < self.fault_rate:
-            self.counts["fault"] += 1
-            if obs_config.ENABLED:
-                _OBS_FAULTS.inc()
+            self._injected("fault", index)
             raise SolverFault(f"injected solver fault on query #{index}")
         if self.unknown_rate and self._rng.random() < self.unknown_rate:
-            self.counts["unknown"] += 1
-            if obs_config.ENABLED:
-                _OBS_UNKNOWNS.inc()
+            self._injected("unknown", index)
             raise SolverUnknown(f"injected solver unknown on query #{index}")
 
 

@@ -12,6 +12,12 @@ callable returning ``None`` for "holds" or a counterexample tree) under
 an optional budget and maps every :class:`~repro.guard.budget.GuardError`
 degradation — deadline, query budget, step budget, injected solver
 fault, solver *unknown* — to an UNKNOWN verdict.
+
+Since observability v2, ``governed`` also installs a provenance
+collector (:mod:`repro.obs.provenance`) around the check, so the
+decision procedures' derivation steps — rules fired, decisive solver
+queries, witnesses — land on the verdict.  :meth:`Verdict.explain`
+renders them; ``fast explain`` exposes them on the command line.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
+from ..obs import provenance as prov
+from ..obs.provenance import Step
 from .budget import Budget, BudgetSnapshot, GuardError, current, scope
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,7 +57,10 @@ class Verdict:
       resource ran out or which fault fired);
     * ``witness`` — the counterexample tree of a REFUTED verdict, when
       the analysis produces one;
-    * ``snapshot`` — resources consumed, when a budget was attached.
+    * ``snapshot`` — resources consumed, when a budget was attached;
+    * ``provenance`` — the derivation tree recorded while the analysis
+      ran (which rules fired, which solver queries were decisive), when
+      collection was on.  :meth:`explain` renders it.
 
     A verdict is deliberately **not** a boolean: truth-testing raises so
     that three-valued results cannot be silently collapsed to two.  Use
@@ -60,6 +71,7 @@ class Verdict:
     reason: str = ""
     witness: Optional["Tree"] = None
     snapshot: Optional[BudgetSnapshot] = None
+    provenance: Optional[Step] = None
 
     @property
     def is_proved(self) -> bool:
@@ -87,27 +99,72 @@ class Verdict:
             parts.append(f"[{self.snapshot}]")
         return " ".join(parts)
 
+    # -- explanation -------------------------------------------------------
+
+    def explain(self) -> str:
+        """The verdict plus its recorded derivation, as indented text.
+
+        Always non-empty: at minimum the outcome and reason.  When the
+        analysis ran with provenance collection (every ``governed()``
+        call does), the derivation tree follows — rules fired, decisive
+        solver queries, the witness tree for REFUTED verdicts.
+        """
+        lines = [str(self)]
+        if self.witness is not None:
+            from ..trees.tree import format_tree
+
+            lines.append(f"witness: {format_tree(self.witness)}")
+        if self.provenance is not None and self.provenance.children:
+            lines.append("derivation:")
+            for child in self.provenance.children:
+                lines.append(child.render(indent=1))
+        return "\n".join(lines)
+
+    @property
+    def explanation(self) -> str:
+        """Alias for :meth:`explain` (``lang.is_empty_verdict().explanation``)."""
+        return self.explain()
+
+    def explain_dict(self) -> dict[str, Any]:
+        """The explanation as a JSON-able dict (for ``fast explain --json``)."""
+        from ..trees.tree import format_tree
+
+        return {
+            "outcome": self.outcome.value,
+            "reason": self.reason,
+            "witness": None if self.witness is None else format_tree(self.witness),
+            "snapshot": None if self.snapshot is None else self.snapshot.as_dict(),
+            "derivation": (
+                None if self.provenance is None else self.provenance.to_dict()
+            ),
+        }
+
     # -- constructors ------------------------------------------------------
 
     @staticmethod
     def proved(
-        reason: str = "", snapshot: BudgetSnapshot | None = None
+        reason: str = "",
+        snapshot: BudgetSnapshot | None = None,
+        provenance: Step | None = None,
     ) -> "Verdict":
-        return Verdict(Outcome.PROVED, reason, None, snapshot)
+        return Verdict(Outcome.PROVED, reason, None, snapshot, provenance)
 
     @staticmethod
     def refuted(
         reason: str = "",
         witness: "Tree | None" = None,
         snapshot: BudgetSnapshot | None = None,
+        provenance: Step | None = None,
     ) -> "Verdict":
-        return Verdict(Outcome.REFUTED, reason, witness, snapshot)
+        return Verdict(Outcome.REFUTED, reason, witness, snapshot, provenance)
 
     @staticmethod
     def unknown(
-        reason: str, snapshot: BudgetSnapshot | None = None
+        reason: str,
+        snapshot: BudgetSnapshot | None = None,
+        provenance: Step | None = None,
     ) -> "Verdict":
-        return Verdict(Outcome.UNKNOWN, reason, None, snapshot)
+        return Verdict(Outcome.UNKNOWN, reason, None, snapshot, provenance)
 
 
 def governed(
@@ -116,6 +173,7 @@ def governed(
     *,
     proved: str = "property holds",
     refuted: str = "counterexample found",
+    provenance: bool = True,
 ) -> Verdict:
     """Run a witness-style check under a budget; never hang, never leak.
 
@@ -125,28 +183,47 @@ def governed(
     Any :class:`GuardError` raised along the way (budget exhaustion,
     injected fault, solver unknown) becomes an UNKNOWN verdict carrying
     the error's resource snapshot.
+
+    Unless ``provenance=False``, the check runs under a provenance
+    collector and the recorded derivation lands on the verdict — for
+    UNKNOWN verdicts too, so a partial derivation shows how far the
+    analysis got before the budget ran out.
     """
+    collector = prov.Collector() if provenance else None
+
+    def run() -> Any:
+        if collector is None:
+            return check()
+        with prov.installed(collector):
+            return check()
+
+    derivation: Step | None = None
+
+    def seal() -> Step | None:
+        return collector.finish() if collector is not None else None
+
     if budget is not None:
         try:
             with scope(budget):
-                w = check()
+                w = run()
         except GuardError as exc:
             snap = getattr(exc, "snapshot", None) or budget.snapshot()
-            return Verdict.unknown(_describe(exc), snap)
+            return Verdict.unknown(_describe(exc), snap, seal())
         snap = budget.snapshot()
     else:
         ambient = current()
         try:
-            w = check()
+            w = run()
         except GuardError as exc:
             snap = getattr(exc, "snapshot", None) or (
                 ambient.snapshot() if ambient is not None else None
             )
-            return Verdict.unknown(_describe(exc), snap)
+            return Verdict.unknown(_describe(exc), snap, seal())
         snap = ambient.snapshot() if ambient is not None else None
+    derivation = seal()
     if w is None:
-        return Verdict.proved(proved, snap)
-    return Verdict.refuted(refuted, w, snap)
+        return Verdict.proved(proved, snap, derivation)
+    return Verdict.refuted(refuted, w, snap, derivation)
 
 
 def _describe(exc: GuardError) -> str:

@@ -21,12 +21,22 @@ hot loops stay within noise of un-instrumented timings.
 Submodules: :mod:`~repro.obs.config` (the switch),
 :mod:`~repro.obs.tracer` (thread-local span trees),
 :mod:`~repro.obs.metrics` (counter/gauge/histogram registry),
-:mod:`~repro.obs.report` (text/JSON emitters).
+:mod:`~repro.obs.report` (text/JSON emitters),
+:mod:`~repro.obs.journal` (structured event stream),
+:mod:`~repro.obs.export` (Chrome/Perfetto traces & flamegraphs),
+:mod:`~repro.obs.diff` (snapshot diffing & the CI regression gate),
+:mod:`~repro.obs.provenance` (derivation recording for verdicts).
 """
 
 from __future__ import annotations
 
+# NB: `diff` is deliberately not imported here — it doubles as the
+# `python -m repro.obs.diff` CLI, and importing it from the package
+# would trigger the runpy double-import warning in that mode.
+from . import export, journal, provenance
 from .config import enabled, is_enabled, observed
+from .export import chrome_trace, collapsed_stacks, write_chrome_trace, write_flamegraph
+from .journal import Journal, journaled
 from .metrics import (
     REGISTRY,
     Counter,
@@ -49,12 +59,25 @@ from .tracer import NULL_SPAN, Span, current, reset_trace, span, trace
 
 
 def reset() -> None:
-    """Zero all registered metrics and drop this thread's trace."""
+    """Zero all registered metrics, drop this thread's trace, and clear
+    the active journal (if any)."""
     REGISTRY.reset()
     reset_trace()
+    j = journal.ACTIVE
+    if j is not None:
+        j.clear()
 
 
 __all__ = [
+    "journal",
+    "export",
+    "provenance",
+    "Journal",
+    "journaled",
+    "chrome_trace",
+    "collapsed_stacks",
+    "write_chrome_trace",
+    "write_flamegraph",
     "enabled",
     "is_enabled",
     "observed",

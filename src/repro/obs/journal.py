@@ -1,0 +1,228 @@
+"""The structured event journal: a low-overhead append-only event stream.
+
+While the tracer (:mod:`repro.obs.tracer`) keeps an in-memory span
+*tree* per thread, the journal records a flat, time-ordered stream of
+events — span begins/ends, counter deltas, guard charges, chaos
+injections — that standard tooling can consume:
+
+* :func:`repro.obs.export.chrome_trace` renders it in Chrome
+  trace-event format, loadable by Perfetto (``ui.perfetto.dev``) and
+  ``chrome://tracing``;
+* :func:`repro.obs.export.collapsed_stacks` folds it into the
+  collapsed-stack format flamegraph tools consume.
+
+Each event is a plain tuple ``(ts, tid, ph, name, data)``:
+
+* ``ts``   — ``time.perf_counter()`` seconds;
+* ``tid``  — ``threading.get_ident()`` of the emitting thread;
+* ``ph``   — the phase: ``"B"``/``"E"`` span begin/end, ``"C"`` counter
+  value (post-increment), ``"G"`` guard charge, ``"I"`` instant
+  (chaos injection, budget abort);
+* ``name`` — span/counter/charge name;
+* ``data`` — span attrs, counter value, charge amount, or detail dict.
+
+Two storage modes:
+
+* **ring** (default): a ``collections.deque(maxlen=capacity)`` — the
+  newest ``capacity`` events are kept, older ones are dropped.  Append
+  is lock-free (atomic under the GIL), which keeps the enabled-mode
+  overhead within a few percent of the un-journaled run (enforced by
+  ``benchmarks/bench_obs_journal_overhead.py``).
+* **spill**: events accumulate in a buffer and are flushed to a JSONL
+  file every ``capacity`` events, so arbitrarily long runs keep their
+  full history on disk.
+
+Everything is off by default.  Enable with :func:`enable` /
+:func:`journaled`, or set ``REPRO_OBS_JOURNAL=1`` (ring mode) or
+``REPRO_OBS_JOURNAL=spill:/path/to/events.jsonl`` in the environment.
+Enabling the journal also enables :mod:`repro.obs` recording — the
+span/counter call sites the journal listens to only fire while
+``obs.enabled``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from . import config
+
+#: One journal event: (ts, tid, ph, name, data).
+Event = tuple[float, int, str, str, Any]
+
+#: Default in-memory capacity (events); ~tens of MB at worst.
+DEFAULT_CAPACITY = 1 << 18
+
+
+class Journal:
+    """An append-only event stream (ring buffer or JSONL spill)."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        spill_path: str | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.spill_path = spill_path
+        self.t0 = time.perf_counter()
+        self.emitted = 0
+        self.spilled = 0
+        self._lock = threading.Lock()
+        if spill_path is None:
+            self._ring: deque[Event] = deque(maxlen=capacity)
+            self._buffer: list[Event] | None = None
+        else:
+            self._ring = deque()  # unused in spill mode
+            self._buffer = []
+
+    # -- the hot path ------------------------------------------------------
+
+    def emit(self, ph: str, name: str, data: Any = None) -> None:
+        """Append one event.  Cheap: two clock/ident calls and an append."""
+        event = (time.perf_counter(), threading.get_ident(), ph, name, data)
+        self.emitted += 1
+        if self._buffer is None:
+            # Ring mode: deque.append with maxlen is atomic under the GIL.
+            self._ring.append(event)
+        else:
+            with self._lock:
+                self._buffer.append(event)
+                if len(self._buffer) >= self.capacity:
+                    self._flush_locked()
+
+    # -- spill handling ----------------------------------------------------
+
+    def _flush_locked(self) -> None:
+        assert self._buffer is not None and self.spill_path is not None
+        if not self._buffer:
+            return
+        with open(self.spill_path, "a") as f:
+            for ts, tid, ph, name, data in self._buffer:
+                f.write(
+                    json.dumps(
+                        {"ts": ts, "tid": tid, "ph": ph, "name": name, "data": data},
+                        default=str,
+                    )
+                )
+                f.write("\n")
+        self.spilled += len(self._buffer)
+        self._buffer.clear()
+
+    def flush(self) -> None:
+        """Spill mode: force buffered events to the JSONL file."""
+        if self._buffer is not None:
+            with self._lock:
+                self._flush_locked()
+
+    # -- inspection --------------------------------------------------------
+
+    def events(self) -> list[Event]:
+        """The in-memory events, oldest first (spilled events excluded)."""
+        if self._buffer is not None:
+            with self._lock:
+                return list(self._buffer)
+        return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Ring mode: how many events the ring has overwritten."""
+        if self._buffer is not None:
+            return 0
+        return max(0, self.emitted - len(self._ring))
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-able summary, embedded in obs snapshots."""
+        return {
+            "mode": "spill" if self._buffer is not None else "ring",
+            "capacity": self.capacity,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "spilled": self.spilled,
+            "in_memory": len(self._buffer if self._buffer is not None else self._ring),
+        }
+
+    def clear(self) -> None:
+        """Drop all in-memory events and reset the clock origin."""
+        if self._buffer is not None:
+            with self._lock:
+                self._buffer.clear()
+        else:
+            self._ring.clear()
+        self.emitted = 0
+        self.spilled = 0
+        self.t0 = time.perf_counter()
+
+
+#: The process-wide active journal, or None.  Instrumented call sites
+#: (tracer spans, registry counters, guard charges, chaos injections)
+#: check this directly: ``j = journal.ACTIVE; j and j.emit(...)``.
+ACTIVE: Optional[Journal] = None
+
+
+def enable(
+    capacity: int = DEFAULT_CAPACITY, spill_path: str | None = None
+) -> Journal:
+    """Install a fresh journal as the process-wide active one.
+
+    Also turns :mod:`repro.obs` recording on — the journal hears events
+    only from instrumented call sites that run while obs is enabled.
+    """
+    global ACTIVE
+    ACTIVE = Journal(capacity=capacity, spill_path=spill_path)
+    config.enabled(True)
+    return ACTIVE
+
+
+def disable() -> Optional[Journal]:
+    """Deactivate and return the journal (flushed); obs stays enabled."""
+    global ACTIVE
+    j = ACTIVE
+    ACTIVE = None
+    if j is not None:
+        j.flush()
+    return j
+
+
+def active() -> Optional[Journal]:
+    return ACTIVE
+
+
+@contextmanager
+def journaled(
+    capacity: int = DEFAULT_CAPACITY, spill_path: str | None = None
+) -> Iterator[Journal]:
+    """A journal (and obs recording) for the extent of a ``with`` block."""
+    global ACTIVE
+    previous = ACTIVE
+    was_enabled = config.ENABLED
+    j = Journal(capacity=capacity, spill_path=spill_path)
+    ACTIVE = j
+    config.enabled(True)
+    try:
+        yield j
+    finally:
+        j.flush()
+        ACTIVE = previous
+        config.enabled(was_enabled)
+
+
+def _install_from_env() -> None:
+    spec = os.environ.get("REPRO_OBS_JOURNAL", "")
+    if not spec or spec in ("0", "false", "no"):
+        return
+    try:
+        capacity = int(os.environ.get("REPRO_OBS_JOURNAL_CAPACITY", DEFAULT_CAPACITY))
+    except ValueError:
+        capacity = DEFAULT_CAPACITY
+    spill = spec[len("spill:"):] if spec.startswith("spill:") else None
+    enable(capacity=capacity, spill_path=spill)
+
+
+_install_from_env()

@@ -12,15 +12,25 @@ their handles once at import time::
 :func:`reset` zeroes every registered metric **in place**, so handles
 held by instrumented modules stay valid across resets.
 
-The metric classes are also usable stand-alone (un-registered):
-:class:`~repro.smt.solver.SolverStats` keeps private per-solver
-counters this way.
+Updates are thread-safe: each metric carries its own lock, so worker
+threads hammering the same counter cannot lose increments or corrupt a
+histogram's aggregates (``tests/obs/test_thread_safety.py``).
+
+Registered metrics know their ``name`` and, while a journal
+(:mod:`repro.obs.journal`) is active, counter increments emit ``C``
+events carrying the post-increment value — that is how counter tracks
+appear in exported Chrome/Perfetto traces.  Stand-alone metrics (e.g.
+the private per-solver counters in
+:class:`~repro.smt.solver.SolverStats`) have ``name=None`` and stay out
+of the journal.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Union
+from typing import Optional, Union
+
+from . import journal
 
 Number = Union[int, float]
 
@@ -28,16 +38,25 @@ Number = Union[int, float]
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "name", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         self.value: int = 0
+        self.name = name
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
+            value = self.value
+        if self.name is not None:
+            j = journal.ACTIVE
+            if j is not None:
+                j.emit("C", self.name, value)
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> int:
         return self.value
@@ -46,10 +65,12 @@ class Counter:
 class Gauge:
     """A last-write-wins value (sizes, rates, levels)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "name", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         self.value: Number = 0
+        self.name = name
+        self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
         self.value = value
@@ -64,31 +85,35 @@ class Gauge:
 class Histogram:
     """Streaming aggregate of observed values (count/sum/min/max/mean)."""
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "name", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         self.count: int = 0
         self.total: Number = 0
         self.min: Number | None = None
         self.max: Number | None = None
+        self.name = name
+        self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0
-        self.min = None
-        self.max = None
+        with self._lock:
+            self.count = 0
+            self.total = 0
+            self.min = None
+            self.max = None
 
     def snapshot(self) -> dict[str, Number]:
         return {
@@ -114,7 +139,7 @@ class Registry:
         m = self._metrics.get(name)
         if m is None:
             with self._lock:
-                m = self._metrics.setdefault(name, cls())
+                m = self._metrics.setdefault(name, cls(name))
         if not isinstance(m, cls):
             raise TypeError(
                 f"metric {name!r} is a {type(m).__name__}, not a {cls.__name__}"

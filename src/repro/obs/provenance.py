@@ -1,0 +1,238 @@
+"""Derivation recording: *why* a decision procedure answered what it did.
+
+The paper's analyses (emptiness §3.2, equivalence §3.3, composition §4,
+type-checking §5) return bare answers; this module lets them account
+for those answers.  While a :class:`Collector` is active (installed by
+``guard.governed(...)`` or explicitly via :func:`collecting`), decision
+procedures record a tree of :class:`Step` nodes:
+
+* which STA/STTR rules fired on the way to a witness,
+* which solver queries were decisive (guard formula + model),
+* the witness tree for non-emptiness,
+* the offending input region for a type-check failure.
+
+The result surfaces as ``Verdict.provenance`` / ``Verdict.explain()``
+and the ``fast explain`` CLI subcommand.
+
+Recording is strictly opt-in and the inactive cost is one thread-local
+check per call site (:func:`note` / :func:`step` / :func:`saw_query`
+all no-op when no collector is installed), so the hooks can live inside
+the fixpoint loops.  Collectors are thread-local and nest (a stack), so
+concurrent analyses never mix derivations.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+#: Cap on recorded steps per collector; past it, steps are counted as
+#: dropped rather than recorded, so a huge fixpoint cannot balloon memory.
+MAX_STEPS = 4096
+
+
+@dataclass
+class Step:
+    """One node of a derivation tree."""
+
+    kind: str
+    title: str
+    detail: dict[str, Any] = field(default_factory=dict)
+    children: list["Step"] = field(default_factory=list)
+
+    def set(self, **detail: Any) -> None:
+        """Attach (or overwrite) detail key/values on this step."""
+        self.detail.update(detail)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "title": self.title,
+            "detail": {k: _jsonable(v) for k, v in self.detail.items()},
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """The step and its descendants as an indented text tree."""
+        pad = "  " * indent
+        parts = [f"{pad}{self.title}"]
+        if self.detail:
+            detail = ", ".join(f"{k}={_jsonable(v)}" for k, v in self.detail.items())
+            parts[0] += f"  [{detail}]"
+        for c in self.children:
+            parts.append(c.render(indent + 1))
+        return "\n".join(parts)
+
+    def walk(self) -> Iterator["Step"]:
+        """This step and every descendant, pre-order."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def find(
+        self, kind: str | None = None, contains: str | None = None
+    ) -> Optional["Step"]:
+        """First descendant (pre-order) matching kind and/or title text."""
+        for s in self.walk():
+            if kind is not None and s.kind != kind:
+                continue
+            if contains is not None and contains not in s.title:
+                continue
+            return s
+        return None
+
+
+def _jsonable(v: Any) -> Any:
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return str(v)
+
+
+class Collector:
+    """Accumulates a derivation tree plus a solver-query tally."""
+
+    def __init__(self, max_steps: int = MAX_STEPS) -> None:
+        self.root = Step("derivation", "derivation")
+        self._stack: list[Step] = [self.root]
+        self.max_steps = max_steps
+        self.recorded = 0
+        self.dropped = 0
+        self.query_count = 0
+        self.last_query: Any = None
+
+    def _add(self, step: Step) -> bool:
+        if self.recorded >= self.max_steps:
+            self.dropped += 1
+            return False
+        self._stack[-1].children.append(step)
+        self.recorded += 1
+        return True
+
+    def note(self, kind: str, title: str, **detail: Any) -> Step:
+        s = Step(kind, title, detail)
+        self._add(s)
+        return s
+
+    @contextmanager
+    def step(self, kind: str, title: str, **detail: Any) -> Iterator[Step]:
+        s = Step(kind, title, detail)
+        self._add(s)  # past the cap the whole subtree is silently dropped
+        self._stack.append(s)
+        try:
+            yield s
+        finally:
+            self._stack.pop()
+
+    def saw_query(self, formula: Any) -> None:
+        self.query_count += 1
+        self.last_query = formula
+
+    def finish(self) -> Step:
+        """Seal the derivation: append summary notes and return the root."""
+        if self.query_count:
+            self.root.children.append(
+                Step(
+                    "queries",
+                    f"solver queries while deriving: {self.query_count}",
+                    {"last_formula": _jsonable(self.last_query)},
+                )
+            )
+        if self.dropped:
+            self.root.children.append(
+                Step(
+                    "truncated",
+                    f"derivation truncated: {self.dropped} steps dropped "
+                    f"(cap {self.max_steps})",
+                )
+            )
+        return self.root
+
+
+class _State(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Collector] = []
+
+
+_STATE = _State()
+
+
+def current() -> Optional[Collector]:
+    """The innermost active collector of this thread, or None."""
+    stack = _STATE.stack
+    return stack[-1] if stack else None
+
+
+def is_active() -> bool:
+    return bool(_STATE.stack)
+
+
+@contextmanager
+def collecting(max_steps: int = MAX_STEPS) -> Iterator[Collector]:
+    """Install a fresh collector for the extent of a ``with`` block."""
+    c = Collector(max_steps=max_steps)
+    _STATE.stack.append(c)
+    try:
+        yield c
+    finally:
+        _STATE.stack.pop()
+        c.finish()
+
+
+@contextmanager
+def installed(collector: Collector) -> Iterator[Collector]:
+    """Install an existing collector (caller seals it with ``finish``)."""
+    _STATE.stack.append(collector)
+    try:
+        yield collector
+    finally:
+        _STATE.stack.pop()
+
+
+# -- cheap module-level hooks for instrumented call sites --------------------
+
+
+class _NullStep:
+    """Swallows detail writes when no collector is active."""
+
+    __slots__ = ()
+
+    def set(self, **detail: Any) -> None:
+        pass
+
+
+class _NullStepCM:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullStep:
+        return _NULL_STEP
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_STEP = _NullStep()
+_NULL_STEP_CM = _NullStepCM()
+
+
+def note(kind: str, title: str, **detail: Any) -> None:
+    """Record a leaf step on the active collector (no-op when inactive)."""
+    stack = _STATE.stack
+    if stack:
+        stack[-1].note(kind, title, **detail)
+
+
+def step(kind: str, title: str, **detail: Any):
+    """Open a nested derivation step (shared no-op when inactive)."""
+    stack = _STATE.stack
+    if stack:
+        return stack[-1].step(kind, title, **detail)
+    return _NULL_STEP_CM
+
+
+def saw_query(formula: Any) -> None:
+    """Tally a solved (non-cached) solver query on the active collector."""
+    stack = _STATE.stack
+    if stack:
+        stack[-1].saw_query(formula)

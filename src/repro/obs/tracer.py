@@ -22,7 +22,7 @@ import threading
 import time
 from typing import Any, Optional
 
-from . import config
+from . import config, journal
 
 
 class Span:
@@ -46,6 +46,11 @@ class Span:
         parent = state.stack[-1] if state.stack else None
         (parent.children if parent is not None else state.roots).append(self)
         state.stack.append(self)
+        j = journal.ACTIVE
+        if j is not None:
+            # The event holds the live attrs dict: late sp.set(...) calls
+            # are visible in the exported trace, which is what we want.
+            j.emit("B", self.name, self.attrs or None)
         self.start = time.perf_counter()
         return self
 
@@ -55,6 +60,9 @@ class Span:
         self.duration = time.perf_counter() - self.start
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
+        j = journal.ACTIVE
+        if j is not None:
+            j.emit("E", self.name, self.attrs or None)
         state = _state()
         if state.stack and state.stack[-1] is self:
             state.stack.pop()

@@ -25,6 +25,7 @@ from typing import Optional
 from ..guard.budget import charge_query as _charge_query, tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
+from ..obs import provenance as prov
 from . import builders as b
 from . import terms as terms_mod
 from .cubes import classify_atom, iter_cubes
@@ -194,6 +195,7 @@ class Solver:
         # results are published below only once fully computed
         # (abort-safe, journaled insertion).
         _charge_query()
+        prov.saw_query(formula)  # provenance tally: solved, not cached
         model = self._solve(formula)
         if self._cache_enabled:
             self._sat_cache[formula] = model

@@ -32,6 +32,7 @@ from typing import Iterator
 from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
+from ..obs import provenance as prov
 from ..obs import tracer as obs_tracer
 from ..smt import builders as smt
 from ..smt.solver import Solver
@@ -40,6 +41,9 @@ from .domain import domain_sta
 from .output_terms import OutApply, OutNode, OutputTerm, TApp, states_at
 from .preimage import LookTuple, PreimageBuilder
 from .sttr import STTR, STTRRule, State, TransducerError
+
+#: Cap on per-rule provenance notes recorded by one compose() call.
+_MAX_RULE_NOTES = 25
 
 _OBS_STATES = obs_metrics.histogram("compose.states_explored")
 _OBS_RULES = obs_metrics.histogram("compose.rules_emitted")
@@ -58,20 +62,43 @@ def compose(
             f"{second.name} reads {second.input_type.name}"
         )
     with obs_tracer.span("compose", t1=first.name, t2=second.name) as sp:
-        dt_sta, _ = domain_sta(second)
-        builder = PreimageBuilder(first, dt_sta, solver)
-        composer = _Composer(first, second, builder, solver)
-        composer.run()
-        builder.ensure()
-        lookahead_sta = builder.sta()
-        composed = STTR(
-            name or f"({first.name} ; {second.name})",
-            first.input_type,
-            second.output_type,
-            ("pair", first.initial, second.initial),
-            tuple(composer.rules),
-            lookahead_sta,
-        )
+        with prov.step(
+            "compose",
+            f"compose {first.name} ; {second.name} "
+            "(Compose/Reduce/Look, paper Section 4)",
+        ) as st:
+            dt_sta, _ = domain_sta(second)
+            builder = PreimageBuilder(first, dt_sta, solver)
+            composer = _Composer(first, second, builder, solver)
+            composer.run()
+            builder.ensure()
+            lookahead_sta = builder.sta()
+            composed = STTR(
+                name or f"({first.name} ; {second.name})",
+                first.input_type,
+                second.output_type,
+                ("pair", first.initial, second.initial),
+                tuple(composer.rules),
+                lookahead_sta,
+            )
+            st.set(
+                pair_states=composer.states_explored,
+                rules=len(composer.rules),
+                lookahead_rules=len(lookahead_sta.rules),
+            )
+            if prov.is_active():
+                for r in composer.rules[:_MAX_RULE_NOTES]:
+                    prov.note(
+                        "rule",
+                        f"composed rule fired: {r.state} "
+                        f"--{r.ctor}[{r.guard!r}]--> {r.output!r}",
+                    )
+                if len(composer.rules) > _MAX_RULE_NOTES:
+                    prov.note(
+                        "truncated",
+                        f"... and {len(composer.rules) - _MAX_RULE_NOTES} "
+                        "more composed rules",
+                    )
         if obs_config.ENABLED:
             _OBS_PAIR_STATES.inc(composer.states_explored)
             _OBS_STATES.observe(composer.states_explored)

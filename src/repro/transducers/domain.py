@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..automata.language import Language
 from ..automata.sta import STA, STARule, State
 from ..guard.budget import tick as _tick
+from ..obs import provenance as prov
 from ..smt.solver import Solver
 from .output_terms import states_at
 from .sttr import STTR
@@ -46,4 +47,8 @@ def domain(sttr: STTR, solver: Solver) -> Language:
     """The domain of the transduction as a :class:`Language` (Fast's
     ``domain t``)."""
     sta, state = domain_sta(sttr)
+    prov.note(
+        "domain",
+        f"domain automaton d({sttr.name}) built: {len(sta.rules)} rules",
+    )
     return Language(sta, state, solver)

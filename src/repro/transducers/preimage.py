@@ -40,6 +40,7 @@ from ..automata.sta import STA, STARule, State
 from ..guard.budget import tick as _tick
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
+from ..obs import provenance as prov
 from ..obs import tracer as obs_tracer
 from ..smt import builders as smt
 from ..smt.solver import Solver
@@ -194,9 +195,11 @@ def preimage(sttr: STTR, lang: Language, solver: Solver | None = None) -> Langua
     """
     solver = solver or lang.solver
     with obs_tracer.span("preimage", trans=sttr.name) as sp:
-        builder = PreimageBuilder(sttr, lang.sta, solver)
-        root = builder.state(sttr.initial, [lang.state])
-        builder.ensure()
-        sta = builder.sta()
+        with prov.step("preimage", f"pre-image of {sttr.name}") as st:
+            builder = PreimageBuilder(sttr, lang.sta, solver)
+            root = builder.state(sttr.initial, [lang.state])
+            builder.ensure()
+            sta = builder.sta()
+            st.set(states=len(builder._built), rules=len(sta.rules))
         sp.set(states=len(builder._built), rules=len(sta.rules))
     return Language(sta, root, solver)

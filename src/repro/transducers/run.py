@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..automata.semantics import acceptance_table
 from ..guard.budget import tick as _tick
+from ..obs import provenance as prov
 from ..trees.tree import Tree, dag_post_order
 from .output_terms import OutApply, OutNode, OutputTerm
 from .sttr import STTR, STTRRule, State, TransducerError
@@ -135,6 +136,12 @@ def run_checked(
             tainted.add(key)
         results[key] = kept
     root_key = (root_state, id(tree))
+    if prov.is_active():
+        prov.note(
+            "run",
+            f"ran {sttr.name} from state {root_state}: {len(tasks)} tasks, "
+            f"{len(results[root_key])} output(s)",
+        )
     return results[root_key], root_key in tainted
 
 

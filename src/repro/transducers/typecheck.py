@@ -13,9 +13,10 @@ from __future__ import annotations
 from typing import Optional
 
 from ..automata.language import Language
+from ..obs import provenance as prov
 from ..obs import tracer as obs_tracer
 from ..smt.solver import Solver
-from ..trees.tree import Tree
+from ..trees.tree import Tree, format_tree
 from .preimage import preimage
 from .sttr import STTR
 
@@ -29,11 +30,23 @@ def type_check(
     """None when the transduction type-checks; else a counterexample input."""
     solver = solver or input_lang.solver
     with obs_tracer.span("typecheck", trans=sttr.name) as sp:
-        with obs_tracer.span("typecheck.complement"):
-            bad_outputs = output_lang.complement()
-        with obs_tracer.span("typecheck.preimage"):
-            bad_inputs = preimage(sttr, bad_outputs, solver)
-        with obs_tracer.span("typecheck.emptiness"):
-            cex = input_lang.intersect(bad_inputs).witness()
+        with prov.step(
+            "typecheck",
+            f"type-check {sttr.name}: complement output, pre-image, "
+            "intersect with input, decide emptiness",
+        ) as st:
+            with obs_tracer.span("typecheck.complement"):
+                bad_outputs = output_lang.complement()
+            with obs_tracer.span("typecheck.preimage"):
+                bad_inputs = preimage(sttr, bad_outputs, solver)
+            with obs_tracer.span("typecheck.emptiness"):
+                cex = input_lang.intersect(bad_inputs).witness()
+            st.set(ok=cex is None)
+            if cex is not None:
+                prov.note(
+                    "witness",
+                    "offending input region: input-language tree whose "
+                    f"image escapes the output language: {format_tree(cex)}",
+                )
         sp.set(ok=cex is None)
     return cex

@@ -1,0 +1,325 @@
+"""Tests for the structured event journal and its exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import export, journal
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test starts and ends with no journal and obs disabled."""
+    journal.disable()
+    obs.enabled(False)
+    obs.reset()
+    yield
+    journal.disable()
+    obs.enabled(False)
+    obs.reset()
+
+
+class TestJournal:
+    def test_emit_and_events_roundtrip(self):
+        j = journal.Journal(capacity=16)
+        j.emit("B", "work", {"k": 1})
+        j.emit("C", "counter", 3)
+        j.emit("E", "work")
+        evs = j.events()
+        assert [(e[2], e[3]) for e in evs] == [
+            ("B", "work"),
+            ("C", "counter"),
+            ("E", "work"),
+        ]
+        assert evs[0][4] == {"k": 1}
+        assert evs[1][4] == 3
+        # timestamps are monotone within one thread
+        assert evs[0][0] <= evs[1][0] <= evs[2][0]
+        assert j.emitted == 3
+        assert j.dropped == 0
+
+    def test_ring_drops_oldest(self):
+        j = journal.Journal(capacity=4)
+        for i in range(10):
+            j.emit("C", "n", i)
+        evs = j.events()
+        assert len(evs) == 4
+        assert [e[4] for e in evs] == [6, 7, 8, 9]  # newest survive
+        assert j.emitted == 10
+        assert j.dropped == 6
+        stats = j.stats()
+        assert stats["mode"] == "ring"
+        assert stats["emitted"] == 10
+        assert stats["dropped"] == 6
+        assert stats["in_memory"] == 4
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            journal.Journal(capacity=0)
+
+    def test_spill_mode_writes_jsonl(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        j = journal.Journal(capacity=4, spill_path=path)
+        for i in range(10):  # two automatic flushes at capacity 4
+            j.emit("C", "n", i)
+        j.flush()
+        lines = [json.loads(l) for l in open(path)]
+        assert len(lines) == 10  # nothing dropped in spill mode
+        assert [l["data"] for l in lines] == list(range(10))
+        assert {l["ph"] for l in lines} == {"C"}
+        assert j.dropped == 0
+        assert j.stats()["mode"] == "spill"
+        assert j.stats()["spilled"] == 10
+
+    def test_clear_resets(self):
+        j = journal.Journal(capacity=4)
+        for i in range(6):
+            j.emit("C", "n", i)
+        j.clear()
+        assert j.events() == []
+        assert j.emitted == 0
+        assert j.dropped == 0
+
+
+class TestModuleState:
+    def test_enable_turns_obs_on(self):
+        from repro.obs import config as obs_config
+
+        assert not obs_config.ENABLED
+        j = journal.enable(capacity=8)
+        assert journal.active() is j
+        assert obs_config.ENABLED
+        assert journal.disable() is j
+        assert journal.active() is None
+
+    def test_journaled_restores_previous(self):
+        from repro.obs import config as obs_config
+
+        outer = journal.enable(capacity=8)
+        with journal.journaled(capacity=8) as inner:
+            assert journal.active() is inner
+            assert inner is not outer
+        assert journal.active() is outer
+        assert obs_config.ENABLED
+
+    def test_env_install_ring(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", "1")
+        monkeypatch.setenv("REPRO_OBS_JOURNAL_CAPACITY", "32")
+        journal._install_from_env()
+        j = journal.active()
+        assert j is not None
+        assert j.capacity == 32
+        assert j.spill_path is None
+
+    def test_env_install_spill(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "spill.jsonl")
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", f"spill:{path}")
+        journal._install_from_env()
+        j = journal.active()
+        assert j is not None
+        assert j.spill_path == path
+
+    def test_env_install_off_values(self, monkeypatch):
+        for off in ("", "0", "false", "no"):
+            monkeypatch.setenv("REPRO_OBS_JOURNAL", off)
+            journal._install_from_env()
+            assert journal.active() is None
+
+
+class TestInstrumentation:
+    def test_spans_emit_begin_end(self):
+        with journal.journaled() as j:
+            with obs.span("outer", kind="t"):
+                with obs.span("inner"):
+                    pass
+        phases = [(e[2], e[3]) for e in j.events()]
+        assert phases == [
+            ("B", "outer"),
+            ("B", "inner"),
+            ("E", "inner"),
+            ("E", "outer"),
+        ]
+        # span attrs ride along on the B event
+        assert j.events()[0][4] == {"kind": "t"}
+
+    def test_registered_counters_emit_values(self):
+        c = obs_metrics.counter("test.journal.counter")
+        c.reset()
+        with journal.journaled() as j:
+            c.inc()
+            c.inc(2)
+        evs = [e for e in j.events() if e[2] == "C"]
+        assert [(e[3], e[4]) for e in evs] == [
+            ("test.journal.counter", 1),
+            ("test.journal.counter", 3),
+        ]
+
+    def test_unregistered_counters_stay_silent(self):
+        # Private counters (e.g. SolverStats fields) have no name and
+        # must not reach the journal.
+        anon = obs_metrics.Counter()
+        with journal.journaled() as j:
+            anon.inc(5)
+        assert j.events() == []
+
+    def test_guard_charges_emit_g_events(self):
+        from repro.guard import Budget, scope
+        from repro.guard.budget import tick
+
+        with journal.journaled() as j:
+            with scope(Budget(max_steps=100)):
+                tick(kind="test.step", n=3)
+        g = [e for e in j.events() if e[2] == "G"]
+        assert ("test.step", 3) in [(e[3], e[4]) for e in g]
+
+
+def _ev(ts, tid, ph, name, data=None):
+    return (ts, tid, ph, name, data)
+
+
+class TestChromeTrace:
+    def test_balanced_nesting_and_monotonic_timestamps(self):
+        with journal.journaled() as j:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+            with obs.span("sibling"):
+                pass
+        doc = export.chrome_trace(j)
+        evs = doc["traceEvents"]
+        assert all(e["pid"] == export.PID for e in evs)
+        depth = 0
+        last_ts = -1.0
+        for e in evs:
+            assert e["ts"] >= last_ts  # single-threaded: globally monotone
+            last_ts = e["ts"]
+            if e["ph"] == "B":
+                depth += 1
+            elif e["ph"] == "E":
+                depth -= 1
+                assert depth >= 0
+        assert depth == 0
+
+    def test_orphan_end_dropped_after_ring_truncation(self):
+        # The ring overwrote the B of "lost"; its E must not unbalance.
+        events = [
+            _ev(1.0, 7, "E", "lost"),
+            _ev(2.0, 7, "B", "kept"),
+            _ev(3.0, 7, "E", "kept"),
+        ]
+        doc = export.chrome_trace(events=events)
+        names = [(e["ph"], e["name"]) for e in doc["traceEvents"]]
+        assert names == [("B", "kept"), ("E", "kept")]
+
+    def test_unclosed_begin_gets_synthetic_end(self):
+        events = [
+            _ev(1.0, 7, "B", "open"),
+            _ev(2.0, 7, "B", "done"),
+            _ev(3.0, 7, "E", "done"),
+        ]
+        doc = export.chrome_trace(events=events)
+        pairs = [(e["ph"], e["name"]) for e in doc["traceEvents"]]
+        assert pairs.count(("B", "open")) == 1
+        assert pairs.count(("E", "open")) == 1
+        synth = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "E" and e["name"] == "open"
+        ]
+        assert synth[0]["args"].get("synthetic") is True
+        # closed at the last observed timestamp for the thread
+        assert synth[0]["ts"] == max(e["ts"] for e in doc["traceEvents"])
+
+    def test_counter_and_instant_events(self):
+        events = [
+            _ev(1.0, 7, "C", "solver.sat_queries", 5),
+            _ev(2.0, 7, "I", "chaos.fault", {"query": 3}),
+        ]
+        doc = export.chrome_trace(events=events)
+        counter, instant = doc["traceEvents"]
+        assert counter["ph"] == "C"
+        assert counter["args"] == {"value": 5}
+        assert instant["ph"] == "i"
+
+    def test_guard_deltas_accumulate_into_totals(self):
+        events = [
+            _ev(1.0, 7, "G", "solver.query", 2),
+            _ev(2.0, 7, "G", "solver.query", 3),
+        ]
+        doc = export.chrome_trace(events=events)
+        values = [
+            e["args"]["value"]
+            for e in doc["traceEvents"]
+            if e["name"] == "guard.solver.query"
+        ]
+        assert values == [2, 5]  # running totals, not raw deltas
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "out.trace.json")
+        with journal.journaled() as j:
+            with obs.span("a"):
+                pass
+        export.write_chrome_trace(path, j)
+        doc = json.load(open(path))
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 2
+
+
+class TestFlamegraph:
+    def test_self_time_subtracts_children(self):
+        events = [
+            _ev(0.000000, 7, "B", "outer"),
+            _ev(0.000004, 7, "B", "inner"),
+            _ev(0.000016, 7, "E", "inner"),
+            _ev(0.000020, 7, "E", "outer"),
+        ]
+        lines = export.collapsed_stacks(events=events)
+        assert lines == ["outer 8", "outer;inner 12"]
+
+    def test_lines_parse_and_merge_across_threads(self):
+        events = [
+            _ev(0.0, 1, "B", "work"),
+            _ev(1.0, 1, "E", "work"),
+            _ev(0.0, 2, "B", "work"),
+            _ev(2.0, 2, "E", "work"),
+        ]
+        lines = export.collapsed_stacks(events=events)
+        assert len(lines) == 1
+        stack, value = lines[0].rsplit(" ", 1)
+        assert stack == "work"
+        assert int(value) == 3_000_000  # merged self-time in µs
+
+    def test_write_flamegraph(self, tmp_path):
+        path = str(tmp_path / "out.folded")
+        with journal.journaled() as j:
+            with obs.span("root"):
+                with obs.span("leaf"):
+                    pass
+        export.write_flamegraph(path, j)
+        lines = open(path).read().splitlines()
+        assert any(l.startswith("root ") for l in lines)
+        assert any(l.startswith("root;leaf ") for l in lines)
+        for l in lines:
+            stack, value = l.rsplit(" ", 1)
+            assert stack
+            assert int(value) >= 0
+
+
+class TestSnapshotEmbedding:
+    def test_snapshot_carries_journal_stats(self):
+        with journal.journaled() as j:
+            with obs.span("a"):
+                pass
+            doc = obs.snapshot()
+        assert doc["journal"]["emitted"] == j.emitted
+        assert doc["metrics"]["journal.events_emitted"] == j.emitted
+
+    def test_snapshot_without_journal_has_no_section(self):
+        obs.enabled(True)
+        with obs.span("a"):
+            pass
+        assert "journal" not in obs.snapshot()
