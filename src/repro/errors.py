@@ -16,6 +16,17 @@ to outcomes by family instead of pattern-matching messages:
 Errors that know where they came from carry a :class:`SourceLocation`;
 the constructors of the concrete families fill it in from their own
 position types (token positions, byte offsets).
+
+The whole hierarchy pickles faithfully: the analysis service
+(:mod:`repro.svc`) runs jobs in subprocess workers and ships failures
+back over a pipe, so every attribute an error carries — location,
+budget snapshot, partial outputs — must survive the round trip.
+Default exception pickling re-calls ``cls(*args)``, which breaks for
+every subclass whose constructor takes more than ``args`` holds;
+:meth:`ReproError.__reduce__` instead rebuilds instances structurally
+(``__new__`` + ``args`` + ``__dict__``), which works for any subclass
+without per-class boilerplate (tested over the full public hierarchy in
+``tests/test_errors_pickle.py``).
 """
 
 from __future__ import annotations
@@ -42,6 +53,16 @@ class SourceLocation:
         return "unknown location"
 
 
+def _rebuild_error(
+    cls: type, args: tuple, state: dict
+) -> "ReproError":
+    """Reconstruct an error without calling any subclass ``__init__``."""
+    exc = cls.__new__(cls)
+    exc.args = args
+    exc.__dict__.update(state)
+    return exc
+
+
 class ReproError(Exception):
     """Base class of every deliberate error in the library.
 
@@ -54,6 +75,13 @@ class ReproError(Exception):
     ) -> None:
         super().__init__(message)
         self.location = location
+
+    def __reduce__(self):
+        # Structural pickling: subclass constructors take positions,
+        # snapshots, partial outputs — none of which survive the default
+        # ``cls(*args)`` protocol.  Rebuilding from __new__ + __dict__
+        # round-trips every subclass, including ones defined later.
+        return (_rebuild_error, (type(self), self.args, self.__dict__.copy()))
 
 
 class ParseDepthError(ReproError):

@@ -1,4 +1,4 @@
-"""Command-line interface: ``fast [run|check|fmt|explain] program.fast``.
+"""Command-line interface: ``fast [run|check|fmt|explain|batch|serve] ...``.
 
 * ``run`` — compile and evaluate all assertions, print the report (and
   anything ``print``-ed), exit nonzero if an assertion fails;
@@ -6,7 +6,13 @@
 * ``fmt`` — parse and pretty-print back to stdout;
 * ``explain`` — evaluate assertions as provenance-carrying verdicts and
   print each one's derivation (rules fired, decisive solver queries,
-  witness trees); ``--json`` emits the same as structured JSON.
+  witness trees); ``--json`` emits the same as structured JSON;
+* ``batch`` — run many programs concurrently through the supervised
+  worker pool (:mod:`repro.svc`) with per-file crash isolation:
+  ``fast batch examples/ --jobs 8 --timeout 10 --json``;
+* ``serve`` — a line-oriented job loop (``--stdin-jsonl``): one JSON
+  request per input line, one JSON result per output line, against a
+  persistent pool with per-kind circuit breakers.
 
 ``run`` is the default: ``fast program.fast`` and
 ``fast --profile program.fast`` both work without naming a subcommand.
@@ -21,6 +27,12 @@ Exit codes are distinct so scripts can tell *what* failed:
   ``--max-solver-queries`` / ``--max-steps``): the answer is *unknown*,
   not wrong;
 * ``4`` — an internal backend error (solver or transducer invariant).
+
+``batch`` maps the same vocabulary over many files: exit 1 only when
+some file *really* FAILed an assertion, exit 2 when no file failed but
+some were permanent errors (unparsable), exit 0 otherwise — crashed,
+hung, and chaos-faulted jobs degrade to UNKNOWN lines, never to a
+supervisor crash.
 
 ``--profile`` enables :mod:`repro.obs` and prints the span tree and
 metric table to stderr after the command; ``--profile-json PATH``
@@ -60,7 +72,7 @@ EXIT_ERROR = 2
 EXIT_BUDGET = 3
 EXIT_INTERNAL = 4
 
-_COMMANDS = ("run", "check", "fmt", "explain")
+_COMMANDS = ("run", "check", "fmt", "explain", "batch", "serve")
 
 _EPILOG = """\
 exit codes:
@@ -70,6 +82,9 @@ exit codes:
   3  budget exhausted — --timeout/--max-solver-queries/--max-steps ran
      out before an answer was reached (the result is unknown)
   4  internal error — a solver or transducer invariant failed
+
+batch: 1 only if some file FAILed an assertion; 2 if none failed but
+some were permanent errors; 0 otherwise (UNKNOWNs do not fail a batch).
 """
 
 
@@ -124,7 +139,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap on fixpoint/enumeration steps across all algorithms; "
         "exceeded -> exit 3",
     )
-    common.add_argument("file", help="path to a .fast program")
+
+    svc_common = argparse.ArgumentParser(add_help=False)
+    svc_common.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=4,
+        help="worker processes in the supervised pool (default 4)",
+    )
+    svc_common.add_argument(
+        "--retries",
+        type=int,
+        metavar="K",
+        default=2,
+        help="retries per job for transient failures (worker crashes); "
+        "exponential backoff with full jitter (default 2)",
+    )
+    svc_common.add_argument(
+        "--kill-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=300.0,
+        help="hard wall-clock cap per attempt when a job has no "
+        "--timeout of its own; hung workers are killed and respawned "
+        "(default 300)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="fast",
@@ -147,12 +187,46 @@ def _build_parser() -> argparse.ArgumentParser:
             epilog=_EPILOG,
             formatter_class=argparse.RawDescriptionHelpFormatter,
         )
+        p.add_argument("file", help="path to a .fast program")
         if cmd == "explain":
             p.add_argument(
                 "--json",
                 action="store_true",
                 help="emit the explanations as structured JSON",
             )
+
+    batch = sub.add_parser(
+        "batch",
+        help="run many programs through the supervised worker pool",
+        parents=[common, svc_common],
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    batch.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="program files and/or directories of .fast files",
+    )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full batch report as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve analysis jobs from a line-oriented loop",
+        parents=[common, svc_common],
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument(
+        "--stdin-jsonl",
+        action="store_true",
+        help="read one JSON job request per stdin line, write one JSON "
+        "result per stdout line (the only serving mode, and required)",
+    )
     return parser
 
 
@@ -205,6 +279,57 @@ def _budget(args: argparse.Namespace) -> Budget | None:
     )
 
 
+def _budget_spec(args: argparse.Namespace):
+    """The per-job budget for batch/serve (None if no flags given)."""
+    from ..svc import BudgetSpec
+
+    if (
+        args.timeout is None
+        and args.max_solver_queries is None
+        and args.max_steps is None
+    ):
+        return None
+    return BudgetSpec(
+        deadline=args.timeout,
+        max_solver_queries=args.max_solver_queries,
+        max_steps=args.max_steps,
+    )
+
+
+def _service_config(args: argparse.Namespace):
+    from ..svc import RetryPolicy, ServiceConfig
+
+    return ServiceConfig(
+        jobs=args.jobs,
+        kill_timeout=args.kill_timeout,
+        retry=RetryPolicy(max_retries=args.retries),
+    )
+
+
+def _batch_command(args: argparse.Namespace) -> int:
+    from ..svc import run_batch
+
+    report = run_batch(
+        args.paths, config=_service_config(args), budget=_budget_spec(args)
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    if not args.stdin_jsonl:
+        print("error: fast serve requires --stdin-jsonl", file=sys.stderr)
+        return EXIT_ERROR
+    from ..svc import serve_lines
+
+    served = serve_lines(sys.stdin, sys.stdout, config=_service_config(args))
+    print(f"served {served} jobs", file=sys.stderr)
+    return EXIT_OK
+
+
 def _run_command(args: argparse.Namespace, source: str) -> int:
     if args.command == "fmt":
         print(pretty(parse_program(source)), end="")
@@ -241,6 +366,13 @@ def main(argv: list[str] | None = None) -> int:
         obs_journal.enable()  # implies obs.enabled(True)
 
     try:
+        if args.command == "batch":
+            # Budgets are enforced per job inside the workers, so no
+            # guard_scope here — the supervisor itself is unbudgeted.
+            return _batch_command(args)
+        if args.command == "serve":
+            return _serve_command(args)
+
         try:
             with open(args.file) as f:
                 source = f.read()

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 
 from ..automata import STA, Language, STARule
-from ..guard.budget import tick as _tick
+from ..guard.budget import GuardError, tick as _tick
 from ..obs import tracer as obs_tracer
 from ..smt import builders as smt
 from ..smt.sorts import BASIC_SORTS, BOOL, Sort
@@ -103,6 +103,11 @@ class Compiler:
             self.env.types[d.name] = make_tree_type(
                 d.name, fields, dict(d.constructors)
             )
+        except GuardError:
+            # Budget exhaustion / injected faults are degradations, not
+            # type errors: wrapping them would turn a clean UNKNOWN into
+            # a bogus front-end failure.
+            raise
         except Exception as exc:
             raise FastTypeError(f"bad type {d.name}: {exc}", d.pos) from exc
 
@@ -181,7 +186,7 @@ class Compiler:
             if op == ">=":
                 need(2)
                 return smt.mk_ge(args[0], args[1])
-        except FastTypeError:
+        except (FastTypeError, GuardError):
             raise
         except Exception as exc:
             raise FastTypeError(f"ill-typed use of {op}: {exc}", pos) from exc
@@ -250,6 +255,8 @@ class Compiler:
     def _ctor(self, tree_type: TreeType, name: str, pos):
         try:
             return tree_type.constructor(name)
+        except GuardError:
+            raise
         except Exception as exc:
             raise FastTypeError(str(exc), pos) from exc
 

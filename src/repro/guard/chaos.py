@@ -22,6 +22,23 @@ Injections (all off by default, all reproducible from ``seed``):
   chaos-smoke job runs the full tier-1 suite under latency + flush
   injection and requires it to stay green.
 
+Since the analysis service (:mod:`repro.svc`) moved execution into
+subprocess workers, the harness also injects **worker-level** faults —
+the kinds of failure a supervisor must survive, not a solver:
+
+* ``worker_kill_rate`` — the worker SIGKILLs itself before running the
+  job (a hard crash: no reply, no cleanup);
+* ``worker_hang_rate`` — the worker sleeps past the supervisor's kill
+  timeout instead of answering;
+* ``worker_corrupt_rate`` — the worker replies with a garbage payload
+  instead of a :class:`~repro.svc.job.JobResult`.
+
+Worker faults are decided by :class:`WorkerChaosPolicy` from the
+``(seed, job_id, attempt)`` triple — not a sequential RNG — so the same
+batch under the same seed always faults the same jobs on the same
+attempts, *regardless of worker scheduling*, and a retried attempt can
+succeed where attempt 0 was killed.
+
 Use :class:`ChaosSolver` to wrap a single solver, :func:`inject` to
 patch every :class:`~repro.smt.solver.Solver` in the process for a
 ``with`` block, or ``REPRO_CHAOS="seed=7,flush_rate=0.02"`` +
@@ -174,13 +191,67 @@ def inject(policy: ChaosPolicy) -> Iterator[ChaosPolicy]:
         uninstall()
 
 
-def policy_from_spec(spec: str) -> ChaosPolicy:
-    """Parse ``"seed=7,latency=0.0002,flush_rate=0.02"`` into a policy.
+@dataclass(frozen=True)
+class WorkerChaosPolicy:
+    """Seeded worker-level fault injection for :mod:`repro.svc`.
 
-    Keys are the :class:`ChaosPolicy` field names; values are ints for
-    ``seed``/``fault_after`` and floats otherwise.
+    Unlike :class:`ChaosPolicy` (a sequential RNG at the solver choke
+    point), worker faults are decided *statelessly* from
+    ``(seed, job_id, attempt)``: the policy is a pure function, so the
+    same batch faults the same jobs however the supervisor schedules
+    them across workers, and retries see fresh draws — a job killed on
+    attempt 0 usually survives attempt 1, which is what lets the
+    retry path demonstrate recovery instead of deterministic doom.
+
+    The dataclass is frozen and picklable: the supervisor ships it to
+    each worker at spawn time.
     """
-    kwargs: dict[str, object] = {}
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    #: How long a "hung" worker sleeps; keep well above the supervisor's
+    #: kill timeout (tests shrink both).
+    hang_seconds: float = 3600.0
+
+    def decide(self, job_id: str, attempt: int) -> Optional[str]:
+        """``'kill'`` / ``'hang'`` / ``'corrupt'`` / None for this attempt.
+
+        ``random.Random`` seeded with a string hashes it through
+        SHA-512 (seeding version 2), so the draw is stable across
+        processes and interpreter runs — no ``PYTHONHASHSEED``
+        dependence.
+        """
+        if not (self.kill_rate or self.hang_rate or self.corrupt_rate):
+            return None
+        r = random.Random(f"{self.seed}:{job_id}:{attempt}").random()
+        if r < self.kill_rate:
+            return "kill"
+        if r < self.kill_rate + self.hang_rate:
+            return "hang"
+        if r < self.kill_rate + self.hang_rate + self.corrupt_rate:
+            return "corrupt"
+        return None
+
+    @property
+    def active(self) -> bool:
+        return bool(self.kill_rate or self.hang_rate or self.corrupt_rate)
+
+
+#: Spec keys understood by :func:`worker_policy_from_spec`; ignored by
+#: :func:`policy_from_spec` so one ``REPRO_CHAOS`` string can carry both
+#: solver- and worker-level faults.
+_WORKER_KEYS = {
+    "worker_kill_rate": ("kill_rate", float),
+    "worker_hang_rate": ("hang_rate", float),
+    "worker_corrupt_rate": ("corrupt_rate", float),
+    "worker_hang_seconds": ("hang_seconds", float),
+}
+
+
+def _parse_spec(spec: str) -> dict[str, str]:
+    pairs: dict[str, str] = {}
     for item in spec.split(","):
         item = item.strip()
         if not item:
@@ -188,14 +259,47 @@ def policy_from_spec(spec: str) -> ChaosPolicy:
         if "=" not in item:
             raise ValueError(f"bad chaos spec item {item!r} (expected key=value)")
         key, _, value = item.partition("=")
-        key = key.strip()
+        pairs[key.strip()] = value.strip()
+    return pairs
+
+
+def policy_from_spec(spec: str) -> ChaosPolicy:
+    """Parse ``"seed=7,latency=0.0002,flush_rate=0.02"`` into a policy.
+
+    Keys are the :class:`ChaosPolicy` field names; values are ints for
+    ``seed``/``fault_after`` and floats otherwise.  ``worker_*`` keys
+    (see :func:`worker_policy_from_spec`) are ignored here.
+    """
+    kwargs: dict[str, object] = {}
+    for key, value in _parse_spec(spec).items():
         if key in ("seed", "fault_after"):
             kwargs[key] = int(value)
         elif key in ("fault_rate", "unknown_rate", "latency", "flush_rate"):
             kwargs[key] = float(value)
+        elif key in _WORKER_KEYS:
+            continue
         else:
             raise ValueError(f"unknown chaos spec key {key!r}")
     return ChaosPolicy(**kwargs)  # type: ignore[arg-type]
+
+
+def worker_policy_from_spec(spec: str) -> Optional[WorkerChaosPolicy]:
+    """The :class:`WorkerChaosPolicy` of a spec, or None when inert.
+
+    Shares the ``seed`` key with the solver policy; only ``worker_*``
+    keys activate it, so plain solver-chaos specs return None.
+    """
+    pairs = _parse_spec(spec) if spec else {}
+    kwargs: dict[str, object] = {}
+    for key, (field_name, conv) in _WORKER_KEYS.items():
+        if key in pairs:
+            kwargs[field_name] = conv(pairs[key])
+    if not kwargs:
+        return None
+    if "seed" in pairs:
+        kwargs["seed"] = int(pairs["seed"])
+    policy = WorkerChaosPolicy(**kwargs)  # type: ignore[arg-type]
+    return policy if policy.active else None
 
 
 def install_from_env(var: str = "REPRO_CHAOS") -> Optional[Callable[[], None]]:

@@ -1,0 +1,76 @@
+"""repro.svc — the fault-isolated analysis service.
+
+The paper's analyses (compose, typecheck, emptiness, equivalence — §3
+and §4) are worst-case exponential; the guard layer bounds what they
+*consume*, but an in-process analysis can still take the host down by
+crashing or hanging below the charge points.  This package moves
+execution into a supervised pool of subprocess workers so the serving
+process survives anything a job does:
+
+* :mod:`~repro.svc.job` — picklable :class:`JobSpec` in, JSON-able
+  :class:`JobResult` out; :func:`execute_job` is the worker-side core;
+* :mod:`~repro.svc.worker` — the subprocess loop + respawnable handle
+  (and the hook where worker-level chaos faults fire);
+* :mod:`~repro.svc.pool` — the single-threaded supervisor: dispatch,
+  wall-clock kill timeouts, crash detection, respawn;
+* :mod:`~repro.svc.retry` — exponential backoff with full jitter for
+  transient failures;
+* :mod:`~repro.svc.breaker` — per-analysis-kind circuit breakers
+  (closed → open → half-open) so a poisonous workload degrades to
+  immediate UNKNOWNs instead of starving the pool;
+* :mod:`~repro.svc.service` — the :class:`AnalysisService` facade;
+* :mod:`~repro.svc.batch` / :mod:`~repro.svc.serve` — the engines of
+  ``fast batch`` and ``fast serve --stdin-jsonl``.
+
+Quick use::
+
+    from repro.svc import AnalysisService, JobSpec, ServiceConfig
+
+    with AnalysisService(ServiceConfig(jobs=8)) as svc:
+        result = svc.run_job(JobSpec("job-1", "run", source))
+        print(result.outcome, result.reason)
+
+Every failure mode — worker crash, hang, corrupted reply, open breaker
+— comes back as an UNKNOWN result with a structured
+:class:`~repro.svc.job.JobFailure`; the supervisor never raises for
+job-level trouble.
+"""
+
+from __future__ import annotations
+
+from .batch import BatchReport, build_specs, collect_program_paths, run_batch
+from .breaker import BreakerConfig, BreakerRegistry, CircuitBreaker
+from .job import (
+    BudgetSpec,
+    JobFailure,
+    JobResult,
+    JobSpec,
+    KINDS,
+    execute_job,
+)
+from .pool import WorkerPool
+from .retry import RetryPolicy
+from .serve import serve_lines
+from .service import AnalysisService, ServiceConfig, chaos_from_env
+
+__all__ = [
+    "AnalysisService",
+    "BatchReport",
+    "BreakerConfig",
+    "BreakerRegistry",
+    "BudgetSpec",
+    "CircuitBreaker",
+    "JobFailure",
+    "JobResult",
+    "JobSpec",
+    "KINDS",
+    "RetryPolicy",
+    "ServiceConfig",
+    "WorkerPool",
+    "build_specs",
+    "chaos_from_env",
+    "collect_program_paths",
+    "execute_job",
+    "run_batch",
+    "serve_lines",
+]

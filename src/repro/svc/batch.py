@@ -1,0 +1,137 @@
+"""Batch execution of Fast programs with per-file fault isolation.
+
+The engine behind ``fast batch <dir|files...>``: collect ``.fast``
+programs, wrap each as a ``run`` job, push the lot through an
+:class:`~repro.svc.service.AnalysisService`, and summarize.  One
+pathological program — a parser bomb, a divergent fixpoint, a
+worker-killing chaos fault — costs exactly one UNKNOWN line in the
+report; every other file still gets its real verdict.
+
+Exit-code contract (``BatchReport.exit_code``):
+
+* ``0`` — no file FAILed (UNKNOWNs are degradations, not failures);
+* ``1`` — at least one file had a failing assertion (a *real* FAIL);
+* ``2`` — no FAILs, but some file was a permanent ERROR (did not
+  parse/compile) — distinct so scripts can tell broken inputs from
+  broken properties.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .job import BudgetSpec, ERROR, JobResult, JobSpec, PROVED, REFUTED, UNKNOWN
+from .service import AnalysisService, ServiceConfig
+
+#: JSON schema tag of ``fast batch --json`` output.
+SCHEMA = "repro.svc.batch/v1"
+
+
+def collect_program_paths(paths: list[str]) -> list[str]:
+    """Expand directories into their (sorted) ``*.fast`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            names = sorted(
+                n for n in os.listdir(path) if n.endswith(".fast")
+            )
+            out.extend(os.path.join(path, n) for n in names)
+        else:
+            out.append(path)
+    return out
+
+
+def build_specs(
+    paths: list[str], budget: Optional[BudgetSpec] = None
+) -> list[JobSpec]:
+    """One ``run`` job per program file; unreadable files still get a
+    spec (with empty source) so they appear in the report as ERRORs
+    rather than vanishing."""
+    specs: list[JobSpec] = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                source = f.read()
+        except OSError as exc:
+            source = f'@@unreadable: {exc}'
+        specs.append(
+            JobSpec(job_id=path, kind="run", source=source, budget=budget)
+        )
+    return specs
+
+
+@dataclass
+class BatchReport:
+    """Results plus the summary the CLI renders."""
+
+    results: list[JobResult] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        c = {"PROVED": 0, "REFUTED": 0, "UNKNOWN": 0, "ERROR": 0}
+        for r in self.results:
+            c[r.outcome] = c.get(r.outcome, 0) + 1
+        return c
+
+    @property
+    def exit_code(self) -> int:
+        counts = self.counts()
+        if counts.get(REFUTED):
+            return 1
+        if counts.get(ERROR):
+            return 2
+        return 0
+
+    def render(self) -> str:
+        status_of = {
+            PROVED: "PASS",
+            REFUTED: "FAIL",
+            UNKNOWN: "UNKNOWN",
+            ERROR: "ERROR",
+        }
+        lines = []
+        for r in self.results:
+            line = f"[{status_of.get(r.outcome, r.outcome):7s}] {r.job_id}"
+            if r.reason:
+                line += f" — {r.reason}"
+            if r.attempts > 1:
+                line += f" (attempts: {r.attempts})"
+            lines.append(line)
+        counts = self.counts()
+        retried = sum(1 for r in self.results if r.attempts > 1)
+        summary = (
+            f"{counts['PROVED']} pass, {counts['REFUTED']} fail, "
+            f"{counts['UNKNOWN']} unknown, {counts['ERROR']} error "
+            f"({len(self.results)} programs"
+        )
+        summary += f", {retried} retried)" if retried else ")"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "summary": {
+                **{k.lower(): v for k, v in self.counts().items()},
+                "programs": len(self.results),
+                "retried": sum(1 for r in self.results if r.attempts > 1),
+                "exit_code": self.exit_code,
+            },
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+def run_batch(
+    paths: list[str],
+    *,
+    config: Optional[ServiceConfig] = None,
+    budget: Optional[BudgetSpec] = None,
+    service: Optional[AnalysisService] = None,
+) -> BatchReport:
+    """Run every program under ``paths`` through the service."""
+    specs = build_specs(collect_program_paths(paths), budget)
+    if service is not None:
+        return BatchReport(service.run_jobs(specs))
+    with AnalysisService(config) as svc:
+        return BatchReport(svc.run_jobs(specs))

@@ -1,0 +1,421 @@
+"""The supervised worker pool: dispatch, watch, kill, respawn, retry.
+
+One single-threaded supervisor drives N subprocess workers through a
+select-style event loop (:func:`multiprocessing.connection.wait` over
+result pipes *and* process sentinels, so replies and deaths wake it
+equally).  Per iteration it:
+
+1. moves due retries from the backoff heap to the ready queue;
+2. dispatches ready jobs to idle workers — unless the job kind's
+   circuit breaker is open, in which case the job degrades to an
+   immediate UNKNOWN without touching the pool;
+3. sleeps until the next reply, death, kill deadline, or retry due
+   time;
+4. classifies what woke it: a valid reply finalizes (or, for a
+   transient failure, re-queues with exponential backoff + full
+   jitter), an invalid reply counts as a *corrupt* transient failure,
+   a dead sentinel as a *crash*, and a blown kill deadline gets the
+   worker SIGKILLed and the job finalized UNKNOWN (a hang is
+   deterministic; retrying it would just hang again).
+
+Dead and killed workers are respawned immediately, so pool capacity is
+constant no matter how hostile the workload.  The supervisor itself
+never executes analysis code — there is nothing a job can do to take
+it down short of killing the host.
+
+Lifecycle and decision events flow into :mod:`repro.obs`: ``svc.*``
+counters and the ``svc.job`` / ``svc.pool.run`` spans land in
+``--profile-json`` snapshots and, via the journal, in Perfetto trace
+exports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..guard.chaos import WorkerChaosPolicy
+from ..obs import config as obs_config
+from ..obs import journal as obs_journal
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
+from .breaker import BreakerRegistry
+from .job import ERROR, JobFailure, JobResult, JobSpec, REFUTED, UNKNOWN
+from .retry import RetryPolicy
+from .worker import Worker, default_start_method
+
+_OBS_SUBMITTED = obs_metrics.counter("svc.jobs_submitted")
+_OBS_COMPLETED = obs_metrics.counter("svc.jobs_completed")
+_OBS_UNKNOWN = obs_metrics.counter("svc.jobs_unknown")
+_OBS_FAILED = obs_metrics.counter("svc.jobs_failed")
+_OBS_ERRORS = obs_metrics.counter("svc.jobs_error")
+_OBS_RETRIES = obs_metrics.counter("svc.retries")
+_OBS_SPAWNS = obs_metrics.counter("svc.worker_spawns")
+_OBS_CRASHES = obs_metrics.counter("svc.worker_crashes")
+_OBS_TIMEOUTS = obs_metrics.counter("svc.worker_timeouts")
+_OBS_CORRUPT = obs_metrics.counter("svc.corrupt_results")
+_OBS_LATENCY = obs_metrics.histogram("svc.job_latency")
+
+
+def _journal(event: str, detail: dict) -> None:
+    j = obs_journal.ACTIVE
+    if j is not None:
+        j.emit("I", event, detail)
+
+
+@dataclass
+class _JobState:
+    """Supervisor-side bookkeeping for one job across its attempts."""
+
+    spec: JobSpec
+    attempt: int = 0
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    first_dispatched: Optional[float] = None
+
+
+class WorkerPool:
+    """A fixed-size pool of supervised subprocess workers."""
+
+    def __init__(
+        self,
+        size: int,
+        chaos: Optional[WorkerChaosPolicy] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self.chaos = chaos
+        self.ctx = multiprocessing.get_context(
+            start_method or default_start_method()
+        )
+        self.workers: list[Worker] = []
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _note_spawn(self, worker: Worker) -> None:
+        if obs_config.ENABLED:
+            _OBS_SPAWNS.inc()
+        _journal(
+            "svc.worker.spawn",
+            {"worker": worker.worker_id, "pid": worker.pid},
+        )
+
+    def _ensure_workers(self) -> None:
+        while len(self.workers) < self.size:
+            worker = Worker(self.ctx, self.chaos)
+            self.workers.append(worker)
+            self._note_spawn(worker)
+
+    def _respawn(self, worker: Worker) -> None:
+        worker.kill()
+        worker.spawn()
+        self._note_spawn(worker)
+
+    def close(self) -> None:
+        """Stop every worker (politely, then by force)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            worker.stop()
+        self.workers.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        self._ensure_workers()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the supervision loop ---------------------------------------------
+
+    def run_jobs(
+        self,
+        specs: list[JobSpec],
+        *,
+        retry: Optional[RetryPolicy] = None,
+        breakers: Optional[BreakerRegistry] = None,
+        kill_timeout: float = 300.0,
+        kill_grace: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> list[JobResult]:
+        """Run every job to a result; never raises for job-level trouble.
+
+        ``kill_timeout`` is the hard wall-clock cap per attempt when a
+        job has no deadline of its own; with a soft ``budget.deadline``
+        the attempt is killed at ``deadline + kill_grace`` — the worker
+        gets a chance to abort cleanly (UNKNOWN with a snapshot) before
+        the supervisor shoots it.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        retry = retry if retry is not None else RetryPolicy()
+        breakers = breakers if breakers is not None else BreakerRegistry()
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.job_id in seen:
+                raise ValueError(f"duplicate job_id {spec.job_id!r}")
+            seen.add(spec.job_id)
+
+        self._ensure_workers()
+        states = {spec.job_id: _JobState(spec) for spec in specs}
+        ready: deque[str] = deque(spec.job_id for spec in specs)
+        delayed: list[tuple[float, int, str]] = []  # (due, seq, job_id)
+        seq = 0
+        busy: dict[int, tuple[Worker, str, float]] = {}  # id(worker) -> (w, job, kill_at)
+        results: dict[str, JobResult] = {}
+
+        if obs_config.ENABLED:
+            _OBS_SUBMITTED.inc(len(specs))
+        _journal(
+            "svc.pool.start", {"jobs": len(specs), "workers": self.size}
+        )
+
+        def finalize(job_id: str, result: JobResult) -> None:
+            state = states[job_id]
+            result.attempts = state.attempt + 1
+            result.attempt_failures = state.failures
+            results[job_id] = result
+            if obs_config.ENABLED:
+                _OBS_COMPLETED.inc()
+                if result.outcome == UNKNOWN:
+                    _OBS_UNKNOWN.inc()
+                elif result.outcome == REFUTED:
+                    _OBS_FAILED.inc()
+                elif result.outcome == ERROR:
+                    _OBS_ERRORS.inc()
+                if state.first_dispatched is not None:
+                    _OBS_LATENCY.observe(clock() - state.first_dispatched)
+                # A zero-length span records the job in the trace tree.
+                with obs_tracer.span(
+                    "svc.job",
+                    job=job_id,
+                    kind=state.spec.kind,
+                    outcome=result.outcome,
+                    attempts=result.attempts,
+                ):
+                    pass
+
+        def fail_attempt(job_id: str, failure: JobFailure) -> None:
+            """Route one failed attempt: retry, or finalize UNKNOWN."""
+            nonlocal seq
+            state = states[job_id]
+            state.failures.append(
+                {"attempt": state.attempt, **failure.to_dict()}
+            )
+            breakers.get(state.spec.kind).record_failure()
+            if retry.should_retry(failure, state.attempt):
+                delay = retry.delay(state.attempt)
+                state.attempt += 1
+                if obs_config.ENABLED:
+                    _OBS_RETRIES.inc()
+                _journal(
+                    "svc.retry",
+                    {
+                        "job": job_id,
+                        "attempt": state.attempt,
+                        "delay": round(delay, 6),
+                        "failure": failure.kind,
+                    },
+                )
+                seq += 1
+                heapq.heappush(delayed, (clock() + delay, seq, job_id))
+            else:
+                finalize(
+                    job_id,
+                    JobResult(
+                        job_id,
+                        state.spec.kind,
+                        UNKNOWN,
+                        reason=f"{failure.kind}: {failure.message}",
+                        failure=failure,
+                    ),
+                )
+
+        def classify_reply(worker: Worker, job_id: str, payload: Any) -> None:
+            state = states[job_id]
+            if (
+                isinstance(payload, JobResult)
+                and payload.job_id == job_id
+            ):
+                breakers.get(state.spec.kind).record_success()
+                finalize(job_id, payload)
+            else:
+                if obs_config.ENABLED:
+                    _OBS_CORRUPT.inc()
+                _journal(
+                    "svc.worker.corrupt_result",
+                    {"worker": worker.worker_id, "job": job_id},
+                )
+                fail_attempt(
+                    job_id,
+                    JobFailure(
+                        "corrupt",
+                        f"worker {worker.pid} replied with an invalid "
+                        f"payload ({type(payload).__name__})",
+                        transient=True,
+                    ),
+                )
+
+        with obs_tracer.span("svc.pool.run", jobs=len(specs)):
+            while len(results) < len(states):
+                now = clock()
+                while delayed and delayed[0][0] <= now:
+                    _, _, job_id = heapq.heappop(delayed)
+                    ready.append(job_id)
+
+                # Dispatch to idle workers.
+                idle = [
+                    w for w in self.workers if id(w) not in busy and w.alive
+                ]
+                while ready and idle:
+                    job_id = ready.popleft()
+                    state = states[job_id]
+                    breaker = breakers.get(state.spec.kind)
+                    if not breaker.allow():
+                        finalize(
+                            job_id,
+                            JobResult(
+                                job_id,
+                                state.spec.kind,
+                                UNKNOWN,
+                                reason=(
+                                    f"circuit breaker open for kind "
+                                    f"{state.spec.kind!r}"
+                                ),
+                                failure=JobFailure(
+                                    "breaker-open",
+                                    f"circuit breaker for {state.spec.kind!r} "
+                                    f"is {breaker.state}",
+                                    transient=False,
+                                ),
+                            ),
+                        )
+                        continue
+                    worker = idle.pop()
+                    budget = state.spec.budget
+                    if budget is not None and budget.deadline is not None:
+                        attempt_cap = budget.deadline + kill_grace
+                    else:
+                        attempt_cap = kill_timeout
+                    try:
+                        worker.dispatch(state.spec, state.attempt)
+                    except (BrokenPipeError, OSError):
+                        # The worker died idle; replace it and re-queue.
+                        if obs_config.ENABLED:
+                            _OBS_CRASHES.inc()
+                        self._respawn(worker)
+                        idle.append(worker)
+                        ready.appendleft(job_id)
+                        continue
+                    if state.first_dispatched is None:
+                        state.first_dispatched = clock()
+                    busy[id(worker)] = (worker, job_id, clock() + attempt_cap)
+
+                if not busy:
+                    if ready:
+                        continue  # breaker rejections may have drained all
+                    if delayed and len(results) < len(states):
+                        # Nothing in flight; sleep until the next retry.
+                        pause = max(0.0, delayed[0][0] - clock())
+                        if pause:
+                            time.sleep(pause)
+                        continue
+                    continue
+
+                # Sleep until a reply, a death, a kill deadline, or the
+                # next retry — whichever comes first.
+                now = clock()
+                deadlines = [kill_at for (_, _, kill_at) in busy.values()]
+                if delayed:
+                    deadlines.append(delayed[0][0])
+                wait_timeout = max(0.0, min(deadlines) - now)
+                handles = []
+                for worker, _, _ in busy.values():
+                    handles.append(worker.conn)
+                    handles.append(worker.process.sentinel)
+                ready_handles = multiprocessing.connection.wait(
+                    handles, timeout=wait_timeout
+                )
+                ready_set = set(ready_handles)
+
+                for key in list(busy):
+                    worker, job_id, kill_at = busy[key]
+                    if worker.conn in ready_set:
+                        try:
+                            payload = worker.conn.recv()
+                        except (EOFError, OSError):
+                            self._on_crash(worker, job_id, fail_attempt)
+                            del busy[key]
+                            continue
+                        del busy[key]
+                        classify_reply(worker, job_id, payload)
+                    elif worker.process.sentinel in ready_set:
+                        self._on_crash(worker, job_id, fail_attempt)
+                        del busy[key]
+                    elif clock() >= kill_at:
+                        self._on_timeout(worker, job_id, fail_attempt)
+                        del busy[key]
+
+        _journal("svc.pool.done", {"jobs": len(results)})
+        return [results[spec.job_id] for spec in specs]
+
+    # -- failure handlers --------------------------------------------------
+
+    def _on_crash(
+        self,
+        worker: Worker,
+        job_id: str,
+        fail_attempt: Callable[[str, JobFailure], None],
+    ) -> None:
+        worker.process.join(timeout=1.0)  # reap so exitcode is real
+        exitcode = worker.exitcode
+        if obs_config.ENABLED:
+            _OBS_CRASHES.inc()
+        _journal(
+            "svc.worker.crash",
+            {"worker": worker.worker_id, "job": job_id, "exitcode": exitcode},
+        )
+        self._respawn(worker)
+        fail_attempt(
+            job_id,
+            JobFailure(
+                "crash",
+                f"worker died (exitcode {exitcode}) while running {job_id}",
+                transient=True,
+            ),
+        )
+
+    def _on_timeout(
+        self,
+        worker: Worker,
+        job_id: str,
+        fail_attempt: Callable[[str, JobFailure], None],
+    ) -> None:
+        if obs_config.ENABLED:
+            _OBS_TIMEOUTS.inc()
+        _journal(
+            "svc.worker.kill",
+            {"worker": worker.worker_id, "job": job_id, "reason": "timeout"},
+        )
+        self._respawn(worker)
+        # A hang is deterministic from the supervisor's viewpoint:
+        # retrying would occupy another worker for the full kill
+        # timeout.  ``transient=False`` makes fail_attempt finalize the
+        # job UNKNOWN immediately while still recording the failure
+        # against the kind's circuit breaker.
+        fail_attempt(
+            job_id,
+            JobFailure(
+                "timeout",
+                f"worker killed after exceeding the wall-clock kill "
+                f"timeout (job {job_id})",
+                transient=False,
+            ),
+        )

@@ -1,0 +1,53 @@
+"""Retry policy: exponential backoff with full jitter.
+
+Transient failures — a worker crash, a chaos-injected kill, a corrupted
+reply — are retried up to a cap.  Delays follow the "full jitter"
+scheme (AWS architecture blog): the ``k``-th retry sleeps a uniform
+draw from ``[0, min(max_delay, base * 2**k)]``.  Full jitter beats
+plain exponential backoff when many jobs fail at once (a dead worker
+takes its whole queue with it): synchronized retries would stampede the
+respawned worker, jittered ones spread out.
+
+The policy owns a seeded RNG so test runs are reproducible; production
+callers can leave the default seed, since jitter quality does not
+depend on seed quality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .job import JobFailure
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts."""
+
+    #: Retries per job *beyond* the first attempt.
+    max_retries: int = 2
+    #: Backoff base: attempt ``k`` (0-based failure count) waits at most
+    #: ``base_delay * 2**k`` seconds.
+    base_delay: float = 0.05
+    #: Hard ceiling on any single delay.
+    max_delay: float = 2.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def should_retry(self, failure: JobFailure, attempt: int) -> bool:
+        """May attempt ``attempt`` (0-based) be followed by another?
+
+        Only *transient* failures qualify: an in-worker error or a
+        supervisor timeout is deterministic — the same job would fail
+        the same way — so retrying merely burns pool capacity.
+        """
+        return failure.transient and attempt < self.max_retries
+
+    def delay(self, attempt: int) -> float:
+        """Full-jitter backoff delay after failing attempt ``attempt``."""
+        cap = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return self._rng.uniform(0.0, cap)

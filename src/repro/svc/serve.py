@@ -1,0 +1,95 @@
+"""``fast serve --stdin-jsonl``: a line-oriented job loop.
+
+The minimal serving surface: one JSON object per input line describes a
+job, one JSON object per output line reports its result.  Request
+shape::
+
+    {"id": "req-1", "kind": "run", "source": "...fast program text..."}
+    {"id": "req-2", "kind": "emptiness", "file": "prog.fast",
+     "args": {"lang": "noTags"},
+     "budget": {"deadline": 2.0, "max_solver_queries": 100000}}
+
+``source`` carries program text inline; ``file`` reads it server-side.
+Responses are ``JobResult.to_dict()`` payloads; malformed requests get
+``{"id": ..., "error": ...}`` lines (the loop itself never dies on bad
+input — it is the same posture the worker pool takes toward bad jobs).
+
+The service — pool, breakers, warm workers — persists across lines, so
+a poisonous request kind trips its breaker for subsequent requests
+exactly as it would in a long-running deployment.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterator, Optional
+
+from .job import KINDS, BudgetSpec, JobSpec
+from .service import AnalysisService, ServiceConfig
+
+
+def parse_request(line: str, default_id: str) -> JobSpec:
+    """One JSONL request line -> a JobSpec (raises ValueError on junk)."""
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bad JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError("request must be a JSON object")
+    kind = doc.get("kind", "run")
+    if kind not in KINDS:
+        raise ValueError(f"unknown kind {kind!r} (expected one of {KINDS})")
+    if "source" in doc:
+        source = doc["source"]
+    elif "file" in doc:
+        with open(doc["file"]) as f:
+            source = f.read()
+    else:
+        raise ValueError("request needs 'source' or 'file'")
+    budget: Optional[BudgetSpec] = None
+    if isinstance(doc.get("budget"), dict):
+        b = doc["budget"]
+        budget = BudgetSpec(
+            deadline=b.get("deadline"),
+            max_solver_queries=b.get("max_solver_queries"),
+            max_steps=b.get("max_steps"),
+        )
+    args = doc.get("args") or {}
+    if not isinstance(args, dict):
+        raise ValueError("'args' must be an object")
+    return JobSpec(
+        job_id=str(doc.get("id", default_id)),
+        kind=kind,
+        source=source,
+        args=tuple(sorted((str(k), str(v)) for k, v in args.items())),
+        budget=budget,
+    )
+
+
+def serve_lines(
+    lines: Iterator[str],
+    out: IO[str],
+    config: Optional[ServiceConfig] = None,
+) -> int:
+    """Serve until the input ends; returns the number of jobs served."""
+    served = 0
+    with AnalysisService(config) as svc:
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spec = parse_request(line, default_id=f"line-{index + 1}")
+            except (ValueError, OSError) as exc:
+                _emit(out, {"id": f"line-{index + 1}", "error": str(exc)})
+                continue
+            result = svc.run_job(spec)
+            _emit(out, result.to_dict())
+            served += 1
+    return served
+
+
+def _emit(out: IO[str], doc: dict[str, Any]) -> None:
+    out.write(json.dumps(doc))
+    out.write("\n")
+    out.flush()

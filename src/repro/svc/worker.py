@@ -1,0 +1,173 @@
+"""The subprocess worker: one process, one job at a time, crash-isolated.
+
+A worker is a child process running :func:`_worker_main`: an endless
+``recv job -> execute -> send result`` loop over a duplex pipe.  The
+supervisor side holds a :class:`Worker` handle bundling the process,
+the pipe, and respawn logic.  Everything that can go wrong in a worker
+— a segfaulting solver path, an OOM kill, a divergent fixpoint — is
+contained: the process dies or hangs, the supervisor notices (sentinel
+or kill timeout), and the pool respawns a fresh worker.
+
+Chaos: when a :class:`~repro.guard.chaos.WorkerChaosPolicy` is
+configured, each received ``(job, attempt)`` first consults it and may
+
+* SIGKILL itself (``kill`` — the supervisor sees a dead sentinel),
+* sleep past the supervisor's kill timeout (``hang``),
+* reply with a garbage payload (``corrupt`` — exercising reply
+  validation).
+
+The default start method is ``fork`` where available (Linux): workers
+inherit the warmed import state and the hash-consed term table for
+free, and spawn in ~1 ms.  ``spawn`` is used elsewhere; it works but
+pays an interpreter start per worker.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import signal
+import time
+from typing import Any, Optional
+
+from ..guard.chaos import WorkerChaosPolicy
+from .job import JobSpec, execute_job
+
+#: Payload a chaos-corrupted worker sends instead of a JobResult.
+_CORRUPT_PAYLOAD = ("\x00corrupt\x00", "injected by WorkerChaosPolicy")
+
+_worker_ids = itertools.count(1)
+
+
+def default_start_method() -> str:
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _reset_inherited_state() -> None:
+    """Forget governance/observability state copied in by fork.
+
+    A forked worker inherits the parent's active budget stack and
+    journal; charging a parent budget from a child or appending to the
+    parent's (now private) journal buffer would be silent nonsense.
+    """
+    try:
+        from ..guard import budget as guard_budget
+
+        guard_budget._STATE.stack = []
+    except Exception:
+        pass
+    try:
+        from ..obs import journal as obs_journal
+
+        obs_journal.ACTIVE = None
+    except Exception:
+        pass
+
+
+def _worker_main(conn, chaos: Optional[WorkerChaosPolicy]) -> None:
+    """The worker loop; exits on a ``None`` message or a closed pipe."""
+    _reset_inherited_state()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        spec, attempt = message
+        fault = chaos.decide(spec.job_id, attempt) if chaos is not None else None
+        if fault == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault == "hang":
+            time.sleep(chaos.hang_seconds)  # the supervisor kills us first
+        if fault == "corrupt":
+            try:
+                conn.send(_CORRUPT_PAYLOAD)
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        result = execute_job(spec)
+        try:
+            conn.send(result)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class Worker:
+    """Supervisor-side handle: process + pipe + respawn."""
+
+    def __init__(
+        self,
+        ctx,
+        chaos: Optional[WorkerChaosPolicy] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.chaos = chaos
+        self.worker_id = next(_worker_ids)
+        self.spawns = 0
+        self.process: Any = None
+        self.conn: Any = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        """(Re)start the child process with a fresh pipe."""
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        self.process = self.ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.chaos),
+            daemon=True,
+            name=f"repro-svc-worker-{self.worker_id}",
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.spawns += 1
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def sentinel(self) -> int:
+        return self.process.sentinel
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return self.process.exitcode if self.process is not None else None
+
+    # -- protocol ----------------------------------------------------------
+
+    def dispatch(self, spec: JobSpec, attempt: int) -> None:
+        """Send one job; raises OSError/BrokenPipeError if the pipe died."""
+        self.conn.send((spec, attempt))
+
+    def kill(self) -> None:
+        """SIGKILL the child and reap it (used for hung workers)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+        if self.process is not None:
+            self.process.join()
+        if self.conn is not None:
+            self.conn.close()
+
+    def stop(self, grace: float = 1.0) -> None:
+        """Polite shutdown: send the stop message, then escalate."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        if self.process is not None:
+            self.process.join(timeout=grace)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join()
+        if self.conn is not None:
+            self.conn.close()

@@ -1,0 +1,69 @@
+"""Broad ``except Exception`` sites must not swallow guard exceptions.
+
+The compiler wraps substrate errors (sort mismatches, bad constructor
+names) into positioned :class:`FastTypeError`\\ s with ``except
+Exception`` handlers.  Before the fault-isolated service work those
+handlers also caught :class:`repro.guard.GuardError` — so a deadline
+that expired inside ``make_tree_type`` or a chaos-injected solver fault
+inside a ``where``-clause lowering surfaced as a bogus *type error*
+instead of a clean UNKNOWN degradation.  One regression test per fixed
+site.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.fast.compiler as compiler_mod
+from repro.fast.errors import FastTypeError
+from repro.fast.evaluator import run_program
+from repro.guard.budget import DeadlineExceeded
+from repro.guard.chaos import SolverFault
+from repro.trees.types import TreeType
+
+_PROGRAM = """
+type T[v : Int]{leaf(0), node(2)}
+lang small : T { leaf() | node(l, r) where (v < 3) given (small l) (small r) }
+assert-false (is-empty small)
+"""
+
+
+def test_compile_type_reraises_guard_errors(monkeypatch):
+    """Site 1: ``_compile_type``'s wrapper around ``make_tree_type``."""
+
+    def exploding(*args, **kwargs):
+        raise DeadlineExceeded("deadline of 0.0s exceeded at 'trees.make_type'")
+
+    monkeypatch.setattr(compiler_mod, "make_tree_type", exploding)
+    with pytest.raises(DeadlineExceeded):
+        run_program(_PROGRAM)
+
+
+def test_apply_op_reraises_guard_errors(monkeypatch):
+    """Site 2: ``_apply_op``'s wrapper around the smt builders."""
+
+    def exploding(*args, **kwargs):
+        raise SolverFault("injected solver fault during lowering")
+
+    monkeypatch.setattr(compiler_mod.smt, "mk_lt", exploding)
+    with pytest.raises(SolverFault):
+        run_program(_PROGRAM)
+
+
+def test_ctor_reraises_guard_errors(monkeypatch):
+    """Site 3: ``_ctor``'s wrapper around ``TreeType.constructor``."""
+
+    def exploding(self, name):
+        raise DeadlineExceeded("deadline of 0.0s exceeded at 'types.ctor'")
+
+    monkeypatch.setattr(TreeType, "constructor", exploding)
+    with pytest.raises(DeadlineExceeded):
+        run_program(_PROGRAM)
+
+
+def test_wrapping_still_applies_to_plain_errors():
+    """The handlers still produce positioned FastTypeErrors for real bugs."""
+    bad = _PROGRAM.replace("node(l, r)", "missing(l, r)")
+    with pytest.raises(FastTypeError) as info:
+        run_program(bad)
+    assert "missing" in str(info.value)

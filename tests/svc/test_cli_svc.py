@@ -1,0 +1,142 @@
+"""``fast batch`` / ``fast serve`` through the real CLI entry point."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.fast.cli import EXIT_ERROR, EXIT_OK, main
+
+PASSING = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+
+FAILING = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-true (is-empty pos)
+"""
+
+BROKEN = "type )))"
+
+
+@pytest.fixture(autouse=True)
+def restore_obs():
+    yield
+    obs.enabled(False)
+    obs.reset()
+
+
+@pytest.fixture()
+def programs(tmp_path):
+    def write(sources: dict[str, str]) -> str:
+        for name, source in sources.items():
+            (tmp_path / name).write_text(source)
+        return str(tmp_path)
+
+    return write
+
+
+class TestBatchExitCodes:
+    def test_all_passing_is_0(self, programs):
+        d = programs({"a.fast": PASSING, "b.fast": PASSING})
+        assert main(["batch", d, "--jobs", "2"]) == 0
+
+    def test_any_failing_assertion_is_1(self, programs):
+        d = programs({"a.fast": PASSING, "b.fast": FAILING})
+        assert main(["batch", d, "--jobs", "2"]) == 1
+
+    def test_errors_without_failures_is_2(self, programs):
+        d = programs({"a.fast": PASSING, "b.fast": BROKEN})
+        assert main(["batch", d, "--jobs", "2"]) == 2
+
+    def test_broken_file_does_not_mask_failures(self, programs):
+        d = programs({"a.fast": FAILING, "b.fast": BROKEN})
+        assert main(["batch", d, "--jobs", "2"]) == 1
+
+
+class TestBatchOutput:
+    def test_render_lists_every_file(self, programs, capsys):
+        d = programs({"a.fast": PASSING, "b.fast": FAILING})
+        main(["batch", d, "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert "[PASS   ]" in out and "[FAIL   ]" in out
+        assert "1 pass, 1 fail, 0 unknown, 0 error (2 programs)" in out
+
+    def test_json_schema_and_summary(self, programs, capsys):
+        d = programs({"a.fast": PASSING, "b.fast": BROKEN})
+        main(["batch", d, "--json", "--jobs", "2"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.svc.batch/v1"
+        assert doc["summary"]["proved"] == 1
+        assert doc["summary"]["error"] == 1
+        assert doc["summary"]["exit_code"] == 2
+        assert len(doc["results"]) == 2
+
+    def test_per_job_budget_flags_flow_to_workers(self, programs, capsys):
+        d = programs({"a.fast": PASSING})
+        assert main(["batch", d, "--max-steps", "1", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out  # budget exhausted inside the worker
+
+
+class TestBatchObservability:
+    def test_profile_json_has_svc_counters_and_spans(
+        self, programs, tmp_path
+    ):
+        d = programs({"a.fast": PASSING, "b.fast": FAILING})
+        prof = tmp_path / "prof.json"
+        main(["batch", d, "--jobs", "2", "--profile-json", str(prof)])
+        doc = json.loads(prof.read_text())
+        assert doc["metrics"]["svc.jobs_submitted"] == 2
+        assert doc["metrics"]["svc.jobs_completed"] == 2
+        assert doc["metrics"]["svc.jobs_failed"] == 1
+        assert doc["metrics"]["svc.worker_spawns"] >= 1
+        assert doc["metrics"]["svc.job_latency"]["count"] == 2
+
+        def span_names(node, acc):
+            acc.add(node["name"])
+            for child in node.get("children", []):
+                span_names(child, acc)
+            return acc
+
+        names = set()
+        for root in doc["trace"]:
+            span_names(root, names)
+        assert "svc.pool.run" in names
+        assert "svc.job" in names
+
+    def test_perfetto_trace_has_svc_events(self, programs, tmp_path):
+        d = programs({"a.fast": PASSING})
+        trace = tmp_path / "trace.json"
+        main(["batch", d, "--jobs", "1", "--trace-json", str(trace)])
+        events = json.loads(trace.read_text())
+        if isinstance(events, dict):
+            events = events["traceEvents"]
+        names = {str(e.get("name", "")) for e in events}
+        assert any(n.startswith("svc.pool") for n in names)
+        assert "svc.worker.spawn" in names
+        assert "svc.job" in names
+
+
+class TestServeCommand:
+    def test_requires_stdin_jsonl_flag(self, capsys):
+        assert main(["serve"]) == EXIT_ERROR
+        assert "--stdin-jsonl" in capsys.readouterr().err
+
+    def test_serves_jsonl_from_stdin(self, monkeypatch, capsys):
+        request = json.dumps(
+            {"id": "r1", "kind": "run", "source": PASSING}
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(["serve", "--stdin-jsonl", "--jobs", "1"]) == EXIT_OK
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out.strip())
+        assert doc["job_id"] == "r1"
+        assert doc["outcome"] == "PROVED"
+        assert "served 1 jobs" in captured.err

@@ -1,0 +1,142 @@
+"""Worker-side job execution: every outcome, in-process (no pool)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.guard import Verdict
+from repro.svc import BudgetSpec, JobSpec, execute_job
+from repro.svc.job import ERROR, PROVED, REFUTED, UNKNOWN
+
+PASSING = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+
+FAILING = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-true (is-empty pos)
+"""
+
+WITH_TRANS = """\
+type BT[v : Int]{L(0), N(2)}
+lang anyTree : BT { L() | N(l, r) given (anyTree l) (anyTree r) }
+lang posLeaf : BT { L() where (v > 0) }
+trans copy : BT -> BT { L() to (L [v]) | N(a, b) to (N [v] (copy a) (copy b)) }
+"""
+
+
+class TestRunJobs:
+    def test_passing_program_is_proved(self):
+        result = execute_job(JobSpec("j", "run", PASSING))
+        assert result.outcome == PROVED
+        assert "assertions passed" in result.reason
+        assert result.worker_pid is not None
+        assert result.assertions and result.assertions[0]["passed"] is True
+
+    def test_failing_assertion_is_refuted(self):
+        result = execute_job(JobSpec("j", "run", FAILING))
+        assert result.outcome == REFUTED
+        assert "assertion(s) failed" in result.reason
+
+    def test_syntax_error_is_permanent_error(self):
+        result = execute_job(JobSpec("j", "run", "type )))"))
+        assert result.outcome == ERROR
+        assert result.failure is not None
+        assert result.failure.transient is False
+        assert result.failure.error_type == "FastSyntaxError"
+        # The original exception travels pickled inside the failure.
+        assert result.failure.exception is not None
+
+    def test_budget_exhaustion_is_unknown_with_snapshot(self):
+        result = execute_job(
+            JobSpec("j", "run", PASSING, budget=BudgetSpec(max_steps=1))
+        )
+        assert result.outcome == UNKNOWN
+        assert result.snapshot is not None
+
+    def test_unknown_kind_is_error(self):
+        result = execute_job(JobSpec("j", "frobnicate", PASSING))
+        assert result.outcome == ERROR
+        assert "unknown job kind" in result.reason
+
+
+class TestAnalysisJobs:
+    def test_emptiness_refuted_with_witness(self):
+        spec = JobSpec(
+            "j", "emptiness", PASSING, args=(("lang", "pos"),)
+        )
+        result = execute_job(spec)
+        assert result.outcome == REFUTED
+        assert result.witness is not None
+
+    def test_emptiness_missing_lang_is_error(self):
+        spec = JobSpec(
+            "j", "emptiness", PASSING, args=(("lang", "nonesuch"),)
+        )
+        result = execute_job(spec)
+        assert result.outcome == ERROR
+        assert result.failure.error_type == "KeyError"
+
+    def test_equivalence(self):
+        spec = JobSpec(
+            "j",
+            "equivalence",
+            WITH_TRANS,
+            args=(("left", "anyTree"), ("right", "posLeaf")),
+        )
+        result = execute_job(spec)
+        assert result.outcome == REFUTED  # witnessed inequivalence
+
+    def test_typecheck(self):
+        spec = JobSpec(
+            "j",
+            "typecheck",
+            WITH_TRANS,
+            args=(
+                ("trans", "copy"),
+                ("input", "anyTree"),
+                ("output", "anyTree"),
+            ),
+        )
+        result = execute_job(spec)
+        assert result.outcome == PROVED
+
+    def test_compose_reports_sizes(self):
+        spec = JobSpec(
+            "j",
+            "compose",
+            WITH_TRANS,
+            args=(("first", "copy"), ("second", "copy")),
+        )
+        result = execute_job(spec)
+        assert result.outcome == PROVED
+        assert "states" in result.reason and "rules" in result.reason
+
+
+class TestResultContracts:
+    def test_to_dict_is_json_able(self):
+        result = execute_job(JobSpec("j", "run", FAILING))
+        assert json.loads(json.dumps(result.to_dict()))["outcome"] == REFUTED
+
+    @pytest.mark.parametrize(
+        "source, expected",
+        [(PASSING, "PROVED"), (FAILING, "REFUTED")],
+    )
+    def test_to_verdict_round_trip(self, source, expected):
+        verdict = execute_job(JobSpec("j", "run", source)).to_verdict()
+        assert isinstance(verdict, Verdict)
+        assert verdict.outcome.name == expected
+
+    def test_unknown_verdict_carries_failure_reason(self):
+        result = execute_job(
+            JobSpec("j", "run", PASSING, budget=BudgetSpec(max_steps=1))
+        )
+        verdict = result.to_verdict()
+        assert verdict.outcome.name == "UNKNOWN"
+        with pytest.raises(TypeError):
+            bool(verdict)  # three-valued: never silently truthy

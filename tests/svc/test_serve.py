@@ -1,0 +1,84 @@
+"""The JSONL request parser and the serve loop (library level)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.svc import ServiceConfig
+from repro.svc.serve import parse_request, serve_lines
+
+PASSING = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+
+
+class TestParseRequest:
+    def test_inline_source(self):
+        spec = parse_request(
+            json.dumps({"id": "a", "kind": "run", "source": "x"}), "d"
+        )
+        assert spec.job_id == "a"
+        assert spec.kind == "run"
+        assert spec.source == "x"
+
+    def test_file_source(self, tmp_path):
+        p = tmp_path / "p.fast"
+        p.write_text(PASSING)
+        spec = parse_request(json.dumps({"file": str(p)}), "line-1")
+        assert spec.source == PASSING
+        assert spec.job_id == "line-1"  # default id
+
+    def test_args_and_budget(self):
+        spec = parse_request(
+            json.dumps(
+                {
+                    "kind": "emptiness",
+                    "source": "x",
+                    "args": {"lang": "pos"},
+                    "budget": {"deadline": 2.5, "max_steps": 10},
+                }
+            ),
+            "d",
+        )
+        assert spec.arg("lang") == "pos"
+        assert spec.budget.deadline == 2.5
+        assert spec.budget.max_steps == 10
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            ("not json", "bad JSON"),
+            ('["list"]', "JSON object"),
+            ('{"kind": "bogus", "source": "x"}', "unknown kind"),
+            ('{"kind": "run"}', "'source' or 'file'"),
+            ('{"source": "x", "args": 7}', "'args' must be an object"),
+        ],
+    )
+    def test_junk_raises_value_error(self, line, match):
+        with pytest.raises(ValueError, match=match):
+            parse_request(line, "d")
+
+
+class TestServeLines:
+    def test_mixed_good_and_bad_lines(self):
+        lines = [
+            json.dumps({"id": "good", "kind": "run", "source": PASSING}),
+            "",  # blank lines are skipped silently
+            "garbage",
+            json.dumps({"id": "bad-kind", "kind": "nope", "source": "x"}),
+        ]
+        out = io.StringIO()
+        served = serve_lines(iter(lines), out, ServiceConfig(jobs=1))
+        replies = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert served == 1
+        assert len(replies) == 3
+        assert replies[0]["outcome"] == "PROVED"
+        assert "bad JSON" in replies[1]["error"]
+        assert "unknown kind" in replies[2]["error"]
+        # Error lines carry synthetic line-N ids for correlation.
+        assert replies[1]["id"] == "line-3"
