@@ -165,6 +165,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout of its own; hung workers are killed and respawned "
         "(default 300)",
     )
+    svc_common.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a per-kind latency/retry summary table (p50/p95/p99 "
+        "and circuit-breaker states) to stderr when done",
+    )
 
     parser = argparse.ArgumentParser(
         prog="fast",
@@ -226,6 +232,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="read one JSON job request per stdin line, write one JSON "
         "result per stdout line (the only serving mode, and required)",
+    )
+    serve.add_argument(
+        "--stats-interval",
+        type=float,
+        metavar="SECONDS",
+        default=0.0,
+        help="print a rolling jobs/sec + per-kind quantile line to "
+        "stderr at most every SECONDS (0 = never; default 0)",
     )
     return parser
 
@@ -316,6 +330,8 @@ def _batch_command(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
+    if args.stats:
+        print(report.render_stats(), file=sys.stderr)
     return report.exit_code
 
 
@@ -325,7 +341,13 @@ def _serve_command(args: argparse.Namespace) -> int:
         return EXIT_ERROR
     from ..svc import serve_lines
 
-    served = serve_lines(sys.stdin, sys.stdout, config=_service_config(args))
+    served = serve_lines(
+        sys.stdin,
+        sys.stdout,
+        config=_service_config(args),
+        stats=args.stats,
+        stats_interval=args.stats_interval,
+    )
     print(f"served {served} jobs", file=sys.stderr)
     return EXIT_OK
 

@@ -53,6 +53,9 @@ def flatten_counters(doc: dict[str, Any]) -> dict[str, float]:
             out[f"{name}.count"] = value.get("count", 0)
             out[f"{name}.sum"] = value.get("sum", 0)
             out[f"{name}.mean"] = value.get("mean", 0.0)
+            for q in ("p50", "p95", "p99"):
+                if q in value:
+                    out[f"{name}.{q}"] = value[q]
     return out
 
 

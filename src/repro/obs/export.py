@@ -15,6 +15,17 @@ the ``B`` of a recorded ``E`` (or vice versa at the tail), so unmatched
 closed at the last observed timestamp.  The output therefore always has
 balanced nesting and per-thread monotonic timestamps, whatever the ring
 truncated.
+
+**Worker tracks.**  :mod:`repro.svc.telemetry` merges subprocess-worker
+journal fragments into the supervisor's journal with ``tid`` set to the
+worker's pid and one ``M``-phase track-registration event per merged
+blob (``data = {"pid": ..., "name": ...}``).  :func:`chrome_trace`
+turns those registrations into Chrome ``process_name``/``thread_name``
+metadata events and routes the registered tids to their own ``pid`` in
+the output, so every worker appears as its own process track in
+Perfetto — with its ``svc.job`` spans enclosing the worker-side
+solver/automata spans.  Balancing is per track, so a worker killed
+mid-job can never corrupt the supervisor's own track.
 """
 
 from __future__ import annotations
@@ -40,7 +51,9 @@ def _resolve_events(
     else:
         t0 = events[0][0] if events else 0.0
     if events:
-        t0 = min(t0, events[0][0])
+        # Merged worker events may carry (aligned) timestamps earlier
+        # than anything the host emitted; scan so no event goes negative.
+        t0 = min(t0, min(ev[0] for ev in events))
     return events, t0
 
 
@@ -93,14 +106,38 @@ def chrome_trace(
     """
     events, t0 = _resolve_events(journal, events)
     out: list[dict[str, Any]] = []
+    # Worker-track registrations ("M" events): tid -> {"pid", "name"}.
+    tracks: dict[int, dict[str, Any]] = {}
+    for _ts, tid, ph, _name, data in events:
+        if ph == "M" and isinstance(data, dict) and "pid" in data:
+            tracks[tid] = data
+    if tracks:
+        out.append(
+            {"name": "process_name", "ph": "M", "pid": PID,
+             "args": {"name": "fast supervisor"}}
+        )
+        for tid, meta in sorted(tracks.items()):
+            wpid = int(meta["pid"])
+            label = str(meta.get("name", f"svc-worker {wpid}"))
+            out.append(
+                {"name": "process_name", "ph": "M", "pid": wpid,
+                 "args": {"name": label}}
+            )
+            out.append(
+                {"name": "thread_name", "ph": "M", "pid": wpid, "tid": tid,
+                 "args": {"name": label}}
+            )
     guard_totals: dict[tuple[int, str], float] = {}
     for tid, evs in sorted(_sanitize(events).items()):
+        track_pid = int(tracks[tid]["pid"]) if tid in tracks else PID
         for ts, _tid, ph, name, data in evs:
+            if ph == "M":  # consumed by the registration pre-scan
+                continue
             e: dict[str, Any] = {
                 "name": name,
                 "ph": ph,
                 "ts": _us(ts, t0),
-                "pid": PID,
+                "pid": track_pid,
                 "tid": tid,
             }
             if ph in ("B", "E"):

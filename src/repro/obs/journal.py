@@ -97,6 +97,25 @@ class Journal:
                 if len(self._buffer) >= self.capacity:
                     self._flush_locked()
 
+    def extend(self, events: list[Event]) -> None:
+        """Append pre-built events (already ``(ts, tid, ph, name, data)``).
+
+        Used by :mod:`repro.svc.telemetry` to merge worker-side journal
+        fragments — with timestamps already aligned to this process's
+        ``perf_counter`` timeline and ``tid`` set to the worker's track
+        id — into the supervisor's journal.
+        """
+        if not events:
+            return
+        self.emitted += len(events)
+        if self._buffer is None:
+            self._ring.extend(events)
+        else:
+            with self._lock:
+                self._buffer.extend(events)
+                if len(self._buffer) >= self.capacity:
+                    self._flush_locked()
+
     # -- spill handling ----------------------------------------------------
 
     def _flush_locked(self) -> None:

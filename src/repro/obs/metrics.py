@@ -27,12 +27,32 @@ of the journal.
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Optional, Union
+from typing import Any, Optional, Sequence, Union
 
 from . import journal
 
 Number = Union[int, float]
+
+
+def percentile(sorted_values: Sequence[Number], q: float) -> float:
+    """The ``q``-quantile (0..1) of an already-sorted sequence.
+
+    Linear interpolation between closest ranks; 0.0 for an empty
+    sequence.  Shared by :class:`Histogram` quantiles and the per-kind
+    latency summaries in :mod:`repro.svc`.
+    """
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    idx = q * (len(sorted_values) - 1)
+    lo = int(idx)
+    frac = idx - lo
+    if lo + 1 >= len(sorted_values):
+        return float(sorted_values[-1])
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac
 
 
 class Counter:
@@ -83,16 +103,36 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming aggregate of observed values (count/sum/min/max/mean)."""
+    """Streaming aggregate of observed values, with quantiles.
 
-    __slots__ = ("count", "total", "min", "max", "name", "_lock")
+    Besides the running count/sum/min/max, a fixed-size **reservoir**
+    (Vitter's algorithm R, seeded deterministically) keeps a uniform
+    sample of everything observed, so :meth:`quantile` can report
+    p50/p95/p99 without storing the full stream.  While ``count`` is at
+    most :data:`RESERVOIR_SIZE` the sample is the whole population and
+    the quantiles are exact.
+    """
 
-    def __init__(self, name: Optional[str] = None) -> None:
+    RESERVOIR_SIZE = 512
+
+    __slots__ = (
+        "count", "total", "min", "max", "name",
+        "reservoir_size", "_samples", "_rng", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        reservoir_size: int = RESERVOIR_SIZE,
+    ) -> None:
         self.count: int = 0
         self.total: Number = 0
         self.min: Number | None = None
         self.max: Number | None = None
         self.name = name
+        self.reservoir_size = reservoir_size
+        self._samples: list[Number] = []
+        self._rng = random.Random(0x5EED)
         self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
@@ -103,10 +143,48 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            self._sample_locked(value)
+
+    def _sample_locked(self, value: Number) -> None:
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(value)
+        else:
+            i = self._rng.randrange(self.count)
+            if i < self.reservoir_size:
+                self._samples[i] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (exact while count <= reservoir)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        return percentile(samples, q)
+
+    def merge(self, state: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Used by the supervisor to absorb worker-side histograms shipped
+        in telemetry blobs: aggregates add up exactly; the shipped
+        sample list is folded into this reservoir (weighted by the
+        merged count), keeping the quantiles approximately right.
+        """
+        count = state.get("count", 0)
+        if not isinstance(count, int) or count <= 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += state.get("sum", 0)
+            for bound, better in (("min", min), ("max", max)):
+                v = state.get(bound)
+                if isinstance(v, (int, float)):
+                    mine = getattr(self, bound)
+                    setattr(self, bound, v if mine is None else better(mine, v))
+            for value in state.get("samples", ())[: self.reservoir_size]:
+                if isinstance(value, (int, float)):
+                    self._sample_locked(value)
 
     def reset(self) -> None:
         with self._lock:
@@ -114,15 +192,33 @@ class Histogram:
             self.total = 0
             self.min = None
             self.max = None
+            self._samples.clear()
 
     def snapshot(self) -> dict[str, Number]:
+        with self._lock:
+            samples = sorted(self._samples)
         return {
             "count": self.count,
             "sum": self.total,
             "min": 0 if self.min is None else self.min,
             "max": 0 if self.max is None else self.max,
             "mean": self.mean,
+            "p50": percentile(samples, 0.50),
+            "p95": percentile(samples, 0.95),
+            "p99": percentile(samples, 0.99),
         }
+
+    def state(self) -> dict[str, Any]:
+        """:meth:`snapshot` plus the raw reservoir, for :meth:`merge`.
+
+        This is what telemetry blobs carry across the process boundary;
+        ``snapshot()`` deliberately excludes the sample list so JSON
+        reports stay small.
+        """
+        doc = self.snapshot()
+        with self._lock:
+            doc["samples"] = list(self._samples)
+        return doc
 
 
 Metric = Union[Counter, Gauge, Histogram]

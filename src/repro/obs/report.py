@@ -89,10 +89,16 @@ def render_trace() -> str:
 
 def _format_value(value: Any) -> str:
     if isinstance(value, dict):  # histogram snapshot
-        return (
+        text = (
             f"n={value['count']} sum={value['sum']:g} "
             f"min={value['min']:g} max={value['max']:g} mean={value['mean']:.2f}"
         )
+        if "p50" in value:
+            text += (
+                f" p50={value['p50']:g} p95={value['p95']:g} "
+                f"p99={value['p99']:g}"
+            )
+        return text
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)

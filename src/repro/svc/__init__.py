@@ -19,6 +19,10 @@ process survives anything a job does:
   (closed → open → half-open) so a poisonous workload degrades to
   immediate UNKNOWNs instead of starving the pool;
 * :mod:`~repro.svc.service` — the :class:`AnalysisService` facade;
+* :mod:`~repro.svc.telemetry` — cross-process observability: worker
+  journals/metrics/spans ship back over the job boundary as size-capped
+  blobs and merge into the host journal (per-worker Perfetto tracks),
+  registry, and trace tree;
 * :mod:`~repro.svc.batch` / :mod:`~repro.svc.serve` — the engines of
   ``fast batch`` and ``fast serve --stdin-jsonl``.
 
@@ -52,6 +56,7 @@ from .pool import WorkerPool
 from .retry import RetryPolicy
 from .serve import serve_lines
 from .service import AnalysisService, ServiceConfig, chaos_from_env
+from .telemetry import ServeStats, TelemetryConfig, latency_summary
 
 __all__ = [
     "AnalysisService",
@@ -65,12 +70,15 @@ __all__ = [
     "JobSpec",
     "KINDS",
     "RetryPolicy",
+    "ServeStats",
     "ServiceConfig",
+    "TelemetryConfig",
     "WorkerPool",
     "build_specs",
     "chaos_from_env",
     "collect_program_paths",
     "execute_job",
+    "latency_summary",
     "run_batch",
     "serve_lines",
 ]

@@ -24,9 +24,12 @@ from typing import Any, Optional
 
 from .job import BudgetSpec, ERROR, JobResult, JobSpec, PROVED, REFUTED, UNKNOWN
 from .service import AnalysisService, ServiceConfig
+from .telemetry import latency_summary
 
-#: JSON schema tag of ``fast batch --json`` output.
-SCHEMA = "repro.svc.batch/v1"
+#: JSON schema tag of ``fast batch --json`` output.  v2 added the
+#: per-kind ``latency`` quantile block, ``summary.retries``, and
+#: ``breakers``.
+SCHEMA = "repro.svc.batch/v2"
 
 
 def collect_program_paths(paths: list[str]) -> list[str]:
@@ -64,9 +67,15 @@ def build_specs(
 
 @dataclass
 class BatchReport:
-    """Results plus the summary the CLI renders."""
+    """Results plus the summary the CLI renders.
+
+    ``breakers`` is the post-batch circuit-breaker state per job kind
+    (only kinds whose breaker was ever consulted appear); filled in by
+    :func:`run_batch`.
+    """
 
     results: list[JobResult] = field(default_factory=list)
+    breakers: dict[str, str] = field(default_factory=dict)
 
     def counts(self) -> dict[str, int]:
         c = {"PROVED": 0, "REFUTED": 0, "UNKNOWN": 0, "ERROR": 0}
@@ -109,6 +118,39 @@ class BatchReport:
         lines.append(summary)
         return "\n".join(lines)
 
+    def latency(self) -> dict[str, dict[str, Any]]:
+        """Per-kind latency quantiles + retry counts (worker durations)."""
+        return latency_summary(self.results)
+
+    def render_stats(self) -> str:
+        """The ``fast top``-style per-kind latency/retry table."""
+        lines = ["== batch stats =="]
+        header = (
+            f"{'kind':<12} {'jobs':>6} {'retries':>8} "
+            f"{'p50':>9} {'p95':>9} {'p99':>9} {'max':>9}"
+        )
+        lines.append(header)
+        for kind, entry in self.latency().items():
+            if entry.get("count"):
+                lines.append(
+                    f"{kind:<12} {entry['count']:>6} {entry['retries']:>8} "
+                    f"{entry['p50_ms']:>7.1f}ms {entry['p95_ms']:>7.1f}ms "
+                    f"{entry['p99_ms']:>7.1f}ms {entry['max_ms']:>7.1f}ms"
+                )
+            else:
+                lines.append(
+                    f"{kind:<12} {0:>6} {entry['retries']:>8} "
+                    f"{'-':>9} {'-':>9} {'-':>9} {'-':>9}"
+                )
+        if self.breakers:
+            lines.append(
+                "breakers: "
+                + " ".join(
+                    f"{k}={v}" for k, v in sorted(self.breakers.items())
+                )
+            )
+        return "\n".join(lines)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "schema": SCHEMA,
@@ -116,8 +158,11 @@ class BatchReport:
                 **{k.lower(): v for k, v in self.counts().items()},
                 "programs": len(self.results),
                 "retried": sum(1 for r in self.results if r.attempts > 1),
+                "retries": sum(max(0, r.attempts - 1) for r in self.results),
                 "exit_code": self.exit_code,
             },
+            "latency": self.latency(),
+            "breakers": dict(self.breakers),
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -132,6 +177,12 @@ def run_batch(
     """Run every program under ``paths`` through the service."""
     specs = build_specs(collect_program_paths(paths), budget)
     if service is not None:
-        return BatchReport(service.run_jobs(specs))
+        results = service.run_jobs(specs)
+        return BatchReport(results, _breaker_states(service))
     with AnalysisService(config) as svc:
-        return BatchReport(svc.run_jobs(specs))
+        results = svc.run_jobs(specs)
+        return BatchReport(results, _breaker_states(svc))
+
+
+def _breaker_states(service: AnalysisService) -> dict[str, str]:
+    return {kind: b.state for kind, b in service.breakers.breakers.items()}

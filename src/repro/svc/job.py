@@ -138,6 +138,13 @@ class JobResult:
     the job was retried, and fabricates whole results (UNKNOWN +
     failure) for jobs that never produced one — crashes past the retry
     cap, timeouts, open breakers.
+
+    ``telemetry`` is the worker-side observability blob
+    (:mod:`repro.svc.telemetry`): journal events, metric deltas, and
+    the span tree captured around this job.  It rides the pipe back to
+    the supervisor, which merges it into host obs state and detaches it
+    — so ``to_dict()`` (the ``fast batch --json`` / ``fast serve``
+    payload) never carries it.
     """
 
     job_id: str
@@ -152,6 +159,7 @@ class JobResult:
     worker_pid: Optional[int] = None
     attempts: int = 1
     attempt_failures: list[dict[str, Any]] = field(default_factory=list)
+    telemetry: Optional[dict[str, Any]] = None
 
     def to_dict(self) -> dict[str, Any]:
         return {

@@ -43,9 +43,11 @@ from ..obs import config as obs_config
 from ..obs import journal as obs_journal
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
+from . import telemetry as svc_telemetry
 from .breaker import BreakerRegistry
 from .job import ERROR, JobFailure, JobResult, JobSpec, REFUTED, UNKNOWN
 from .retry import RetryPolicy
+from .telemetry import TelemetryConfig
 from .worker import Worker, default_start_method
 
 _OBS_SUBMITTED = obs_metrics.counter("svc.jobs_submitted")
@@ -85,11 +87,18 @@ class WorkerPool:
         size: int,
         chaos: Optional[WorkerChaosPolicy] = None,
         start_method: Optional[str] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.size = size
         self.chaos = chaos
+        # Telemetry defaults from the obs state at construction time:
+        # pools built while recording is on ship worker journals back.
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else svc_telemetry.default_config()
+        )
         self.ctx = multiprocessing.get_context(
             start_method or default_start_method()
         )
@@ -108,7 +117,7 @@ class WorkerPool:
 
     def _ensure_workers(self) -> None:
         while len(self.workers) < self.size:
-            worker = Worker(self.ctx, self.chaos)
+            worker = Worker(self.ctx, self.chaos, self.telemetry)
             self.workers.append(worker)
             self._note_spawn(worker)
 
@@ -177,7 +186,11 @@ class WorkerPool:
             "svc.pool.start", {"jobs": len(specs), "workers": self.size}
         )
 
-        def finalize(job_id: str, result: JobResult) -> None:
+        def finalize(
+            job_id: str,
+            result: JobResult,
+            blob: Optional[dict[str, Any]] = None,
+        ) -> None:
             state = states[job_id]
             result.attempts = state.attempt + 1
             result.attempt_failures = state.failures
@@ -191,16 +204,23 @@ class WorkerPool:
                 elif result.outcome == ERROR:
                     _OBS_ERRORS.inc()
                 if state.first_dispatched is not None:
-                    _OBS_LATENCY.observe(clock() - state.first_dispatched)
-                # A zero-length span records the job in the trace tree.
+                    latency = clock() - state.first_dispatched
+                    _OBS_LATENCY.observe(latency)
+                    obs_metrics.histogram(
+                        f"svc.job_latency.{state.spec.kind}"
+                    ).observe(latency)
+                # A zero-length span records the job in the trace tree;
+                # the worker's shipped span tree is grafted beneath it,
+                # so profile output shows what happened *inside* the job.
                 with obs_tracer.span(
                     "svc.job",
                     job=job_id,
                     kind=state.spec.kind,
                     outcome=result.outcome,
                     attempts=result.attempts,
-                ):
+                ) as sp:
                     pass
+                svc_telemetry.graft_spans(sp, blob)
 
         def fail_attempt(job_id: str, failure: JobFailure) -> None:
             """Route one failed attempt: retry, or finalize UNKNOWN."""
@@ -245,7 +265,13 @@ class WorkerPool:
                 and payload.job_id == job_id
             ):
                 breakers.get(state.spec.kind).record_success()
-                finalize(job_id, payload)
+                # Fold the worker's telemetry blob (journal fragment,
+                # metric deltas) into host obs state before the span is
+                # recorded; crash-safe — a mangled blob merges nothing.
+                blob = svc_telemetry.consume_blob(
+                    payload, worker.clock_offset
+                )
+                finalize(job_id, payload, blob)
             else:
                 if obs_config.ENABLED:
                     _OBS_CORRUPT.inc()
@@ -353,6 +379,12 @@ class WorkerPool:
                         except (EOFError, OSError):
                             self._on_crash(worker, job_id, fail_attempt)
                             del busy[key]
+                            continue
+                        if svc_telemetry.is_pong(payload):
+                            # A clock pong that missed the spawn-time
+                            # handshake window; the job reply is still
+                            # on its way — keep the worker busy.
+                            worker.note_pong(payload)
                             continue
                         del busy[key]
                         classify_reply(worker, job_id, payload)

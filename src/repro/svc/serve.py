@@ -22,10 +22,13 @@ exactly as it would in a long-running deployment.
 from __future__ import annotations
 
 import json
+import sys
+import time
 from typing import IO, Any, Iterator, Optional
 
 from .job import KINDS, BudgetSpec, JobSpec
 from .service import AnalysisService, ServiceConfig
+from .telemetry import ServeStats
 
 
 def parse_request(line: str, default_id: str) -> JobSpec:
@@ -70,9 +73,23 @@ def serve_lines(
     lines: Iterator[str],
     out: IO[str],
     config: Optional[ServiceConfig] = None,
+    *,
+    stats: bool = False,
+    stats_interval: float = 0.0,
+    err: Optional[IO[str]] = None,
+    clock=time.monotonic,
 ) -> int:
-    """Serve until the input ends; returns the number of jobs served."""
+    """Serve until the input ends; returns the number of jobs served.
+
+    With ``stats_interval > 0`` a rolling ``[svc] ... jobs/s ... p95=...``
+    line goes to ``err`` (default stderr) at most every that many
+    seconds; with ``stats`` a ``fast top``-style per-kind summary table
+    is printed when the input ends.  Result lines on ``out`` are
+    untouched either way — stats are operator chatter, not protocol.
+    """
     served = 0
+    err = err if err is not None else sys.stderr
+    tracker = ServeStats(clock=clock) if (stats or stats_interval > 0) else None
     with AnalysisService(config) as svc:
         for index, line in enumerate(lines):
             line = line.strip()
@@ -86,6 +103,14 @@ def serve_lines(
             result = svc.run_job(spec)
             _emit(out, result.to_dict())
             served += 1
+            if tracker is not None:
+                tracker.record(result)
+                if tracker.due(stats_interval):
+                    print(tracker.line(svc.breakers), file=err)
+                    err.flush()
+        if tracker is not None and stats:
+            print(tracker.summary(svc.breakers), file=err)
+            err.flush()
     return served
 
 

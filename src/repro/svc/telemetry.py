@@ -1,0 +1,542 @@
+"""Cross-process telemetry: ship worker observability over the job boundary.
+
+PR 5 moved the expensive analyses into supervised subprocess workers —
+and severed them from the observability stack: a forked worker drops
+the inherited journal (rightly — appending to the parent's now-private
+ring would be silent nonsense), so every ``--trace-json`` capture of
+``fast batch``/``fast serve`` showed opaque ``svc.job`` boxes with no
+solver or automata spans inside, and ``--profile-json`` counted zero
+solver work however hard the workers were grinding.
+
+This module restores end-to-end visibility without giving up process
+isolation, in three pieces:
+
+**Worker side** (:func:`execute_with_telemetry`).  Around each job the
+worker installs a *fresh* bounded journal ring, zeroes the (fork- or
+job-copied) metric registry, and clears the tracer; after the job it
+packages everything observed into a size-capped, JSON-able *telemetry
+blob* attached to the :class:`~repro.svc.job.JobResult`:
+
+* the journal events, timestamped on the worker's own
+  ``perf_counter`` timeline (drop-oldest at ``max_events``; the drop
+  count travels with the blob — no silent truncation);
+* the metric deltas (registry was zeroed at job start, so the
+  post-job snapshot *is* the per-job delta; histograms ship their
+  reservoir so quantiles survive the merge);
+* the top-level span tree, node-capped at ``max_spans``.
+
+**Clock alignment** (:func:`clock_offset_from_pong`).  ``perf_counter``
+timelines are per-process, so at worker spawn the supervisor plays one
+NTP-style ping/pong: it stamps ``t0``, pings, the worker pongs back its
+own ``perf_counter``, the supervisor stamps ``t1`` and estimates
+``offset = (t0 + t1) / 2 - t_worker``.  Adding ``offset`` to a worker
+timestamp lands it on the supervisor's timeline, accurate to half the
+pipe round-trip (microseconds on a fork pool).
+
+**Supervisor side** (:func:`consume_blob`).  When a valid result
+arrives, its blob is folded into the host observability state:
+
+* journal events are re-timestamped and appended to the host journal
+  under a per-worker-pid track (plus an ``M`` registration event that
+  :func:`repro.obs.export.chrome_trace` turns into Perfetto
+  process/thread metadata) — the trace finally shows *what the worker
+  did inside* each ``svc.job``;
+* counter deltas are folded into the host registry, so
+  ``--profile-json`` and the ``repro.obs.diff`` CI gate count worker
+  solver work;
+* the span tree is grafted under the supervisor's ``svc.job`` span.
+
+Crash safety is structural: a killed/hung worker never sends a result,
+so there is no blob and therefore nothing to merge — the host journal
+only ever receives complete, per-track-balanced fragments.  A blob that
+fails to merge (corrupted in flight) is dropped whole and counted in
+``svc.telemetry.merge_errors``; it cannot poison the host state.
+
+Everything is off by default: telemetry engages only when
+:mod:`repro.obs` recording is enabled in the supervisor (``REPRO_OBS``,
+``--profile``, ``--trace-json``, …) or a :class:`TelemetryConfig` is
+set explicitly on the :class:`~repro.svc.service.ServiceConfig`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..obs import config as obs_config
+from ..obs import journal as obs_journal
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
+from ..obs.journal import Event, Journal
+from ..obs.metrics import Counter, Gauge, Histogram, percentile
+from ..obs.report import span_to_dict
+from .job import JobResult, JobSpec, execute_job
+
+#: Handshake message markers (tuple heads on the worker pipe).
+CLOCK_PING = "__repro_clock_ping__"
+CLOCK_PONG = "__repro_clock_pong__"
+
+#: Journal event name of a worker-track registration ("M" phase).
+TRACK_EVENT = "svc.worker.track"
+
+_OBS_BLOBS = obs_metrics.counter("svc.telemetry.blobs")
+_OBS_EVENTS = obs_metrics.counter("svc.telemetry.events")
+_OBS_DROPPED = obs_metrics.counter("svc.telemetry.dropped")
+_OBS_MERGE_ERRORS = obs_metrics.counter("svc.telemetry.merge_errors")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Picklable worker-telemetry knobs (shipped at worker spawn).
+
+    * ``enabled`` — capture at all?  (The pool also skips merge work
+      entirely when no config is set.)
+    * ``max_events`` — per-job journal ring capacity.  The ring drops
+      oldest on overflow; the blob reports how many were dropped and
+      the supervisor surfaces the total as ``svc.telemetry.dropped``.
+    * ``max_spans`` — span-tree nodes shipped per blob (depth-first
+      budget; the blob flags truncation).
+    """
+
+    enabled: bool = True
+    max_events: int = 8192
+    max_spans: int = 512
+
+
+def default_config() -> Optional[TelemetryConfig]:
+    """Telemetry for the current obs state: on iff recording is on."""
+    return TelemetryConfig() if obs_config.ENABLED else None
+
+
+# -- clock handshake ---------------------------------------------------------
+
+
+def is_ping(message: Any) -> bool:
+    return (
+        isinstance(message, tuple) and len(message) >= 1
+        and message[0] == CLOCK_PING
+    )
+
+
+def is_pong(message: Any) -> bool:
+    return (
+        isinstance(message, tuple) and len(message) == 3
+        and message[0] == CLOCK_PONG
+    )
+
+
+def make_pong() -> tuple[str, int, float]:
+    """The worker's handshake reply: its pid and its clock, now."""
+    return (CLOCK_PONG, os.getpid(), time.perf_counter())
+
+
+def clock_offset_from_pong(
+    pong: Any, t_sent: float, t_received: float
+) -> Optional[float]:
+    """Supervisor-side: the worker→supervisor clock offset, or None.
+
+    ``t_sent``/``t_received`` bracket the round trip on the
+    supervisor's ``perf_counter``; the worker's timestamp is assumed to
+    sit at the midpoint (symmetric pipe latency), so the estimate is
+    off by at most half the round trip.
+    """
+    if not is_pong(pong):
+        return None
+    t_worker = pong[2]
+    if not isinstance(t_worker, (int, float)):
+        return None
+    return (t_sent + t_received) / 2.0 - t_worker
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _spans_to_dicts(
+    roots: list[obs_tracer.Span], budget: int
+) -> tuple[list[dict[str, Any]], bool]:
+    """Span trees as dicts, depth-first, at most ``budget`` nodes."""
+    remaining = budget
+    truncated = False
+
+    def convert(span: obs_tracer.Span) -> Optional[dict[str, Any]]:
+        nonlocal remaining, truncated
+        if remaining <= 0:
+            truncated = True
+            return None
+        remaining -= 1
+        doc = span_to_dict(span)
+        doc["attrs"] = _jsonable(doc["attrs"])
+        children = []
+        for child in span.children:
+            c = convert(child)
+            if c is None:
+                break
+            children.append(c)
+        doc["children"] = children
+        return doc
+
+    out = []
+    for root in roots:
+        doc = convert(root)
+        if doc is None:
+            break
+        out.append(doc)
+    return out, truncated
+
+
+def _metric_deltas(
+    registry: obs_metrics.Registry,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Split the (job-zeroed) registry into scalar and histogram deltas."""
+    counters: dict[str, Any] = {}
+    hists: dict[str, Any] = {}
+    for name, metric in registry._metrics.items():
+        if isinstance(metric, Histogram):
+            if metric.count:
+                hists[name] = metric.state()
+        elif isinstance(metric, (Counter, Gauge)):
+            if metric.value:
+                counters[name] = metric.value
+    return counters, hists
+
+
+def execute_with_telemetry(
+    spec: JobSpec, attempt: int, config: Optional[TelemetryConfig]
+) -> JobResult:
+    """Worker-side: run one job, capturing a telemetry blob if enabled.
+
+    The job runs under a fresh bounded journal and a zeroed metric
+    registry, inside a worker-side ``svc.job`` span — so the blob's
+    events and deltas are exactly this job's, never a residue of the
+    fork parent or a previous job on this worker.  The previous journal
+    and obs flag are restored however the job exits.
+    """
+    if config is None or not config.enabled:
+        return execute_job(spec)
+
+    previous_journal = obs_journal.ACTIVE
+    was_enabled = obs_config.ENABLED
+    job_journal = Journal(capacity=config.max_events)
+    obs_metrics.REGISTRY.reset()
+    obs_tracer.reset_trace()
+    obs_journal.ACTIVE = job_journal
+    obs_config.enabled(True)
+    t_start = time.perf_counter()
+    try:
+        with obs_tracer.span(
+            "svc.job",
+            job=spec.job_id,
+            kind=spec.kind,
+            attempt=attempt,
+            pid=os.getpid(),
+        ):
+            result = execute_job(spec)
+    finally:
+        t_end = time.perf_counter()
+        obs_journal.ACTIVE = previous_journal
+        obs_config.enabled(was_enabled)
+
+    counters, hists = _metric_deltas(obs_metrics.REGISTRY)
+    spans, spans_truncated = _spans_to_dicts(
+        obs_tracer.trace(), config.max_spans
+    )
+    obs_tracer.reset_trace()
+    result.telemetry = {
+        "pid": os.getpid(),
+        "attempt": attempt,
+        "t_start": t_start,
+        "t_end": t_end,
+        "events": [
+            [ts, ph, name, _jsonable(data)]
+            for ts, _tid, ph, name, data in job_journal.events()
+        ],
+        "events_emitted": job_journal.emitted,
+        "dropped": job_journal.dropped,
+        "counters": counters,
+        "hists": hists,
+        "spans": spans,
+        "spans_truncated": spans_truncated,
+    }
+    return result
+
+
+# -- supervisor side ---------------------------------------------------------
+
+
+def consume_blob(
+    result: JobResult, clock_offset: Optional[float]
+) -> Optional[dict[str, Any]]:
+    """Detach and merge a result's telemetry blob into host obs state.
+
+    Journal events are aligned to the supervisor timeline (falling back
+    to right-edge alignment when the handshake never completed) and
+    appended to the active host journal under the worker's pid-track;
+    counter deltas and histogram states fold into the host registry.
+    Returns the blob (for span grafting at finalize) or None.
+
+    Merge is all-or-nothing per blob: any malformed structure aborts
+    the whole merge — counted in ``svc.telemetry.merge_errors`` — so a
+    corrupted blob can never leave partial garbage in the host journal.
+    """
+    blob = result.telemetry
+    result.telemetry = None
+    if not isinstance(blob, dict):
+        return None
+    try:
+        events = _aligned_events(blob, clock_offset)
+        counters = blob.get("counters", {})
+        hists = blob.get("hists", {})
+        if not (isinstance(counters, dict) and isinstance(hists, dict)):
+            raise ValueError("malformed telemetry blob")
+        host_journal = obs_journal.ACTIVE
+        if host_journal is not None and events:
+            host_journal.extend(events)
+        for name, delta in counters.items():
+            if isinstance(delta, bool) or not isinstance(delta, (int, float)):
+                continue
+            if delta > 0:
+                try:
+                    obs_metrics.REGISTRY.counter(str(name)).inc(int(delta))
+                except TypeError:  # host registered the name as another type
+                    pass
+        for name, state in hists.items():
+            if isinstance(state, dict):
+                try:
+                    obs_metrics.REGISTRY.histogram(str(name)).merge(state)
+                except TypeError:
+                    pass
+    except Exception:
+        if obs_config.ENABLED:
+            _OBS_MERGE_ERRORS.inc()
+        return None
+    if obs_config.ENABLED:
+        _OBS_BLOBS.inc()
+        _OBS_EVENTS.inc(len(events))
+        dropped = blob.get("dropped", 0)
+        if isinstance(dropped, int) and dropped > 0:
+            _OBS_DROPPED.inc(dropped)
+    return blob
+
+
+def _aligned_events(
+    blob: dict[str, Any], clock_offset: Optional[float]
+) -> list[Event]:
+    """The blob's events on the supervisor timeline, worker-pid track."""
+    raw = blob.get("events", [])
+    pid = int(blob["pid"])
+    if not isinstance(raw, list):
+        raise ValueError("telemetry events must be a list")
+    if clock_offset is None:
+        # Handshake never completed: pin the blob's right edge to "now"
+        # (it was received moments after t_end) so it still lands on
+        # the host timeline in roughly the right place.
+        clock_offset = time.perf_counter() - float(blob["t_end"])
+    out: list[Event] = []
+    if raw or blob.get("spans"):
+        out.append((
+            float(blob["t_start"]) + clock_offset,
+            pid,
+            "M",
+            TRACK_EVENT,
+            {"pid": pid, "name": f"svc-worker {pid}"},
+        ))
+    for ev in raw:
+        ts, ph, name, data = ev
+        out.append((float(ts) + clock_offset, pid, str(ph), str(name), data))
+    return out
+
+
+def graft_spans(parent: Any, blob: Optional[dict[str, Any]]) -> None:
+    """Attach a blob's worker span tree under a live supervisor span.
+
+    Rebuilds :class:`~repro.obs.tracer.Span` objects from the shipped
+    dicts and appends them as children of ``parent`` (the supervisor's
+    ``svc.job`` span), so ``--profile-json`` trace trees and
+    ``repro.obs.diff`` span aggregation see worker-side work.  No-op on
+    the null span (obs disabled) or a missing blob.
+    """
+    if blob is None or not isinstance(parent, obs_tracer.Span):
+        return
+    spans = blob.get("spans")
+    if not isinstance(spans, list):
+        return
+    try:
+        for doc in spans:
+            span = _span_from_dict(doc)
+            if span is not None:
+                parent.children.append(span)
+    except Exception:
+        if obs_config.ENABLED:
+            _OBS_MERGE_ERRORS.inc()
+
+
+def _span_from_dict(doc: Any) -> Optional[obs_tracer.Span]:
+    if not isinstance(doc, dict) or "name" not in doc:
+        return None
+    attrs = doc.get("attrs")
+    span = obs_tracer.Span(
+        str(doc["name"]), dict(attrs) if isinstance(attrs, dict) else {}
+    )
+    duration_ms = doc.get("duration_ms")
+    if isinstance(duration_ms, (int, float)):
+        span.duration = duration_ms / 1e3
+    else:
+        span.duration = 0.0
+    for child_doc in doc.get("children", ()):
+        child = _span_from_dict(child_doc)
+        if child is not None:
+            span.children.append(child)
+    return span
+
+
+# -- serving statistics ------------------------------------------------------
+
+
+def format_quantiles(hist: Histogram, scale: float = 1e3) -> str:
+    """``p50=…ms p95=…ms p99=…ms`` for a latency histogram (seconds)."""
+    return (
+        f"p50={hist.quantile(0.5) * scale:.1f}ms "
+        f"p95={hist.quantile(0.95) * scale:.1f}ms "
+        f"p99={hist.quantile(0.99) * scale:.1f}ms"
+    )
+
+
+class ServeStats:
+    """Rolling per-kind latency/throughput stats for ``fast serve``.
+
+    Independent of the global obs switch: stand-alone (unregistered,
+    un-journaled) histograms accumulate per-kind worker execution
+    times, and the tracker renders either a one-line rolling update
+    (``line()``, emitted every ``--stats-interval`` seconds) or the
+    ``fast top``-style final table (``summary()``).
+    """
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self.clock = clock
+        self.started = clock()
+        self.window_started = self.started
+        self.window_jobs = 0
+        self.total_jobs = 0
+        self.hists: dict[str, Histogram] = {}
+        self.retries: dict[str, int] = {}
+
+    def record(self, result: JobResult) -> None:
+        self.total_jobs += 1
+        self.window_jobs += 1
+        self.retries[result.kind] = (
+            self.retries.get(result.kind, 0) + max(0, result.attempts - 1)
+        )
+        if result.worker_pid is not None:
+            self.hists.setdefault(result.kind, Histogram()).observe(
+                result.duration
+            )
+
+    def due(self, interval: float) -> bool:
+        return interval > 0 and self.clock() - self.window_started >= interval
+
+    def line(self, breakers=None) -> str:
+        """One rolling stats line; resets the throughput window."""
+        elapsed = max(self.clock() - self.window_started, 1e-9)
+        parts = [f"{self.window_jobs / elapsed:.1f} jobs/s"]
+        for kind in sorted(self.hists):
+            h = self.hists[kind]
+            parts.append(f"{kind} n={h.count} {format_quantiles(h)}")
+        states = _breaker_states(breakers)
+        if states:
+            parts.append(
+                "breakers: "
+                + " ".join(f"{k}={v}" for k, v in sorted(states.items()))
+            )
+        self.window_started = self.clock()
+        self.window_jobs = 0
+        return "[svc] " + " | ".join(parts)
+
+    def summary(self, breakers=None) -> str:
+        """The ``fast top``-style closing table."""
+        lines = ["== svc stats =="]
+        header = (
+            f"{'kind':<12} {'jobs':>6} {'retries':>8} "
+            f"{'p50':>9} {'p95':>9} {'p99':>9} {'max':>9}"
+        )
+        lines.append(header)
+        for kind in sorted(set(self.hists) | set(self.retries)):
+            h = self.hists.get(kind)
+            if h is not None and h.count:
+                row = (
+                    f"{kind:<12} {h.count:>6} "
+                    f"{self.retries.get(kind, 0):>8} "
+                    f"{h.quantile(0.5) * 1e3:>7.1f}ms "
+                    f"{h.quantile(0.95) * 1e3:>7.1f}ms "
+                    f"{h.quantile(0.99) * 1e3:>7.1f}ms "
+                    f"{(h.max or 0) * 1e3:>7.1f}ms"
+                )
+            else:
+                row = (
+                    f"{kind:<12} {0:>6} {self.retries.get(kind, 0):>8} "
+                    f"{'-':>9} {'-':>9} {'-':>9} {'-':>9}"
+                )
+            lines.append(row)
+        elapsed = max(self.clock() - self.started, 1e-9)
+        lines.append(
+            f"{self.total_jobs} jobs in {elapsed:.1f}s "
+            f"({self.total_jobs / elapsed:.1f} jobs/s)"
+        )
+        states = _breaker_states(breakers)
+        if states:
+            lines.append(
+                "breakers: "
+                + " ".join(f"{k}={v}" for k, v in sorted(states.items()))
+            )
+        return "\n".join(lines)
+
+
+def _breaker_states(breakers) -> dict[str, str]:
+    if breakers is None:
+        return {}
+    return {kind: b.state for kind, b in breakers.breakers.items()}
+
+
+def latency_summary(results: list[JobResult]) -> dict[str, dict[str, Any]]:
+    """Per-kind latency quantiles + retry counts from a result list.
+
+    Computed straight from :class:`JobResult` durations (worker-side
+    execution time), so it works with observability off — this is what
+    ``fast batch --json`` embeds.  Jobs that never executed anywhere
+    (crashes past the retry cap, open breakers) have no duration and
+    are excluded from the quantiles but still counted in ``retries``.
+    """
+    durations: dict[str, list[float]] = {}
+    retries: dict[str, int] = {}
+    for r in results:
+        retries[r.kind] = retries.get(r.kind, 0) + max(0, r.attempts - 1)
+        if r.worker_pid is not None:
+            durations.setdefault(r.kind, []).append(r.duration)
+    out: dict[str, dict[str, Any]] = {}
+    for kind in sorted(set(durations) | set(retries)):
+        durs = sorted(durations.get(kind, ()))
+        entry: dict[str, Any] = {
+            "count": len(durs),
+            "retries": retries.get(kind, 0),
+        }
+        if durs:
+            entry.update(
+                p50_ms=round(percentile(durs, 0.50) * 1e3, 3),
+                p95_ms=round(percentile(durs, 0.95) * 1e3, 3),
+                p99_ms=round(percentile(durs, 0.99) * 1e3, 3),
+                mean_ms=round(sum(durs) / len(durs) * 1e3, 3),
+                max_ms=round(durs[-1] * 1e3, 3),
+            )
+        out[kind] = entry
+    return out

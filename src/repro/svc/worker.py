@@ -32,7 +32,15 @@ import time
 from typing import Any, Optional
 
 from ..guard.chaos import WorkerChaosPolicy
-from .job import JobSpec, execute_job
+from .job import JobSpec
+from .telemetry import (
+    CLOCK_PING,
+    TelemetryConfig,
+    clock_offset_from_pong,
+    execute_with_telemetry,
+    is_ping,
+    make_pong,
+)
 
 #: Payload a chaos-corrupted worker sends instead of a JobResult.
 _CORRUPT_PAYLOAD = ("\x00corrupt\x00", "injected by WorkerChaosPolicy")
@@ -47,9 +55,12 @@ def default_start_method() -> str:
 def _reset_inherited_state() -> None:
     """Forget governance/observability state copied in by fork.
 
-    A forked worker inherits the parent's active budget stack and
-    journal; charging a parent budget from a child or appending to the
-    parent's (now private) journal buffer would be silent nonsense.
+    A forked worker inherits the parent's active budget stack, journal,
+    metric registry values, and tracer span state; charging a parent
+    budget from a child, appending to the parent's (now private) journal
+    buffer, double-counting the parent's counters into a telemetry
+    blob, or parenting worker spans under a copied supervisor span
+    would all be silent nonsense.
     """
     try:
         from ..guard import budget as guard_budget
@@ -63,9 +74,23 @@ def _reset_inherited_state() -> None:
         obs_journal.ACTIVE = None
     except Exception:
         pass
+    try:
+        from ..obs import metrics as obs_metrics
+        from ..obs import tracer as obs_tracer
+
+        obs_metrics.REGISTRY.reset()
+        state = obs_tracer._state()
+        state.stack.clear()
+        state.roots.clear()
+    except Exception:
+        pass
 
 
-def _worker_main(conn, chaos: Optional[WorkerChaosPolicy]) -> None:
+def _worker_main(
+    conn,
+    chaos: Optional[WorkerChaosPolicy],
+    telemetry: Optional[TelemetryConfig] = None,
+) -> None:
     """The worker loop; exits on a ``None`` message or a closed pipe."""
     _reset_inherited_state()
     while True:
@@ -75,6 +100,15 @@ def _worker_main(conn, chaos: Optional[WorkerChaosPolicy]) -> None:
             break
         if message is None:
             break
+        if is_ping(message):
+            # Clock handshake: reply with our pid and perf_counter so
+            # the supervisor can align this worker's telemetry
+            # timestamps onto its own timeline.
+            try:
+                conn.send(make_pong())
+            except (BrokenPipeError, OSError):
+                break
+            continue
         spec, attempt = message
         fault = chaos.decide(spec.job_id, attempt) if chaos is not None else None
         if fault == "kill":
@@ -87,28 +121,44 @@ def _worker_main(conn, chaos: Optional[WorkerChaosPolicy]) -> None:
             except (BrokenPipeError, OSError):
                 break
             continue
-        result = execute_job(spec)
+        result = execute_with_telemetry(spec, attempt, telemetry)
         try:
             conn.send(result)
         except (BrokenPipeError, OSError):
             break
+        except Exception:
+            # The telemetry blob smuggled in something unpicklable;
+            # better a blobless reply than a crashed worker.
+            result.telemetry = None
+            try:
+                conn.send(result)
+            except Exception:
+                break
     conn.close()
 
 
 class Worker:
     """Supervisor-side handle: process + pipe + respawn."""
 
+    #: How long the spawn-time clock handshake waits for the pong.
+    HANDSHAKE_TIMEOUT = 5.0
+
     def __init__(
         self,
         ctx,
         chaos: Optional[WorkerChaosPolicy] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         self.ctx = ctx
         self.chaos = chaos
+        self.telemetry = telemetry
         self.worker_id = next(_worker_ids)
         self.spawns = 0
         self.process: Any = None
         self.conn: Any = None
+        #: Worker->supervisor ``perf_counter`` offset, from the spawn
+        #: handshake; None when telemetry is off or the pong never came.
+        self.clock_offset: Optional[float] = None
         self.spawn()
 
     def spawn(self) -> None:
@@ -116,7 +166,7 @@ class Worker:
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         self.process = self.ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.chaos),
+            args=(child_conn, self.chaos, self.telemetry),
             daemon=True,
             name=f"repro-svc-worker-{self.worker_id}",
         )
@@ -124,6 +174,38 @@ class Worker:
         child_conn.close()
         self.conn = parent_conn
         self.spawns += 1
+        self.clock_offset = None
+        if self.telemetry is not None and self.telemetry.enabled:
+            self._handshake()
+
+    def _handshake(self) -> None:
+        """Ping the fresh worker and estimate its clock offset.
+
+        Best-effort: a worker that dies or stalls before ponging just
+        leaves ``clock_offset`` at None (telemetry merges fall back to
+        right-edge alignment) — job dispatch proceeds regardless, and a
+        late pong is absorbed by the pool's reply loop via
+        :meth:`note_pong`.
+        """
+        try:
+            t_sent = time.perf_counter()
+            self.conn.send((CLOCK_PING,))
+            if self.conn.poll(self.HANDSHAKE_TIMEOUT):
+                payload = self.conn.recv()
+                t_received = time.perf_counter()
+                self.clock_offset = clock_offset_from_pong(
+                    payload, t_sent, t_received
+                )
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+
+    def note_pong(self, payload: Any) -> None:
+        """Absorb a pong that arrived late, outside the handshake window."""
+        t_now = time.perf_counter()
+        # The send time is long gone; treat receipt as the whole trip.
+        offset = clock_offset_from_pong(payload, t_now, t_now)
+        if offset is not None and self.clock_offset is None:
+            self.clock_offset = offset
 
     # -- state -------------------------------------------------------------
 

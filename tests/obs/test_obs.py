@@ -144,9 +144,50 @@ class TestMetrics:
 
     def test_empty_histogram_snapshot(self):
         h = Histogram()
-        assert h.snapshot() == {"count": 0, "sum": 0, "min": 0, "max": 0, "mean": 0.0}
+        assert h.snapshot() == {
+            "count": 0, "sum": 0, "min": 0, "max": 0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
         g = Gauge()
         assert g.snapshot() == 0
+
+    def test_histogram_quantiles_exact_below_reservoir(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.95) == pytest.approx(95.05)
+        assert h.quantile(0.99) == pytest.approx(99.01)
+        snap = h.snapshot()
+        assert snap["p50"] == pytest.approx(50.5)
+
+    def test_histogram_reservoir_stays_bounded(self):
+        h = Histogram(reservoir_size=64)
+        for v in range(10_000):
+            h.observe(v)
+        assert len(h._samples) == 64
+        assert h.count == 10_000
+        # The sampled median of a uniform ramp lands near the middle.
+        assert 1_000 < h.quantile(0.5) < 9_000
+
+    def test_histogram_merge_folds_state(self):
+        a, b = Histogram(), Histogram()
+        for v in (1, 2, 3):
+            a.observe(v)
+        for v in (10, 20):
+            b.observe(v)
+        a.merge(b.state())
+        assert a.count == 5 and a.total == 36
+        assert a.min == 1 and a.max == 20
+        assert a.quantile(1.0) == 20
+
+    def test_histogram_merge_rejects_junk(self):
+        h = Histogram()
+        h.observe(5)
+        h.merge({"count": "junk"})
+        h.merge({})
+        h.merge({"count": -3, "sum": 1})
+        assert h.count == 1 and h.total == 5
 
 
 class TestReport:

@@ -72,11 +72,31 @@ class TestBatchOutput:
         d = programs({"a.fast": PASSING, "b.fast": BROKEN})
         main(["batch", d, "--json", "--jobs", "2"])
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro.svc.batch/v1"
+        assert doc["schema"] == "repro.svc.batch/v2"
         assert doc["summary"]["proved"] == 1
         assert doc["summary"]["error"] == 1
+        assert doc["summary"]["retries"] == 0
         assert doc["summary"]["exit_code"] == 2
         assert len(doc["results"]) == 2
+
+    def test_json_latency_block_has_quantiles(self, programs, capsys):
+        d = programs({"a.fast": PASSING, "b.fast": PASSING})
+        main(["batch", d, "--json", "--jobs", "2"])
+        doc = json.loads(capsys.readouterr().out)
+        lat = doc["latency"]["run"]
+        assert lat["count"] == 2
+        assert lat["retries"] == 0
+        assert 0 < lat["p50_ms"] <= lat["p95_ms"] <= lat["p99_ms"]
+        assert lat["p99_ms"] <= lat["max_ms"]
+        assert doc["breakers"] == {"run": "closed"}
+
+    def test_stats_flag_prints_table_to_stderr(self, programs, capsys):
+        d = programs({"a.fast": PASSING})
+        main(["batch", d, "--jobs", "1", "--stats"])
+        err = capsys.readouterr().err
+        assert "== batch stats ==" in err
+        assert "run" in err and "p95" in err
+        assert "breakers: run=closed" in err
 
     def test_per_job_budget_flags_flow_to_workers(self, programs, capsys):
         d = programs({"a.fast": PASSING})
@@ -140,3 +160,15 @@ class TestServeCommand:
         assert doc["job_id"] == "r1"
         assert doc["outcome"] == "PROVED"
         assert "served 1 jobs" in captured.err
+
+    def test_stats_flag_prints_summary(self, monkeypatch, capsys):
+        request = json.dumps(
+            {"id": "r1", "kind": "run", "source": PASSING}
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(["serve", "--stdin-jsonl", "--jobs", "1", "--stats"]) == EXIT_OK
+        captured = capsys.readouterr()
+        # Result lines on stdout stay pure protocol.
+        assert json.loads(captured.out.strip())["job_id"] == "r1"
+        assert "== svc stats ==" in captured.err
+        assert "1 jobs in" in captured.err

@@ -1,0 +1,421 @@
+"""Cross-process telemetry: worker blobs, clock alignment, trace merge.
+
+Three layers of coverage:
+
+* unit — the clock handshake math and the worker-side blob builder
+  (caps, restore-on-exit, disabled mode), all in-process;
+* merge — :func:`repro.svc.telemetry.consume_blob` against valid,
+  hostile, and fuzzed blobs (a corrupt blob must merge *nothing*);
+* golden — a real 2-worker pool run whose exported Perfetto trace must
+  show one track per worker pid, each ``svc.job`` span enclosing the
+  worker-side solver/automata spans, balanced per track — including
+  when chaos kills workers mid-job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.guard.chaos import WorkerChaosPolicy
+from repro.obs import config as obs_config
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
+from repro.obs.export import chrome_trace
+from repro.svc import JobSpec, RetryPolicy, TelemetryConfig, WorkerPool
+from repro.svc.job import JobResult, PROVED, UNKNOWN
+from repro.svc import telemetry as tel
+from repro.svc.worker import _reset_inherited_state
+
+PASSING = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.01, max_delay=0.05)
+
+
+@pytest.fixture(autouse=True)
+def restore_obs():
+    yield
+    obs_journal.ACTIVE = None
+    obs.enabled(False)
+    obs.reset()
+    obs_tracer.reset_trace()
+
+
+def find_seed(predicate, limit=2000):
+    for seed in range(limit):
+        if predicate(seed):
+            return seed
+    pytest.fail(f"no chaos seed under {limit} matches the fault schedule")
+
+
+# -- clock handshake ---------------------------------------------------------
+
+
+class TestClockHandshake:
+    def test_ping_pong_shapes(self):
+        assert tel.is_ping((tel.CLOCK_PING,))
+        assert not tel.is_ping(("something", 1))
+        pong = tel.make_pong()
+        assert tel.is_pong(pong)
+        assert not tel.is_pong((tel.CLOCK_PONG, 1))  # wrong arity
+        assert not tel.is_pong("not a tuple")
+
+    def test_offset_is_midpoint_estimate(self):
+        pong = (tel.CLOCK_PONG, 123, 50.0)
+        # Supervisor clock runs 100s ahead: sent at 149, received at 151.
+        offset = tel.clock_offset_from_pong(pong, 149.0, 151.0)
+        assert offset == pytest.approx(100.0)
+
+    def test_offset_rejects_junk(self):
+        assert tel.clock_offset_from_pong(("junk",), 0.0, 1.0) is None
+        assert (
+            tel.clock_offset_from_pong((tel.CLOCK_PONG, 1, "NaNish"), 0.0, 1.0)
+            is None
+        )
+
+
+# -- worker-side capture -----------------------------------------------------
+
+
+class TestWorkerCapture:
+    def test_disabled_config_attaches_no_blob(self):
+        spec = JobSpec("j", "run", PASSING)
+        assert tel.execute_with_telemetry(spec, 0, None).telemetry is None
+        cfg = TelemetryConfig(enabled=False)
+        assert tel.execute_with_telemetry(spec, 0, cfg).telemetry is None
+
+    def test_blob_shape_and_span_nesting(self):
+        spec = JobSpec("j", "run", PASSING)
+        result = tel.execute_with_telemetry(spec, 0, TelemetryConfig())
+        blob = result.telemetry
+        assert blob is not None
+        assert isinstance(blob["pid"], int)
+        assert blob["t_start"] <= blob["t_end"]
+        assert blob["dropped"] == 0
+        assert blob["events_emitted"] == len(blob["events"])
+        # Everything the job did sits under one svc.job root span.
+        assert len(blob["spans"]) == 1
+        root = blob["spans"][0]
+        assert root["name"] == "svc.job"
+        assert root["attrs"]["job"] == "j"
+        child_names = {c["name"] for c in root["children"]}
+        assert "explain_program" in child_names
+        # Worker-side solver activity was measured, not just spanned.
+        assert blob["counters"].get("solver.sat_queries", 0) > 0
+        json.dumps(blob)  # the whole blob must be JSON-able
+
+    def test_event_cap_drops_oldest_and_counts(self):
+        spec = JobSpec("j", "run", PASSING)
+        cfg = TelemetryConfig(max_events=16)
+        blob = tel.execute_with_telemetry(spec, 0, cfg).telemetry
+        assert len(blob["events"]) <= 16
+        assert blob["dropped"] == blob["events_emitted"] - len(blob["events"])
+        assert blob["dropped"] > 0  # a real job emits far more than 16
+
+    def test_span_cap_truncates_and_flags(self):
+        spec = JobSpec("j", "run", PASSING)
+        blob = tel.execute_with_telemetry(
+            spec, 0, TelemetryConfig(max_spans=3)
+        ).telemetry
+
+        def count(nodes):
+            return sum(1 + count(n["children"]) for n in nodes)
+
+        assert count(blob["spans"]) <= 3
+        assert blob["spans_truncated"] is True
+
+    def test_host_obs_state_is_restored(self):
+        previous = obs_journal.Journal(capacity=8)
+        obs_journal.ACTIVE = previous
+        obs.enabled(False)
+        tel.execute_with_telemetry(
+            JobSpec("j", "run", PASSING), 0, TelemetryConfig()
+        )
+        assert obs_journal.ACTIVE is previous
+        assert obs_config.ENABLED is False
+        assert obs_tracer.trace() == []  # worker spans don't leak
+
+
+# -- supervisor-side merge ---------------------------------------------------
+
+
+def _run_blob(job_id="j"):
+    return tel.execute_with_telemetry(
+        JobSpec(job_id, "run", PASSING), 0, TelemetryConfig()
+    ).telemetry
+
+
+class TestMerge:
+    def test_valid_blob_folds_counters_and_events(self):
+        blob = _run_blob()
+        queries = blob["counters"]["solver.sat_queries"]
+        obs.enabled(True)
+        obs_metrics.REGISTRY.reset()
+        with obs_journal.journaled() as j:
+            result = JobResult("j", "run", PROVED, telemetry=dict(blob))
+            merged = tel.consume_blob(result, clock_offset=0.0)
+            assert merged is not None
+            assert result.telemetry is None  # detached
+            events = j.events()
+        # One M registration + every shipped event lands on the worker
+        # track (counter folding emits its own host-side C events, on
+        # the supervisor thread's tid — not the worker's).
+        worker_events = [ev for ev in events if ev[1] == blob["pid"]]
+        assert len(worker_events) == len(blob["events"]) + 1
+        assert worker_events[0][2] == "M"
+        assert (
+            obs_metrics.REGISTRY.counter("solver.sat_queries").value == queries
+        )
+        assert obs_metrics.REGISTRY.counter("svc.telemetry.blobs").value == 1
+
+    def test_clock_offset_shifts_timestamps(self):
+        blob = _run_blob()
+        with obs_journal.journaled() as j:
+            tel.consume_blob(
+                JobResult("j", "run", PROVED, telemetry=dict(blob)),
+                clock_offset=1000.0,
+            )
+            [first_ts] = [j.events()[1][0]]
+        assert first_ts == pytest.approx(blob["events"][0][0] + 1000.0)
+
+    def test_corrupt_blob_merges_nothing(self):
+        obs.enabled(True)
+        obs_metrics.REGISTRY.reset()
+        bad = {"pid": "not-an-int", "events": [["x"]], "t_end": 0.0}
+        with obs_journal.journaled() as j:
+            out = tel.consume_blob(
+                JobResult("j", "run", PROVED, telemetry=bad), None
+            )
+            assert out is None
+            # All-or-nothing: nothing from the blob reached the journal
+            # (the only event is the merge-error counter's own C tick).
+            leaked = [ev for ev in j.events() if ev[2] != "C"]
+            assert leaked == []
+        assert (
+            obs_metrics.REGISTRY.counter("svc.telemetry.merge_errors").value
+            == 1
+        )
+
+    def test_missing_blob_is_a_cheap_noop(self):
+        result = JobResult("j", "run", PROVED)
+        assert tel.consume_blob(result, None) is None
+
+    def test_graft_spans_rebuilds_worker_tree(self):
+        blob = _run_blob()
+        obs.enabled(True)
+        with obs_tracer.span("svc.job", job="j") as sp:
+            pass
+        tel.graft_spans(sp, blob)
+        assert sp.children[0].name == "svc.job"
+        names = {c.name for c in sp.children[0].children}
+        assert "explain_program" in names
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        blob=st.recursive(
+            st.none()
+            | st.booleans()
+            | st.integers()
+            | st.floats(allow_nan=False)
+            | st.text(max_size=8),
+            lambda inner: st.lists(inner, max_size=4)
+            | st.dictionaries(
+                st.sampled_from(
+                    ["pid", "events", "counters", "hists", "spans",
+                     "t_start", "t_end", "dropped", "junk"]
+                ),
+                inner,
+                max_size=6,
+            ),
+            max_leaves=12,
+        )
+    )
+    def test_fuzzed_blobs_never_corrupt_the_journal(self, blob):
+        obs.enabled(True)
+        with obs_journal.journaled() as j:
+            result = JobResult("j", "run", PROVED)
+            result.telemetry = blob
+            tel.consume_blob(result, None)  # must never raise
+            assert result.telemetry is None
+            for ev in j.events():  # merged events keep the 5-tuple shape
+                assert len(ev) == 5
+                assert isinstance(ev[0], float) and isinstance(ev[1], int)
+        obs.enabled(False)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(cap=st.integers(min_value=1, max_value=64))
+    def test_blob_event_count_respects_any_cap(self, cap):
+        blob = tel.execute_with_telemetry(
+            JobSpec("j", "run", PASSING), 0, TelemetryConfig(max_events=cap)
+        ).telemetry
+        assert len(blob["events"]) <= cap
+        assert blob["dropped"] + len(blob["events"]) == blob["events_emitted"]
+
+
+# -- fork hygiene (satellite) ------------------------------------------------
+
+
+class TestResetInheritedState:
+    def test_reset_clears_registry_and_tracer(self):
+        obs.enabled(True)
+        obs_metrics.REGISTRY.counter("solver.sat_queries").inc(99)
+        with obs_tracer.span("stale"):
+            pass
+        with obs_tracer.span("still-open") as open_span:
+            _reset_inherited_state()
+            # Inherited values are gone: counters zeroed, spans dropped.
+            assert (
+                obs_metrics.REGISTRY.counter("solver.sat_queries").value == 0
+            )
+            assert obs_tracer.trace() == []
+            assert obs_tracer._state().stack == []
+            assert obs_journal.ACTIVE is None
+        del open_span
+
+
+# -- golden end-to-end trace -------------------------------------------------
+
+
+def _worker_tracks(trace_doc):
+    """pid -> ordered B/E events, for non-supervisor tracks."""
+    tracks: dict[int, list[dict]] = {}
+    for ev in trace_doc["traceEvents"]:
+        if ev.get("pid") != 1 and ev.get("ph") in ("B", "E"):
+            tracks.setdefault(ev["pid"], []).append(ev)
+    return tracks
+
+
+class TestGoldenTrace:
+    def test_two_worker_batch_has_two_balanced_tracks(self):
+        specs = [JobSpec(f"job-{i}", "run", PASSING) for i in range(6)]
+        obs.reset()
+        with obs_journal.journaled() as j:
+            with WorkerPool(2, telemetry=TelemetryConfig()) as pool:
+                results = pool.run_jobs(specs, retry=FAST_RETRY)
+            doc = chrome_trace(j)
+        assert all(r.outcome == PROVED for r in results)
+        assert all(r.telemetry is None for r in results)  # consumed
+
+        tracks = _worker_tracks(doc)
+        assert len(tracks) == 2  # one track per worker pid
+        meta = {
+            (e["pid"], e["name"])
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M"
+        }
+        assert (1, "process_name") in meta
+        for wpid in tracks:
+            assert (wpid, "process_name") in meta
+            assert (wpid, "thread_name") in meta
+
+        for wpid, evs in tracks.items():
+            depth = 0
+            inner_names = set()
+            for ev in evs:
+                if ev["ph"] == "B":
+                    if depth == 0:
+                        # Track roots are exactly the svc.job wrappers.
+                        assert ev["name"] == "svc.job"
+                    else:
+                        inner_names.add(ev["name"])
+                    depth += 1
+                else:
+                    depth -= 1
+                    assert depth >= 0, f"unbalanced track {wpid}"
+            assert depth == 0, f"unbalanced track {wpid}"
+            # Worker-side analysis spans nest inside the jobs.
+            assert "explain_program" in inner_names
+            assert any(n.startswith(("emptiness", "antichain")) or n == "assert"
+                       for n in inner_names)
+
+        # Folded worker metrics: solver activity visible host-side.
+        assert (
+            obs_metrics.REGISTRY.counter("solver.sat_queries").value > 0
+        )
+        assert (
+            obs_metrics.REGISTRY.counter("svc.telemetry.blobs").value == 6
+        )
+        hist = obs_metrics.REGISTRY.histogram("svc.job_latency.run")
+        assert hist.count == 6
+        assert hist.quantile(0.95) >= hist.quantile(0.5) > 0
+
+    def test_killed_worker_never_corrupts_the_merge(self):
+        # Attempt 0 killed, attempt 1 clean: the job's only blob comes
+        # from the surviving attempt; the murdered one merges nothing.
+        seed = find_seed(
+            lambda s: (p := WorkerChaosPolicy(seed=s, kill_rate=0.5)).decide(
+                "victim", 0
+            )
+            == "kill"
+            and p.decide("victim", 1) is None
+        )
+        chaos = WorkerChaosPolicy(seed=seed, kill_rate=0.5)
+        obs.reset()
+        with obs_journal.journaled() as j:
+            with WorkerPool(
+                1, chaos=chaos, telemetry=TelemetryConfig()
+            ) as pool:
+                [result] = pool.run_jobs(
+                    [JobSpec("victim", "run", PASSING)], retry=FAST_RETRY
+                )
+            doc = chrome_trace(j)
+        assert result.outcome == PROVED and result.attempts == 2
+        assert (
+            obs_metrics.REGISTRY.counter("svc.telemetry.merge_errors").value
+            == 0
+        )
+        tracks = _worker_tracks(doc)
+        assert len(tracks) == 1  # only the surviving attempt has a track
+        for evs in tracks.values():
+            depth = 0
+            for ev in evs:
+                depth += 1 if ev["ph"] == "B" else -1
+                assert depth >= 0
+            assert depth == 0
+
+    def test_all_kills_leave_host_journal_clean(self):
+        chaos = WorkerChaosPolicy(seed=0, kill_rate=1.0)
+        obs.reset()
+        with obs_journal.journaled() as j:
+            with WorkerPool(
+                1, chaos=chaos, telemetry=TelemetryConfig()
+            ) as pool:
+                [result] = pool.run_jobs(
+                    [JobSpec("doomed", "run", PASSING)],
+                    retry=RetryPolicy(max_retries=1, base_delay=0.01),
+                )
+            doc = chrome_trace(j)
+        assert result.outcome == UNKNOWN
+        assert _worker_tracks(doc) == {}  # no blob ever arrived
+        assert (
+            obs_metrics.REGISTRY.counter("svc.telemetry.blobs").value == 0
+        )
+        assert (
+            obs_metrics.REGISTRY.counter("svc.telemetry.merge_errors").value
+            == 0
+        )
+
+    def test_telemetry_off_ships_nothing(self):
+        obs.reset()
+        with WorkerPool(1) as pool:  # obs off -> default_config() is None
+            [result] = pool.run_jobs([JobSpec("quiet", "run", PASSING)])
+        assert result.outcome == PROVED
+        assert result.telemetry is None
+        assert pool.telemetry is None
