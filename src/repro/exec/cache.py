@@ -1,0 +1,241 @@
+"""The persistent artifact cache: memory LRU over an on-disk layer.
+
+Content addressing: the key is the SHA-256 of the program source
+prefixed with a **version salt** — the library version plus the
+artifact schema tag — so upgrading either invalidates every stored
+artifact without any cleanup logic.  Failed compiles are never stored
+(exceptions propagate before the put), so a broken program errors
+afresh on every request.
+
+Layers:
+
+* an in-process LRU (:class:`ArtifactCache`, default 32 entries) —
+  hit cost is a dict lookup;
+* an on-disk JSON layer under ``REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro``), written atomically (temp file + rename) so
+  concurrent workers can share it without torn reads.  Disk failures
+  (read or write) degrade to cache misses, never to errors.
+
+Budget discipline: a cache hit **replays** the front end's
+``fast.decl`` budget charge (one step per declaration of the original
+program).  A budget too small to compile a program must stay too small
+when the program is already cached — otherwise caching would change
+verdicts, not just latency.
+
+Metrics: ``exec.cache.hit`` / ``exec.cache.miss`` / ``exec.cache.store``
+/ ``exec.cache.prewarm`` (glossary in DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from .. import __version__
+from ..guard.budget import tick as _tick
+from ..obs import metrics as obs_metrics
+from ..smt.solver import Solver
+from . import config
+from .artifact import (
+    ARTIFACT_SCHEMA,
+    CompiledArtifact,
+    artifact_from_json,
+    artifact_to_json,
+    build_artifact,
+)
+
+_OBS_HITS = obs_metrics.counter("exec.cache.hit")
+_OBS_MISSES = obs_metrics.counter("exec.cache.miss")
+_OBS_STORES = obs_metrics.counter("exec.cache.store")
+_OBS_PREWARM = obs_metrics.counter("exec.cache.prewarm")
+
+#: Key prefix: same source + different library/schema = different key.
+_SALT = f"{__version__}:{ARTIFACT_SCHEMA}"
+
+
+def cache_key(source: str) -> str:
+    """Content address of a program source under the current salt."""
+    h = hashlib.sha256()
+    h.update(_SALT.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(source.encode("utf-8"))
+    return h.hexdigest()
+
+
+class ArtifactCache:
+    """Two-layer (memory LRU + disk JSON) artifact cache."""
+
+    def __init__(
+        self, capacity: int = 32, directory: Optional[str] = None
+    ) -> None:
+        self.capacity = capacity
+        #: None = resolve ``REPRO_CACHE_DIR`` at each disk access, so
+        #: tests and the CLI can repoint the cache without rebuilding it.
+        self.directory = directory
+        self._memory: OrderedDict[str, CompiledArtifact] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- paths -------------------------------------------------------------
+
+    def _dir(self) -> str:
+        return self.directory if self.directory is not None else config.cache_dir()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self._dir(), f"{key}.json")
+
+    # -- layers ------------------------------------------------------------
+
+    def get(self, source: str) -> Optional[CompiledArtifact]:
+        """The cached artifact for ``source``, or None (counted miss)."""
+        key = cache_key(source)
+        with self._lock:
+            artifact = self._memory.get(key)
+            if artifact is not None:
+                self._memory.move_to_end(key)
+        if artifact is not None:
+            _OBS_HITS.inc()
+            return artifact
+        artifact = self._load_disk(key)
+        if artifact is not None:
+            self._remember(key, artifact)
+            _OBS_HITS.inc()
+            return artifact
+        _OBS_MISSES.inc()
+        return None
+
+    def put(self, source: str, artifact: CompiledArtifact) -> None:
+        """Store in memory, and on disk when the disk layer works."""
+        key = cache_key(source)
+        self._remember(key, artifact)
+        self._store_disk(key, artifact)
+
+    def _remember(self, key: str, artifact: CompiledArtifact) -> None:
+        with self._lock:
+            self._memory[key] = artifact
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+
+    def _load_disk(self, key: str) -> Optional[CompiledArtifact]:
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as f:
+                payload = json.load(f)
+            return artifact_from_json(payload)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt / stale / unreadable entry: drop it and recompile.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _store_disk(self, key: str, artifact: CompiledArtifact) -> None:
+        directory = self._dir()
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as f:
+                    json.dump(artifact_to_json(artifact), f)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            return  # read-only/full disk degrades to a memory-only cache
+        _OBS_STORES.inc()
+
+    # -- maintenance -------------------------------------------------------
+
+    def prewarm_from_disk(self, limit: int = 8) -> int:
+        """Load the most recent disk artifacts into memory (best effort).
+
+        Workers call this at spawn so the first job for a recently-seen
+        program is a memory hit; counted under ``exec.cache.prewarm``,
+        not as hits.
+        """
+        directory = self._dir()
+        try:
+            names = [
+                n for n in os.listdir(directory) if n.endswith(".json")
+            ]
+        except OSError:
+            return 0
+        def mtime(name: str) -> float:
+            try:
+                return os.path.getmtime(os.path.join(directory, name))
+            except OSError:
+                return 0.0
+        names.sort(key=mtime, reverse=True)
+        loaded = 0
+        for name in names[: max(0, limit)]:
+            key = name[: -len(".json")]
+            with self._lock:
+                if key in self._memory:
+                    continue
+            artifact = self._load_disk(key)
+            if artifact is not None:
+                self._remember(key, artifact)
+                _OBS_PREWARM.inc()
+                loaded += 1
+        return loaded
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer; with ``disk=True`` also the disk layer."""
+        with self._lock:
+            self._memory.clear()
+        if disk:
+            directory = self._dir()
+            try:
+                for name in os.listdir(directory):
+                    if name.endswith(".json"):
+                        try:
+                            os.unlink(os.path.join(directory, name))
+                        except OSError:
+                            pass
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+
+#: The process-wide cache every caller shares (forked svc workers
+#: inherit its memory layer for free, like the hash-consed term table).
+DEFAULT_CACHE = ArtifactCache()
+
+
+def cached_artifact(
+    source: str,
+    solver: Optional[Solver] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> CompiledArtifact:
+    """The artifact for ``source``: cached when possible, built otherwise.
+
+    With an explicit ``solver`` the cache is bypassed entirely — a
+    custom solver changes compile-time behaviour (chaos injection,
+    instrumentation), so its environment must not be shared.
+    """
+    if solver is not None or not config.cache_enabled():
+        return build_artifact(source, solver)
+    c = cache if cache is not None else DEFAULT_CACHE
+    artifact = c.get(source)
+    if artifact is not None:
+        # Replay the front end's budget charge (see module docstring).
+        _tick(artifact.decl_count, kind="fast.decl")
+        return artifact
+    artifact = build_artifact(source)
+    c.put(source, artifact)
+    return artifact

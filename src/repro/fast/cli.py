@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .. import obs
@@ -63,7 +64,6 @@ from .errors import FastSyntaxError, FastTypeError
 from .evaluator import explain_program, run_program
 from .parser import parse_program
 from .pretty import pretty
-from .compiler import compile_program
 
 #: Exit codes (see module docstring).
 EXIT_OK = 0
@@ -116,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable the event journal and write collapsed-stack "
         "flamegraph lines to PATH",
+    )
+    common.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the compiled-artifact cache (REPRO_CACHE=off): "
+        "parse and compile from source even when a cached environment "
+        "exists",
     )
     common.add_argument(
         "--timeout",
@@ -357,7 +364,10 @@ def _run_command(args: argparse.Namespace, source: str) -> int:
         print(pretty(parse_program(source)), end="")
         return EXIT_OK
     if args.command == "check":
-        compile_program(parse_program(source))
+        # Through the artifact cache: a warm `check` is a hash lookup.
+        from ..exec.cache import cached_artifact
+
+        cached_artifact(source)
         print("ok")
         return EXIT_OK
     if args.command == "explain":
@@ -382,6 +392,10 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     args = _build_parser().parse_args(_normalize_argv(argv))
 
+    if getattr(args, "no_cache", False):
+        # Read at call time by repro.exec.config; inherited by forked
+        # batch/serve workers.
+        os.environ["REPRO_CACHE"] = "off"
     if args.profile or args.profile_json:
         obs.enabled(True)
     if args.trace_json or args.flamegraph:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field as dc_field
 
 from ..automata import STA, Language, STARule
 from ..guard.budget import GuardError, tick as _tick
+from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
 from ..smt import builders as smt
 from ..smt.sorts import BASIC_SORTS, BOOL, Sort
@@ -43,6 +44,10 @@ from .errors import FastNameError, FastTypeError
 #: The synthesized identity state interpreting bare ``y`` in outputs.
 COPY_STATE = "_copy"
 
+#: Full front-end compiles (cache misses or uncached paths); warm
+#: artifact-cache hits leave this at zero.
+_OBS_COMPILES = obs_metrics.counter("fast.compile")
+
 
 @dataclass
 class CompiledProgram:
@@ -61,10 +66,23 @@ class Compiler:
         self.program = program
         self.env = CompiledProgram(solver=solver or Solver())
 
+    @classmethod
+    def from_env(cls, env: CompiledProgram) -> "Compiler":
+        """A compiler evaluating against an already-built environment.
+
+        This is how cached artifacts (:mod:`repro.exec.artifact`) run
+        assert/print declarations without re-lowering anything: all the
+        ``eval_*`` methods only consult ``self.env``.
+        """
+        compiler = cls(ast.Program(()), env.solver)
+        compiler.env = env
+        return compiler
+
     # -- entry point ---------------------------------------------------------
 
     def compile(self) -> CompiledProgram:
         decls = self.program.decls
+        _OBS_COMPILES.inc()
         _tick(len(decls), kind="fast.decl")
         with obs_tracer.span("compile.types"):
             for d in decls:

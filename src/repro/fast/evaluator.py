@@ -24,7 +24,6 @@ from ..smt.solver import Solver
 from ..trees.tree import Tree, format_tree
 from . import ast
 from .compiler import CompiledProgram, Compiler
-from .parser import parse_program
 
 
 @dataclass
@@ -68,31 +67,47 @@ class ProgramReport:
         return "\n".join(lines)
 
 
+def _artifact_for(source: str, solver: Solver | None):
+    """The compiled artifact for ``source``.
+
+    With the default solver this goes through the artifact cache
+    (:mod:`repro.exec.cache`); an explicit solver (chaos injection,
+    instrumentation) bypasses caching entirely so its environment is
+    never shared.
+    """
+    from ..exec.cache import cached_artifact
+
+    return cached_artifact(source, solver)
+
+
 def run_program(source: str, solver: Solver | None = None) -> ProgramReport:
-    """Parse, compile, and evaluate a Fast program."""
+    """Parse/fetch, compile, and evaluate a Fast program."""
     with obs_tracer.span("run_program"):
-        with obs_tracer.span("parse"):
-            program = parse_program(source)
-        with obs_tracer.span("compile"):
-            compiler = Compiler(program, solver)
-            env = compiler.compile()
-        report = ProgramReport(env)
-        for decl in program.decls:
-            if isinstance(decl, ast.AssertDecl):
-                # Per-assert solver cost: the query-count delta around the check.
-                before = env.solver.stats.sat_queries
-                with obs_tracer.span("assert", line=decl.pos.line) as sp:
-                    result = _check(compiler, decl)
-                    sp.set(
-                        passed=result.passed,
-                        sat_queries=env.solver.stats.sat_queries - before,
-                    )
-                report.assertions.append(result)
-            elif isinstance(decl, ast.PrintDecl):
-                # Printing needs a type; infer from the expression when possible.
-                with obs_tracer.span("print", line=decl.pos.line):
-                    tree = _eval_print(compiler, decl)
-                report.printed.append(tree)
+        artifact = _artifact_for(source, solver)
+        return run_artifact(artifact)
+
+
+def run_artifact(artifact) -> ProgramReport:
+    """Evaluate the assert/print declarations of a compiled artifact."""
+    env = artifact.env
+    compiler = artifact.compiler()
+    report = ProgramReport(env)
+    for decl in artifact.decls:
+        if isinstance(decl, ast.AssertDecl):
+            # Per-assert solver cost: the query-count delta around the check.
+            before = env.solver.stats.sat_queries
+            with obs_tracer.span("assert", line=decl.pos.line) as sp:
+                result = _check(compiler, decl)
+                sp.set(
+                    passed=result.passed,
+                    sat_queries=env.solver.stats.sat_queries - before,
+                )
+            report.assertions.append(result)
+        elif isinstance(decl, ast.PrintDecl):
+            # Printing needs a type; infer from the expression when possible.
+            with obs_tracer.span("print", line=decl.pos.line):
+                tree = _eval_print(compiler, decl)
+            report.printed.append(tree)
     return report
 
 
@@ -309,35 +324,37 @@ def _assertion_plan(
 
 
 def explain_program(source: str, solver: Solver | None = None) -> ExplainReport:
-    """Parse, compile, and *explain* every assertion of a Fast program.
+    """Parse/fetch, compile, and *explain* every assertion of a program.
 
     Each assertion runs as a governed, provenance-collecting verdict:
     the result records the derivation (rules fired, decisive solver
     queries, witness trees) alongside PASS/FAIL/UNKNOWN.
     """
     with obs_tracer.span("explain_program"):
-        with obs_tracer.span("parse"):
-            program = parse_program(source)
-        with obs_tracer.span("compile"):
-            compiler = Compiler(program, solver)
-            env = compiler.compile()
-        report = ExplainReport(env)
-        for decl in program.decls:
-            if not isinstance(decl, ast.AssertDecl):
-                continue
-            description, check, proved_msg, refuted_msg = _assertion_plan(
-                compiler, decl
+        artifact = _artifact_for(source, solver)
+        return explain_artifact(artifact)
+
+
+def explain_artifact(artifact) -> ExplainReport:
+    """Explain the assertions of a compiled artifact (cache-hit path)."""
+    compiler = artifact.compiler()
+    report = ExplainReport(artifact.env)
+    for decl in artifact.decls:
+        if not isinstance(decl, ast.AssertDecl):
+            continue
+        description, check, proved_msg, refuted_msg = _assertion_plan(
+            compiler, decl
+        )
+        with obs_tracer.span("explain.assert", line=decl.pos.line) as sp:
+            verdict = governed(check, proved=proved_msg, refuted=refuted_msg)
+            sp.set(outcome=verdict.outcome.value)
+        report.assertions.append(
+            ExplainedAssertion(
+                decl.pos,
+                f"{'assert-true' if decl.expect else 'assert-false'} "
+                f"{description}",
+                decl.expect,
+                verdict,
             )
-            with obs_tracer.span("explain.assert", line=decl.pos.line) as sp:
-                verdict = governed(check, proved=proved_msg, refuted=refuted_msg)
-                sp.set(outcome=verdict.outcome.value)
-            report.assertions.append(
-                ExplainedAssertion(
-                    decl.pos,
-                    f"{'assert-true' if decl.expect else 'assert-false'} "
-                    f"{description}",
-                    decl.expect,
-                    verdict,
-                )
-            )
+        )
     return report

@@ -12,7 +12,12 @@ from fractions import Fraction
 from typing import Optional
 
 from . import ast
+from ..obs import metrics as obs_metrics
 from .lexer import FastParseDepthError, FastSyntaxError, Token, tokenize
+
+#: Whole-program parses.  The cache-smoke CI job asserts this stays at
+#: zero on a warm artifact cache.
+_OBS_PARSES = obs_metrics.counter("fast.parse")
 
 #: Default cap on expression nesting.  Recursive descent spends up to
 #: ~9 Python frames per parenthesis level (the Pratt precedence chain),
@@ -538,6 +543,7 @@ def _canon_op(op: str) -> str:
 
 def parse_program(text: str, max_depth: int = DEFAULT_MAX_DEPTH) -> ast.Program:
     """Parse a Fast program from source text."""
+    _OBS_PARSES.inc()
     return Parser(text, max_depth=max_depth).parse_program()
 
 

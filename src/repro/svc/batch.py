@@ -22,9 +22,15 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..guard import Budget, scope as _budget_scope
 from .job import BudgetSpec, ERROR, JobResult, JobSpec, PROVED, REFUTED, UNKNOWN
 from .service import AnalysisService, ServiceConfig
 from .telemetry import latency_summary
+
+#: Wall-clock cap on compiling any single shared source during prewarm:
+#: the supervisor must never be taken down (or stalled) by a
+#: pathological program — that is what worker isolation is for.
+PREWARM_DEADLINE = 10.0
 
 #: JSON schema tag of ``fast batch --json`` output.  v2 added the
 #: per-kind ``latency`` quantile block, ``summary.retries``, and
@@ -167,6 +173,45 @@ class BatchReport:
         }
 
 
+def prewarm_shared_sources(
+    specs: list[JobSpec], deadline: float = PREWARM_DEADLINE
+) -> int:
+    """Dedupe job sources and pre-warm the artifact cache for shared ones.
+
+    K files carrying the same program (one sanitizer checked against K
+    page corpora, say) should compile once, not K times — so every
+    source appearing in *more than one* spec is compiled here, in the
+    supervisor, before dispatch.  Workers then hit the cache: forked
+    pools inherit the warm memory layer directly, spawned (or
+    pre-existing) pools pick the artifact up from disk.
+
+    Unique sources are left to the workers — compiling them here would
+    serialize work the pool would otherwise do in parallel.  Each
+    prewarm compile runs under its own deadline budget and failures are
+    swallowed: the owning worker will produce the real, properly
+    classified error.  Returns the number of sources warmed.
+    """
+    from ..exec import config as exec_config
+    from ..exec.cache import cached_artifact
+
+    if not exec_config.cache_enabled():
+        return 0
+    multiplicity: dict[str, int] = {}
+    for spec in specs:
+        multiplicity[spec.source] = multiplicity.get(spec.source, 0) + 1
+    warmed = 0
+    for source, count in multiplicity.items():
+        if count < 2:
+            continue
+        try:
+            with _budget_scope(Budget(deadline=deadline)):
+                cached_artifact(source)
+            warmed += 1
+        except Exception:
+            continue
+    return warmed
+
+
 def run_batch(
     paths: list[str],
     *,
@@ -176,6 +221,9 @@ def run_batch(
 ) -> BatchReport:
     """Run every program under ``paths`` through the service."""
     specs = build_specs(collect_program_paths(paths), budget)
+    prewarm = config.prewarm if config is not None else True
+    if prewarm:
+        prewarm_shared_sources(specs)
     if service is not None:
         results = service.run_jobs(specs)
         return BatchReport(results, _breaker_states(service))

@@ -213,10 +213,17 @@ def _verdict_payload(verdict: Verdict) -> dict[str, Any]:
 
 
 def _compile(source: str):
-    from ..fast.compiler import Compiler
-    from ..fast.parser import parse_program
+    """One compiled artifact per job, via the artifact cache.
 
-    return Compiler(parse_program(source), None).compile()
+    Called exactly once by :func:`execute_job` and shared by every
+    handler — compiling per handler (the old shape) billed a
+    multi-declaration program's front end N times per job.  Warm cache
+    hits skip parse/compile entirely (but replay the ``fast.decl``
+    budget charge; see :mod:`repro.exec.cache`).
+    """
+    from ..exec.cache import cached_artifact
+
+    return cached_artifact(source)
 
 
 def _resolve_lang(env, name: str):
@@ -231,10 +238,12 @@ def _resolve_trans(env, name: str):
     raise KeyError(f"no transducer named {name!r} in the program")
 
 
-def _execute_run(spec: JobSpec) -> dict[str, Any]:
-    from ..fast.evaluator import explain_program
+def _execute_run(spec: JobSpec, artifact) -> dict[str, Any]:
+    from ..fast.evaluator import explain_artifact
+    from ..obs import tracer as obs_tracer
 
-    report = explain_program(spec.source)
+    with obs_tracer.span("explain_program"):
+        report = explain_artifact(artifact)
     assertions = [a.to_dict() for a in report.assertions]
     failed = sum(a.passed is False for a in report.assertions)
     unknown = sum(a.passed is None for a in report.assertions)
@@ -254,8 +263,8 @@ def _execute_run(spec: JobSpec) -> dict[str, Any]:
     }
 
 
-def _execute_emptiness(spec: JobSpec) -> dict[str, Any]:
-    env = _compile(spec.source)
+def _execute_emptiness(spec: JobSpec, artifact) -> dict[str, Any]:
+    env = artifact.env
     name = spec.arg("lang")
     if name in env.langs:
         verdict = env.langs[name].is_empty_verdict()
@@ -264,23 +273,23 @@ def _execute_emptiness(spec: JobSpec) -> dict[str, Any]:
     return _verdict_payload(verdict)
 
 
-def _execute_equivalence(spec: JobSpec) -> dict[str, Any]:
-    env = _compile(spec.source)
+def _execute_equivalence(spec: JobSpec, artifact) -> dict[str, Any]:
+    env = artifact.env
     left = _resolve_lang(env, spec.arg("left"))
     right = _resolve_lang(env, spec.arg("right"))
     return _verdict_payload(left.equals_verdict(right))
 
 
-def _execute_typecheck(spec: JobSpec) -> dict[str, Any]:
-    env = _compile(spec.source)
+def _execute_typecheck(spec: JobSpec, artifact) -> dict[str, Any]:
+    env = artifact.env
     trans = _resolve_trans(env, spec.arg("trans"))
     input_lang = _resolve_lang(env, spec.arg("input"))
     output_lang = _resolve_lang(env, spec.arg("output"))
     return _verdict_payload(trans.type_check_verdict(input_lang, output_lang))
 
 
-def _execute_compose(spec: JobSpec) -> dict[str, Any]:
-    env = _compile(spec.source)
+def _execute_compose(spec: JobSpec, artifact) -> dict[str, Any]:
+    env = artifact.env
     first = _resolve_trans(env, spec.arg("first"))
     second = _resolve_trans(env, spec.arg("second"))
     sizes: list[tuple[int, int]] = []
@@ -298,13 +307,19 @@ def _execute_compose(spec: JobSpec) -> dict[str, Any]:
     return payload
 
 
-_EXECUTORS: dict[str, Callable[[JobSpec], dict[str, Any]]] = {
+_EXECUTORS: dict[str, Callable[[JobSpec, Any], dict[str, Any]]] = {
     "run": _execute_run,
     "emptiness": _execute_emptiness,
     "equivalence": _execute_equivalence,
     "typecheck": _execute_typecheck,
     "compose": _execute_compose,
 }
+
+
+def _dispatch(spec: JobSpec) -> dict[str, Any]:
+    """Compile (or fetch) the program once, then run the job's handler."""
+    artifact = _compile(spec.source)
+    return _EXECUTORS[spec.kind](spec, artifact)
 
 
 def execute_job(spec: JobSpec) -> JobResult:
@@ -339,10 +354,10 @@ def execute_job(spec: JobSpec) -> JobResult:
     try:
         if budget is not None:
             with scope(budget):
-                payload = _EXECUTORS[spec.kind](spec)
+                payload = _dispatch(spec)
             snapshot = budget.snapshot().as_dict()
         else:
-            payload = _EXECUTORS[spec.kind](spec)
+            payload = _dispatch(spec)
     except GuardError as exc:
         snap = getattr(exc, "snapshot", None)
         if snap is None and budget is not None:

@@ -88,11 +88,13 @@ class WorkerPool:
         chaos: Optional[WorkerChaosPolicy] = None,
         start_method: Optional[str] = None,
         telemetry: Optional[TelemetryConfig] = None,
+        prewarm: bool = True,
     ) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.size = size
         self.chaos = chaos
+        self.prewarm = prewarm
         # Telemetry defaults from the obs state at construction time:
         # pools built while recording is on ship worker journals back.
         self.telemetry = (
@@ -117,7 +119,9 @@ class WorkerPool:
 
     def _ensure_workers(self) -> None:
         while len(self.workers) < self.size:
-            worker = Worker(self.ctx, self.chaos, self.telemetry)
+            worker = Worker(
+                self.ctx, self.chaos, self.telemetry, prewarm=self.prewarm
+            )
             self.workers.append(worker)
             self._note_spawn(worker)
 

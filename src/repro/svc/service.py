@@ -59,6 +59,9 @@ class ServiceConfig:
     start_method: Optional[str] = None
     #: Cross-process telemetry; None = on iff obs recording is on.
     telemetry: Optional[TelemetryConfig] = None
+    #: Artifact-cache pre-warming: workers load recent disk artifacts
+    #: at spawn, and ``fast batch`` compiles shared sources up front.
+    prewarm: bool = True
 
     def resolved_chaos(self) -> Optional[WorkerChaosPolicy]:
         return self.worker_chaos if self.worker_chaos is not None else chaos_from_env()
@@ -88,6 +91,7 @@ class AnalysisService:
             chaos=self.config.resolved_chaos(),
             start_method=self.config.start_method,
             telemetry=self.config.resolved_telemetry(),
+            prewarm=self.config.prewarm,
         )
         self.breakers = BreakerRegistry(config=self.config.breaker)
 

@@ -86,13 +86,36 @@ def _reset_inherited_state() -> None:
         pass
 
 
+def _prewarm_artifact_cache() -> None:
+    """Best-effort: lift recent disk artifacts into the memory cache.
+
+    Runs once at worker start, so the first job for a recently-analyzed
+    program skips even the disk read.  A forked worker already shares
+    the parent's memory layer; this only adds what landed on disk in
+    earlier processes.  Strictly optional — any failure (no cache dir,
+    torn files, a broken deserializer) leaves the worker fully
+    functional on the cold path.
+    """
+    try:
+        from ..exec import config as exec_config
+        from ..exec.cache import DEFAULT_CACHE
+
+        if exec_config.cache_enabled():
+            DEFAULT_CACHE.prewarm_from_disk()
+    except Exception:
+        pass
+
+
 def _worker_main(
     conn,
     chaos: Optional[WorkerChaosPolicy],
     telemetry: Optional[TelemetryConfig] = None,
+    prewarm: bool = True,
 ) -> None:
     """The worker loop; exits on a ``None`` message or a closed pipe."""
     _reset_inherited_state()
+    if prewarm:
+        _prewarm_artifact_cache()
     while True:
         try:
             message = conn.recv()
@@ -148,10 +171,12 @@ class Worker:
         ctx,
         chaos: Optional[WorkerChaosPolicy] = None,
         telemetry: Optional[TelemetryConfig] = None,
+        prewarm: bool = True,
     ) -> None:
         self.ctx = ctx
         self.chaos = chaos
         self.telemetry = telemetry
+        self.prewarm = prewarm
         self.worker_id = next(_worker_ids)
         self.spawns = 0
         self.process: Any = None
@@ -166,7 +191,7 @@ class Worker:
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         self.process = self.ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.chaos, self.telemetry),
+            args=(child_conn, self.chaos, self.telemetry, self.prewarm),
             daemon=True,
             name=f"repro-svc-worker-{self.worker_id}",
         )

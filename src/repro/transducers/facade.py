@@ -47,6 +47,38 @@ class Transducer:
 
     # -- execution -----------------------------------------------------------
 
+    def _compiled(self):
+        """The closure-lowered form, built once per transducer.
+
+        Lowering failures are remembered as None (fall back to the
+        interpreter forever) — the compiled tier is an optimization,
+        never a new way to fail.  The slot lives in ``__dict__`` so the
+        frozen dataclass stays frozen for its declared fields.
+        """
+        if "_compiled_sttr" not in self.__dict__:
+            try:
+                from ..exec.compiled import CompiledSTTR
+
+                compiled = CompiledSTTR(self.sttr)
+            except Exception:
+                compiled = None
+            object.__setattr__(self, "_compiled_sttr", compiled)
+        return self.__dict__["_compiled_sttr"]
+
+    def _checked(
+        self, tree: Tree, limit: Optional[int]
+    ) -> tuple[list[Tree], bool]:
+        """``run_checked`` via the compiled tier when enabled."""
+        from ..exec import config as exec_config
+
+        if exec_config.compiled_enabled():
+            compiled = self._compiled()
+            if compiled is not None:
+                from ..exec.compiled import run_compiled_checked
+
+                return run_compiled_checked(compiled, tree, limit=limit)
+        return _run_checked(self.sttr, tree, limit=limit)
+
     def apply(
         self,
         tree: Tree,
@@ -65,7 +97,7 @@ class Transducer:
             raise ValueError(
                 f"on_truncate must be 'raise' or 'truncate', got {on_truncate!r}"
             )
-        outputs, truncated = _run_checked(self.sttr, tree, limit=limit)
+        outputs, truncated = self._checked(tree, limit)
         if truncated and on_truncate == "raise":
             raise OutputTruncated(
                 f"{self.name}: output enumeration cut off at limit={limit} "
@@ -78,6 +110,15 @@ class Transducer:
 
     def apply_one(self, tree: Tree) -> Optional[Tree]:
         """One output, or None when ``tree`` is outside the domain."""
+        from ..exec import config as exec_config
+
+        if exec_config.compiled_enabled():
+            compiled = self._compiled()
+            if compiled is not None:
+                from ..exec.compiled import run_compiled_checked
+
+                outputs, _ = run_compiled_checked(compiled, tree, limit=1)
+                return outputs[0] if outputs else None
         return _run_one(self.sttr, tree)
 
     def __call__(self, tree: Tree) -> Optional[Tree]:

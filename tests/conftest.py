@@ -45,3 +45,19 @@ def pytest_unconfigure(config):
     if _UNDO is not None:
         _UNDO()
         _UNDO = None
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Point the artifact cache at a per-test directory and empty the LRU.
+
+    Cross-test cache hits would silently skip parse/compile — breaking
+    exact solver-query-count and budget-exhaustion assertions — so every
+    test starts cold unless it warms the cache itself.
+    """
+    from repro.exec.cache import DEFAULT_CACHE
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))
+    DEFAULT_CACHE.clear()
+    yield
+    DEFAULT_CACHE.clear()

@@ -1,0 +1,171 @@
+"""The artifact cache: layers, counters, bypasses, budget discipline.
+
+The autouse ``_isolated_artifact_cache`` fixture (tests/conftest.py)
+points ``REPRO_CACHE_DIR`` at a per-test tmp dir and clears the
+process-wide memory layer around every test, so counter assertions here
+are deltas, never absolutes.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec.artifact import CompiledArtifact, build_artifact
+from repro.exec.cache import DEFAULT_CACHE, ArtifactCache, cache_key, cached_artifact
+from repro.fast.cli import EXIT_BUDGET, EXIT_OK, main
+from repro.fast.evaluator import run_artifact
+from repro.obs import metrics as obs_metrics
+from repro.smt import Solver
+
+EASY = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+
+OTHER = EASY.replace("v > 0", "v > 1")
+THIRD = EASY.replace("v > 0", "v > 2")
+
+COUNTERS = (
+    "exec.cache.hit",
+    "exec.cache.miss",
+    "exec.cache.store",
+    "exec.artifact.builds",
+    "fast.parse",
+)
+
+
+def counts():
+    return {name: obs_metrics.REGISTRY.counter(name).snapshot() for name in COUNTERS}
+
+
+def delta(before, name):
+    return obs_metrics.REGISTRY.counter(name).snapshot() - before[name]
+
+
+def cache_dir():
+    return os.environ["REPRO_CACHE_DIR"]
+
+
+class TestLayers:
+    def test_memory_hit_returns_same_object(self):
+        before = counts()
+        first = cached_artifact(EASY)
+        second = cached_artifact(EASY)
+        assert second is first
+        assert delta(before, "exec.cache.miss") == 1
+        assert delta(before, "exec.cache.hit") == 1
+        assert delta(before, "exec.artifact.builds") == 1
+        assert delta(before, "fast.parse") == 1
+        assert delta(before, "exec.cache.store") == 1
+
+    def test_disk_hit_after_memory_clear(self):
+        before = counts()
+        cached_artifact(EASY)
+        DEFAULT_CACHE.clear()  # memory only; the disk entry survives
+        artifact = cached_artifact(EASY)
+        assert isinstance(artifact, CompiledArtifact)
+        assert delta(before, "fast.parse") == 1  # never re-parsed
+        assert delta(before, "exec.cache.hit") == 1
+        # The revived artifact actually evaluates.
+        report = run_artifact(artifact)
+        assert report.ok
+
+    def test_corrupt_disk_entry_is_dropped_and_recompiled(self):
+        cached_artifact(EASY)
+        DEFAULT_CACHE.clear()
+        path = os.path.join(cache_dir(), f"{cache_key(EASY)}.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        before = counts()
+        artifact = cached_artifact(EASY)
+        assert isinstance(artifact, CompiledArtifact)
+        assert delta(before, "exec.cache.miss") == 1
+        assert delta(before, "exec.artifact.builds") == 1
+        assert not os.path.exists(path) or os.path.getsize(path) > 20
+
+    def test_lru_evicts_oldest(self):
+        cache = ArtifactCache(capacity=2)
+        for source in (EASY, OTHER, THIRD):
+            cached_artifact(source, cache=cache)
+        assert len(cache) == 2
+        assert cache_key(EASY) not in cache._memory
+        assert cache_key(THIRD) in cache._memory
+
+    def test_prewarm_lifts_disk_entries_into_memory(self):
+        cached_artifact(EASY)
+        cached_artifact(OTHER)
+        DEFAULT_CACHE.clear()
+        assert len(DEFAULT_CACHE) == 0
+        before = counts()
+        loaded = DEFAULT_CACHE.prewarm_from_disk()
+        assert loaded == 2
+        assert len(DEFAULT_CACHE) == 2
+        # Prewarm is not a hit; the next get is (a memory one).
+        assert delta(before, "exec.cache.hit") == 0
+        cached_artifact(EASY)
+        assert delta(before, "exec.cache.hit") == 1
+
+
+class TestBypasses:
+    def test_env_off_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        before = counts()
+        first = cached_artifact(EASY)
+        second = cached_artifact(EASY)
+        assert second is not first
+        assert delta(before, "exec.artifact.builds") == 2
+        assert delta(before, "exec.cache.hit") == 0
+        assert delta(before, "exec.cache.miss") == 0
+
+    def test_explicit_solver_bypasses_cache(self):
+        cached_artifact(EASY)
+        before = counts()
+        artifact = cached_artifact(EASY, solver=Solver())
+        assert delta(before, "exec.artifact.builds") == 1
+        assert delta(before, "exec.cache.hit") == 0
+        assert run_artifact(artifact).ok
+
+    def test_failed_compile_is_never_stored(self):
+        bad = "type )(("
+        with pytest.raises(ReproError):
+            cached_artifact(bad)
+        assert len(DEFAULT_CACHE) == 0
+        assert not os.path.exists(
+            os.path.join(cache_dir(), f"{cache_key(bad)}.json")
+        )
+        with pytest.raises(ReproError):
+            cached_artifact(bad)
+
+
+class TestBudgetDiscipline:
+    def test_warm_check_still_hits_step_budget(self, tmp_path):
+        """A budget too small to compile must stay too small when cached."""
+        path = tmp_path / "prog.fast"
+        path.write_text(EASY)
+        assert main(["check", str(path)]) == EXIT_OK  # warms the cache
+        assert main(["check", "--max-steps", "1", str(path)]) == EXIT_BUDGET
+
+    def test_warm_check_with_room_passes(self, tmp_path):
+        path = tmp_path / "prog.fast"
+        path.write_text(EASY)
+        assert main(["check", str(path)]) == EXIT_OK
+        assert main(["check", "--max-steps", "1000", str(path)]) == EXIT_OK
+
+    def test_no_cache_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        path = tmp_path / "prog.fast"
+        path.write_text(EASY)
+        before = counts()
+        assert main(["check", "--no-cache", str(path)]) == EXIT_OK
+        assert os.environ["REPRO_CACHE"] == "off"
+        assert delta(before, "exec.cache.miss") == 0
+
+
+def test_version_salt_changes_key(monkeypatch):
+    from repro.exec import cache as cache_mod
+
+    key = cache_key(EASY)
+    monkeypatch.setattr(cache_mod, "_SALT", "other-version:other-schema")
+    assert cache_mod.cache_key(EASY) != key

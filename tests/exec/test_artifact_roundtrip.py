@@ -1,0 +1,93 @@
+"""Property: a compiled artifact survives the JSON round trip intact.
+
+``artifact_to_json . artifact_from_json`` (and the registered
+``serialize.dumps``/``loads`` path) must yield an artifact whose
+evaluation — assertion verdicts, printed trees, explain report — is
+indistinguishable from the original's.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serialize
+from repro.exec.artifact import (
+    CompiledArtifact,
+    artifact_from_json,
+    artifact_to_json,
+    build_artifact,
+)
+from repro.fast.evaluator import explain_artifact, run_artifact
+
+TEMPLATE = """\
+type BT[v : Int]{{L(0), N(2)}}
+lang pos : BT {{ N(l, r) where (v > {k}) given (pos l) (pos r) | L() }}
+trans bump : BT -> BT {{
+    L() to (L [v + {d}])
+  | N(l, r) to (N [v] (bump l) (bump r))
+}}
+tree t : BT := (N [{a}] (L [{b}]) (L [{c}]))
+assert-false (is-empty pos)
+assert-{expect} t in pos
+print (apply bump t)
+"""
+
+
+def program(k, d, a, b, c):
+    member = a > k  # leaves are always in pos; only the N node is guarded
+    return TEMPLATE.format(
+        k=k, d=d, a=a, b=b, c=c, expect="true" if member else "false"
+    )
+
+
+def evaluate(artifact):
+    """The observable behaviour of an artifact, as comparable data."""
+    report = run_artifact(artifact)
+    explain = explain_artifact(artifact)
+    return (
+        [r.passed for r in report.assertions],
+        [repr(t) for t in report.printed],
+        [a.passed for a in explain.assertions],
+    )
+
+
+@given(
+    k=st.integers(min_value=-2, max_value=2),
+    d=st.integers(min_value=-3, max_value=3),
+    a=st.integers(min_value=-3, max_value=3),
+    b=st.integers(min_value=-3, max_value=3),
+    c=st.integers(min_value=-3, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_preserves_behaviour(k, d, a, b, c):
+    source = program(k, d, a, b, c)
+    artifact = build_artifact(source)
+    payload = artifact_to_json(artifact)
+    json.dumps(payload)  # plain-JSON serializable, no cycles
+    revived = artifact_from_json(payload)
+    assert isinstance(revived, CompiledArtifact)
+    assert revived.decl_count == artifact.decl_count
+    assert evaluate(revived) == evaluate(artifact)
+
+
+def test_registered_kind_roundtrips_through_serialize():
+    artifact = build_artifact(program(0, 1, 2, 1, 1))
+    blob = serialize.dumps(artifact)
+    revived = serialize.loads(blob)
+    assert isinstance(revived, CompiledArtifact)
+    assert evaluate(revived) == evaluate(artifact)
+
+
+def test_revived_artifact_uses_one_fresh_solver():
+    artifact = build_artifact(program(0, 1, 2, 1, 1))
+    revived = artifact_from_json(artifact_to_json(artifact))
+    def solvers_of(env):
+        out = {env.solver}
+        out.update(l.solver for l in env.langs.values())
+        out.update(t.solver for t in env.transducers.values())
+        return out
+
+    solvers = solvers_of(revived.env)
+    assert len(solvers) == 1
+    assert not (solvers & solvers_of(artifact.env))

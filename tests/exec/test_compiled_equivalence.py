@@ -1,0 +1,203 @@
+"""Property: the compiled tier is observationally identical to the interpreter.
+
+Random STTRs (nondeterministic rules, guards, lookahead, duplication,
+deletion, child swaps) over random trees must produce the *same output
+list* (same order), the same truncation flag, and the same budget step
+charges through :func:`repro.exec.compiled.run_compiled_checked` as
+through :func:`repro.transducers.run.run_checked`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import STA, rule
+from repro.exec.compiled import CompiledSTTR, run_compiled_checked
+from repro.guard import Budget, scope
+from repro.smt import INT, Solver, mk_add, mk_eq, mk_gt, mk_int, mk_var
+from repro.transducers import OutApply, OutNode, STTR, Transducer, run_checked, trule
+from repro.trees import make_tree_type, node
+
+ET = make_tree_type("ET", [("x", INT)], {"L": 0, "U": 1, "B": 2})
+x = mk_var("x", INT)
+
+#: Guard pool; ``None`` means ``true`` (via ``trule``).
+GUARDS = (
+    None,
+    mk_gt(x, mk_int(0)),
+    mk_eq(x, mk_int(0)),
+    mk_gt(mk_int(2), x),
+)
+
+#: Lookahead automaton: state ``a`` accepts trees whose leaves are all > -1.
+LA = STA(
+    ET,
+    (
+        rule("a", "L", mk_gt(x, mk_int(-1))),
+        rule("a", "U", None, lookahead=[["a"]]),
+        rule("a", "B", None, lookahead=[["a"], ["a"]]),
+    ),
+)
+
+STATES = ("p", "q")
+
+ATTR_EXPRS = (x, mk_add(x, mk_int(1)))
+
+
+def _outputs_for(ctor, draw, states):
+    """Draw one output term legal for ``ctor``'s rank."""
+    s = draw(st.sampled_from(states))
+    s2 = draw(st.sampled_from(states))
+    e = draw(st.sampled_from(ATTR_EXPRS))
+    if ctor == "L":
+        return OutNode("L", (e,), ())
+    if ctor == "U":
+        return draw(
+            st.sampled_from(
+                [
+                    OutApply(s, 0),  # copy the transformed child
+                    OutNode("U", (e,), (OutApply(s, 0),)),
+                    OutNode("L", (e,), ()),  # delete the child
+                    # duplication: same child in two states
+                    OutNode("B", (x,), (OutApply(s, 0), OutApply(s2, 0))),
+                ]
+            )
+        )
+    return draw(
+        st.sampled_from(
+            [
+                OutApply(s, 0),
+                OutApply(s, 1),
+                OutNode("B", (e,), (OutApply(s, 0), OutApply(s2, 1))),
+                OutNode("B", (x,), (OutApply(s, 1), OutApply(s2, 0))),  # swap
+                OutNode("U", (e,), (OutApply(s, 0),)),  # drop one child
+            ]
+        )
+    )
+
+
+RANK = {"L": 0, "U": 1, "B": 2}
+
+
+@st.composite
+def sttrs(draw):
+    n_rules = draw(st.integers(min_value=1, max_value=8))
+    rules = []
+    for _ in range(n_rules):
+        state = draw(st.sampled_from(STATES))
+        ctor = draw(st.sampled_from(("L", "U", "B")))
+        guard = draw(st.sampled_from(GUARDS))
+        la = [
+            draw(st.sampled_from([(), ("a",)])) for _ in range(RANK[ctor])
+        ]
+        rules.append(
+            trule(
+                state,
+                ctor,
+                _outputs_for(ctor, draw, STATES),
+                guard=guard,
+                lookahead=la,
+            )
+        )
+    return STTR("rand", ET, ET, "p", tuple(rules), lookahead_sta=LA)
+
+
+attrs = st.integers(min_value=-2, max_value=3)
+trees = st.recursive(
+    attrs.map(lambda v: node("L", v)),
+    lambda kids: st.one_of(
+        st.tuples(attrs, kids).map(lambda t: node("U", t[0], t[1])),
+        st.tuples(attrs, kids, kids).map(lambda t: node("B", t[0], t[1], t[2])),
+    ),
+    max_leaves=8,
+)
+
+
+@given(sttr=sttrs(), tree=trees, limit=st.sampled_from([None, 1, 2]))
+@settings(max_examples=80, deadline=None)
+def test_compiled_matches_interpreter(sttr, tree, limit):
+    interp_budget = Budget()
+    with scope(interp_budget):
+        expected_outputs, expected_truncated = run_checked(
+            sttr, tree, limit=limit
+        )
+    compiled = CompiledSTTR(sttr)
+    compiled_budget = Budget()
+    with scope(compiled_budget):
+        actual_outputs, actual_truncated = run_compiled_checked(
+            compiled, tree, limit=limit
+        )
+    assert actual_outputs == expected_outputs
+    assert actual_truncated == expected_truncated
+    # Same guard-budget charges: caching classification must not change
+    # what a budget-governed run is billed.
+    assert compiled_budget.steps == interp_budget.steps
+
+
+@given(sttr=sttrs(), tree=trees)
+@settings(max_examples=25, deadline=None)
+def test_precomputed_table_matches_lazy(sttr, tree):
+    lazy = CompiledSTTR(sttr)
+    eager = CompiledSTTR(sttr)
+    eager.precompute(Solver())
+    assert run_compiled_checked(eager, tree) == run_compiled_checked(lazy, tree)
+
+
+def test_precompute_fills_table():
+    sttr = STTR(
+        "pc",
+        ET,
+        ET,
+        "p",
+        (
+            trule(
+                "p",
+                "L",
+                OutNode("L", (x,), ()),
+                guard=mk_gt(x, mk_int(0)),
+                rank=0,
+            ),
+            trule("p", "L", OutNode("L", (mk_add(x, mk_int(1)),), ()), rank=0),
+            trule(
+                "p",
+                "U",
+                OutNode("U", (x,), (OutApply("p", 0),)),
+                rank=1,
+            ),
+        ),
+    )
+    compiled = CompiledSTTR(sttr)
+    assert compiled.table_size() == 0
+    filled = compiled.precompute(Solver())
+    assert filled == compiled.table_size() > 0
+    # A warm table answers without growing.
+    t = node("U", 1, node("L", 2))
+    out, truncated = run_compiled_checked(compiled, t)
+    assert not truncated
+    assert out == run_checked(sttr, t)[0]
+    assert compiled.table_size() == filled
+
+
+def test_facade_routes_through_compiled_tier(monkeypatch):
+    sttr = STTR(
+        "ft",
+        ET,
+        ET,
+        "p",
+        (
+            trule("p", "L", OutNode("L", (mk_add(x, mk_int(1)),), ()), rank=0),
+            trule(
+                "p",
+                "B",
+                OutNode("B", (x,), (OutApply("p", 0), OutApply("p", 1))),
+                rank=2,
+            ),
+        ),
+    )
+    t = node("B", 0, node("L", 1), node("L", 2))
+    trans = Transducer(sttr)
+    monkeypatch.setenv("REPRO_EXEC", "compiled")
+    compiled_out = trans.apply(t)
+    assert trans._compiled() is not None  # the lowered form was built
+    monkeypatch.setenv("REPRO_EXEC", "interp")
+    assert trans.apply(t) == compiled_out
+    assert trans.apply_one(t) == compiled_out[0]

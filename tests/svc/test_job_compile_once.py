@@ -1,0 +1,76 @@
+"""Regression: a job compiles its source exactly once.
+
+Before the compiled execution tier landed, ``execute_job("run", ...)``
+parsed and compiled the program twice — once for ``run_program`` and
+once more for ``explain_program`` — which both doubled the front-end
+cost and could (under chaos) produce an explain verdict for a different
+compile than the one that ran.  Now the artifact is built once by
+``_dispatch`` and shared by every executor, so a traced cold job shows
+exactly one ``fast.compile`` span, and a warm job none.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import tracer as obs_tracer
+from repro.svc.job import JobSpec, execute_job
+
+SOURCE = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+
+
+@pytest.fixture(autouse=True)
+def traced_obs():
+    obs.enabled(True)
+    obs.reset()
+    obs_tracer.reset_trace()
+    yield
+    obs.enabled(False)
+    obs.reset()
+
+
+def count_spans(spans, name):
+    total = 0
+    for sp in spans:
+        if sp.name == name:
+            total += 1
+        total += count_spans(sp.children, name)
+    return total
+
+
+def test_cold_run_job_compiles_exactly_once():
+    result = execute_job(JobSpec(job_id="cold", kind="run", source=SOURCE))
+    assert result.outcome == "PROVED"
+    roots = obs_tracer.trace()
+    assert count_spans(roots, "fast.compile") == 1
+    assert count_spans(roots, "parse") == 1
+    assert count_spans(roots, "explain_program") == 1
+
+
+def test_warm_job_compiles_zero_times():
+    execute_job(JobSpec(job_id="warm-up", kind="run", source=SOURCE))
+    obs_tracer.reset_trace()
+    result = execute_job(JobSpec(job_id="warm", kind="run", source=SOURCE))
+    assert result.outcome == "PROVED"
+    roots = obs_tracer.trace()
+    assert count_spans(roots, "fast.compile") == 0
+    assert count_spans(roots, "parse") == 0
+    # The explain phase still shows up in the span tree for telemetry.
+    assert count_spans(roots, "explain_program") == 1
+
+
+def test_other_kinds_also_compile_once():
+    result = execute_job(
+        JobSpec(
+            job_id="empt-cold",
+            kind="emptiness",
+            source=SOURCE,
+            args=(("lang", "pos"),),
+        )
+    )
+    assert result.outcome == "REFUTED"  # pos is non-empty
+    roots = obs_tracer.trace()
+    assert count_spans(roots, "fast.compile") == 1
