@@ -16,6 +16,13 @@ Layers:
   concurrent workers can share it without torn reads.  Disk failures
   (read or write) degrade to cache misses, never to errors.
 
+Integrity: each disk entry is an **envelope** — the artifact payload
+plus the SHA-256 of its canonical JSON — verified on every load.  A
+truncated file, a bit-flipped byte, or a stale schema all fail closed:
+the entry is dropped, the program recompiles, and the incident is
+counted under ``exec.cache.disk_errors``.  Corruption can cost a
+recompile; it can never produce a wrong program.
+
 Budget discipline: a cache hit **replays** the front end's
 ``fast.decl`` budget charge (one step per declaration of the original
 program).  A budget too small to compile a program must stay too small
@@ -23,7 +30,8 @@ when the program is already cached — otherwise caching would change
 verdicts, not just latency.
 
 Metrics: ``exec.cache.hit`` / ``exec.cache.miss`` / ``exec.cache.store``
-/ ``exec.cache.prewarm`` (glossary in DESIGN.md §8).
+/ ``exec.cache.prewarm`` / ``exec.cache.disk_errors`` (glossary in
+DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -53,9 +61,16 @@ _OBS_HITS = obs_metrics.counter("exec.cache.hit")
 _OBS_MISSES = obs_metrics.counter("exec.cache.miss")
 _OBS_STORES = obs_metrics.counter("exec.cache.store")
 _OBS_PREWARM = obs_metrics.counter("exec.cache.prewarm")
+_OBS_DISK_ERRORS = obs_metrics.counter("exec.cache.disk_errors")
 
 #: Key prefix: same source + different library/schema = different key.
 _SALT = f"{__version__}:{ARTIFACT_SCHEMA}"
+
+
+def _payload_digest(payload: object) -> str:
+    """SHA-256 of a payload's canonical JSON (the envelope checksum)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def cache_key(source: str) -> str:
@@ -125,12 +140,17 @@ class ArtifactCache:
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as f:
-                payload = json.load(f)
+                envelope = json.load(f)
+            payload = envelope["payload"]
+            if envelope.get("sha256") != _payload_digest(payload):
+                raise ValueError(f"artifact checksum mismatch: {path}")
             return artifact_from_json(payload)
         except FileNotFoundError:
             return None
         except Exception:
-            # Corrupt / stale / unreadable entry: drop it and recompile.
+            # Corrupt / truncated / stale / unreadable entry: count it,
+            # drop it, and recompile — never trust a bad byte.
+            _OBS_DISK_ERRORS.inc()
             try:
                 os.unlink(path)
             except OSError:
@@ -143,8 +163,13 @@ class ArtifactCache:
             os.makedirs(directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
+                payload = artifact_to_json(artifact)
+                envelope = {
+                    "sha256": _payload_digest(payload),
+                    "payload": payload,
+                }
                 with os.fdopen(fd, "w", encoding="utf-8") as f:
-                    json.dump(artifact_to_json(artifact), f)
+                    json.dump(envelope, f)
                 os.replace(tmp, self._path(key))
             except BaseException:
                 try:

@@ -10,9 +10,13 @@
 * ``batch`` — run many programs concurrently through the supervised
   worker pool (:mod:`repro.svc`) with per-file crash isolation:
   ``fast batch examples/ --jobs 8 --timeout 10 --json``;
-* ``serve`` — a line-oriented job loop (``--stdin-jsonl``): one JSON
-  request per input line, one JSON result per output line, against a
-  persistent pool with per-kind circuit breakers.
+* ``serve`` — JSONL serving against a persistent pool with per-kind
+  circuit breakers: ``--stdin-jsonl`` (one JSON request per input
+  line, one JSON result per output line) or ``--listen HOST:PORT``
+  (the same protocol over TCP, behind an admission gate: bounded
+  queue with load shedding, per-tenant token-bucket quotas, a
+  deadline ceiling, a ``health`` request kind, and graceful drain on
+  SIGTERM).
 
 ``run`` is the default: ``fast program.fast`` and
 ``fast --profile program.fast`` both work without naming a subcommand.
@@ -238,7 +242,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stdin-jsonl",
         action="store_true",
         help="read one JSON job request per stdin line, write one JSON "
-        "result per stdout line (the only serving mode, and required)",
+        "result per stdout line",
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve JSONL over a TCP socket with admission control "
+        "(bounded queue, tenant quotas, deadline shedding); PORT 0 "
+        "picks a free port (printed to stderr)",
     )
     serve.add_argument(
         "--stats-interval",
@@ -247,6 +259,61 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="print a rolling jobs/sec + per-kind quantile line to "
         "stderr at most every SECONDS (0 = never; default 0)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        metavar="N",
+        default=64,
+        help="admitted requests that may wait for a worker; beyond "
+        "this, requests are shed immediately with retry_after "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--max-deadline",
+        type=float,
+        metavar="SECONDS",
+        default=30.0,
+        help="server-side ceiling clamped onto every job's deadline; "
+        "jobs without one get exactly this much (default 30)",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        metavar="R",
+        default=0.0,
+        help="per-tenant admission rate in requests/sec (token "
+        "bucket); 0 disables quotas (default 0)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=int,
+        metavar="N",
+        default=8,
+        help="per-tenant burst capacity above --tenant-rate (default 8)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=10.0,
+        help="on SIGTERM/EOF: seconds to finish admitted jobs before "
+        "shedding the rest and closing the pool (default 10)",
+    )
+    serve.add_argument(
+        "--serve-root",
+        metavar="DIR",
+        default=None,
+        help="directory 'file' requests are confined to (default: cwd "
+        "for --stdin-jsonl, disabled for --listen)",
+    )
+    serve.add_argument(
+        "--max-source-bytes",
+        type=int,
+        metavar="N",
+        default=1 << 20,
+        help="cap on inline 'source' and server-side file reads "
+        "(default 1 MiB)",
     )
     return parser
 
@@ -343,17 +410,80 @@ def _batch_command(args: argparse.Namespace) -> int:
 
 
 def _serve_command(args: argparse.Namespace) -> int:
-    if not args.stdin_jsonl:
-        print("error: fast serve requires --stdin-jsonl", file=sys.stderr)
-        return EXIT_ERROR
-    from ..svc import serve_lines
+    import signal
+    import threading
 
+    if not args.stdin_jsonl and not args.listen:
+        print(
+            "error: fast serve requires --stdin-jsonl or --listen HOST:PORT",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    from ..svc import GateConfig, RequestLimits, serve_lines, serve_socket
+
+    gate_config = GateConfig(
+        max_queue=args.max_queue,
+        max_deadline=args.max_deadline,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        drain_timeout=args.drain_timeout,
+        workers=args.jobs,
+    )
+
+    if args.listen:
+        host, _, port_s = args.listen.rpartition(":")
+        if not host or not port_s.isdigit():
+            print(
+                f"error: --listen wants HOST:PORT, got {args.listen!r}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        limits = RequestLimits(
+            root=args.serve_root, max_source_bytes=args.max_source_bytes
+        )
+
+        def ready(front) -> None:
+            print(
+                f"listening on {front.host}:{front.port} "
+                f"(queue {args.max_queue}, deadline ceiling "
+                f"{args.max_deadline}s; SIGTERM drains)",
+                file=sys.stderr,
+            )
+            sys.stderr.flush()
+            if threading.current_thread() is threading.main_thread():
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    signal.signal(sig, lambda *_: front.initiate_drain())
+
+        served = serve_socket(
+            host,
+            int(port_s),
+            config=_service_config(args),
+            gate_config=gate_config,
+            limits=limits,
+            stats=args.stats,
+            stats_interval=args.stats_interval,
+            ready=ready,
+        )
+        print(f"drained; served {served} jobs", file=sys.stderr)
+        return EXIT_OK
+
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGTERM,):
+            signal.signal(sig, lambda *_: stop.set())
+    limits = RequestLimits(
+        root=args.serve_root if args.serve_root is not None else os.getcwd(),
+        max_source_bytes=args.max_source_bytes,
+    )
     served = serve_lines(
         sys.stdin,
         sys.stdout,
         config=_service_config(args),
+        gate_config=gate_config,
+        limits=limits,
         stats=args.stats,
         stats_interval=args.stats_interval,
+        stop=stop,
     )
     print(f"served {served} jobs", file=sys.stderr)
     return EXIT_OK

@@ -39,6 +39,16 @@ batch under the same seed always faults the same jobs on the same
 attempts, *regardless of worker scheduling*, and a retried attempt can
 succeed where attempt 0 was killed.
 
+With the admission gate (:mod:`repro.svc.gate`) in front of the pool,
+the harness also models **overload** faults — hostile *traffic*, not
+hostile workers: :class:`OverloadChaosPolicy` deterministically decides
+per request index whether a client bursts (floods the gate with extra
+back-to-back requests) or stalls (sleeps mid-send like a slow client).
+The overload property test drives the gate with these schedules and
+asserts the invariants that make shedding safe: every admitted request
+gets exactly one response, every shed request gets a shed response, and
+verdicts are never corrupted — only delayed or shed.
+
 Use :class:`ChaosSolver` to wrap a single solver, :func:`inject` to
 patch every :class:`~repro.smt.solver.Solver` in the process for a
 ``with`` block, or ``REPRO_CHAOS="seed=7,flush_rate=0.02"`` +
@@ -239,6 +249,70 @@ class WorkerChaosPolicy:
         return bool(self.kill_rate or self.hang_rate or self.corrupt_rate)
 
 
+@dataclass(frozen=True)
+class OverloadChaosPolicy:
+    """Seeded overload traffic for the admission gate (:mod:`repro.svc.gate`).
+
+    Where :class:`WorkerChaosPolicy` perturbs the *execution* side, this
+    policy perturbs the *arrival* side: it deterministically decides, per
+    request index, whether a client floods the gate with a burst of
+    extra requests or stalls mid-send like a slow client.  Like the
+    worker policy it is a pure function of ``(seed, index)`` — no
+    sequential RNG — so the same seed produces the same traffic shape
+    however threads interleave, which is what makes the overload
+    property test (served + shed partition, exactly one response each)
+    reproducible.
+    """
+
+    seed: int = 0
+    #: Probability a request index starts a burst flood.
+    burst_rate: float = 0.0
+    #: Extra back-to-back requests injected per burst.
+    burst_size: int = 8
+    #: Probability a client stalls (sleeps) before sending its request.
+    stall_rate: float = 0.0
+    #: How long a stalled client sleeps before completing its send.
+    stall_seconds: float = 0.05
+
+    def decide(self, index: int) -> Optional[str]:
+        """``'burst'`` / ``'stall'`` / None for request ``index``.
+
+        Stable across processes and runs (string-seeded ``Random``
+        hashes through SHA-512), and independent draws per index, so a
+        schedule can be replayed or enumerated without generating it in
+        order.
+        """
+        if not (self.burst_rate or self.stall_rate):
+            return None
+        r = random.Random(f"{self.seed}:overload:{index}").random()
+        if r < self.burst_rate:
+            return "burst"
+        if r < self.burst_rate + self.stall_rate:
+            return "stall"
+        return None
+
+    def schedule(self, n: int) -> list[tuple[int, Optional[str]]]:
+        """The full ``(index, action)`` plan for ``n`` base requests.
+
+        Purely derived from :meth:`decide`; handy for tests that want
+        to assert how many bursts/stalls a seed produces before driving
+        the gate with them.
+        """
+        return [(i, self.decide(i)) for i in range(n)]
+
+    def total_requests(self, n: int) -> int:
+        """How many requests ``n`` base sends expand to (bursts included)."""
+        total = n
+        for _, action in self.schedule(n):
+            if action == "burst":
+                total += self.burst_size
+        return total
+
+    @property
+    def active(self) -> bool:
+        return bool(self.burst_rate or self.stall_rate)
+
+
 #: Spec keys understood by :func:`worker_policy_from_spec`; ignored by
 #: :func:`policy_from_spec` so one ``REPRO_CHAOS`` string can carry both
 #: solver- and worker-level faults.
@@ -247,6 +321,15 @@ _WORKER_KEYS = {
     "worker_hang_rate": ("hang_rate", float),
     "worker_corrupt_rate": ("corrupt_rate", float),
     "worker_hang_seconds": ("hang_seconds", float),
+}
+
+#: Spec keys understood by :func:`overload_policy_from_spec`; ignored by
+#: the solver- and worker-level parsers for the same reason.
+_OVERLOAD_KEYS = {
+    "overload_burst_rate": ("burst_rate", float),
+    "overload_burst_size": ("burst_size", int),
+    "overload_stall_rate": ("stall_rate", float),
+    "overload_stall_seconds": ("stall_seconds", float),
 }
 
 
@@ -276,7 +359,7 @@ def policy_from_spec(spec: str) -> ChaosPolicy:
             kwargs[key] = int(value)
         elif key in ("fault_rate", "unknown_rate", "latency", "flush_rate"):
             kwargs[key] = float(value)
-        elif key in _WORKER_KEYS:
+        elif key in _WORKER_KEYS or key in _OVERLOAD_KEYS:
             continue
         else:
             raise ValueError(f"unknown chaos spec key {key!r}")
@@ -299,6 +382,25 @@ def worker_policy_from_spec(spec: str) -> Optional[WorkerChaosPolicy]:
     if "seed" in pairs:
         kwargs["seed"] = int(pairs["seed"])
     policy = WorkerChaosPolicy(**kwargs)  # type: ignore[arg-type]
+    return policy if policy.active else None
+
+
+def overload_policy_from_spec(spec: str) -> Optional[OverloadChaosPolicy]:
+    """The :class:`OverloadChaosPolicy` of a spec, or None when inert.
+
+    Shares the ``seed`` key with the other policies; only ``overload_*``
+    keys activate it, so solver- and worker-only specs return None.
+    """
+    pairs = _parse_spec(spec) if spec else {}
+    kwargs: dict[str, object] = {}
+    for key, (field_name, conv) in _OVERLOAD_KEYS.items():
+        if key in pairs:
+            kwargs[field_name] = conv(pairs[key])
+    if not kwargs:
+        return None
+    if "seed" in pairs:
+        kwargs["seed"] = int(pairs["seed"])
+    policy = OverloadChaosPolicy(**kwargs)  # type: ignore[arg-type]
     return policy if policy.active else None
 
 

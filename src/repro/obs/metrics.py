@@ -95,6 +95,23 @@ class Gauge:
     def set(self, value: Number) -> None:
         self.value = value
 
+    def add(self, delta: Number) -> None:
+        """Atomic relative update (queue depths, in-flight counts).
+
+        Unlike :meth:`set`, concurrent adders must not lose updates —
+        the serving gate's queue-depth gauge is bumped from many
+        connection threads and decremented by the dispatcher.  Journal
+        ``C`` events carry the post-update level, so the depth shows up
+        as a counter track in Perfetto exports.
+        """
+        with self._lock:
+            self.value += delta
+            value = self.value
+        if self.name is not None:
+            j = journal.ACTIVE
+            if j is not None:
+                j.emit("C", self.name, value)
+
     def reset(self) -> None:
         self.value = 0
 

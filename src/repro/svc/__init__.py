@@ -23,8 +23,13 @@ process survives anything a job does:
   journals/metrics/spans ship back over the job boundary as size-capped
   blobs and merge into the host journal (per-worker Perfetto tracks),
   registry, and trace tree;
+* :mod:`~repro.svc.gate` — admission control: bounded pending queue
+  with explicit load shedding, per-tenant token-bucket quotas, a
+  server-side deadline ceiling with remaining-time propagation, health
+  snapshots, and graceful drain;
 * :mod:`~repro.svc.batch` / :mod:`~repro.svc.serve` — the engines of
-  ``fast batch`` and ``fast serve --stdin-jsonl``.
+  ``fast batch``, ``fast serve --stdin-jsonl``, and
+  ``fast serve --listen HOST:PORT`` (the socket JSONL front-end).
 
 Quick use::
 
@@ -44,8 +49,10 @@ from __future__ import annotations
 
 from .batch import BatchReport, build_specs, collect_program_paths, run_batch
 from .breaker import BreakerConfig, BreakerRegistry, CircuitBreaker
+from .gate import AdmissionGate, GateConfig, Shed, Ticket, TokenBucket
 from .job import (
     BudgetSpec,
+    InvalidBudget,
     JobFailure,
     JobResult,
     JobSpec,
@@ -54,31 +61,51 @@ from .job import (
 )
 from .pool import WorkerPool
 from .retry import RetryPolicy
-from .serve import serve_lines
+from .serve import (
+    RequestError,
+    RequestLimits,
+    SocketFrontEnd,
+    parse_line,
+    parse_request,
+    serve_lines,
+    serve_socket,
+)
 from .service import AnalysisService, ServiceConfig, chaos_from_env
 from .telemetry import ServeStats, TelemetryConfig, latency_summary
 
 __all__ = [
+    "AdmissionGate",
     "AnalysisService",
     "BatchReport",
     "BreakerConfig",
     "BreakerRegistry",
     "BudgetSpec",
     "CircuitBreaker",
+    "GateConfig",
+    "InvalidBudget",
     "JobFailure",
     "JobResult",
     "JobSpec",
     "KINDS",
+    "RequestError",
+    "RequestLimits",
     "RetryPolicy",
     "ServeStats",
     "ServiceConfig",
+    "Shed",
+    "SocketFrontEnd",
     "TelemetryConfig",
+    "Ticket",
+    "TokenBucket",
     "WorkerPool",
     "build_specs",
     "chaos_from_env",
     "collect_program_paths",
     "execute_job",
     "latency_summary",
+    "parse_line",
+    "parse_request",
     "run_batch",
     "serve_lines",
+    "serve_socket",
 ]

@@ -41,6 +41,17 @@ KINDS = ("run", "emptiness", "equivalence", "typecheck", "compose")
 PROVED, REFUTED, UNKNOWN, ERROR = "PROVED", "REFUTED", "UNKNOWN", "ERROR"
 
 
+class InvalidBudget(ValueError):
+    """A budget limit that cannot mean anything: wrong type, <= 0, NaN.
+
+    Raised at *parse* time (``fast serve`` request validation, batch
+    spec construction) so garbage limits are rejected with a clear
+    error line instead of failing deep inside :mod:`repro.guard` —
+    where a negative deadline would silently mean "already exhausted"
+    and a string one would crash an arithmetic comparison mid-analysis.
+    """
+
+
 @dataclass(frozen=True)
 class BudgetSpec:
     """The picklable limits of a :class:`~repro.guard.Budget`.
@@ -52,6 +63,38 @@ class BudgetSpec:
     deadline: Optional[float] = None
     max_solver_queries: Optional[int] = None
     max_steps: Optional[int] = None
+
+    def validated(self) -> "BudgetSpec":
+        """This spec, after rejecting limits that cannot be meant.
+
+        Every limit must be a positive finite number (bools are *not*
+        numbers here — ``{"deadline": true}`` is a client bug, not a
+        1-second budget), and the query/step caps must be integral.
+        Raises :class:`InvalidBudget` naming the offending field.
+        """
+        for name, value, integral in (
+            ("deadline", self.deadline, False),
+            ("max_solver_queries", self.max_solver_queries, True),
+            ("max_steps", self.max_steps, True),
+        ):
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise InvalidBudget(
+                    f"budget.{name} must be a number, "
+                    f"got {type(value).__name__}"
+                )
+            if value != value or value in (float("inf"), float("-inf")):
+                raise InvalidBudget(f"budget.{name} must be finite")
+            if value <= 0:
+                raise InvalidBudget(
+                    f"budget.{name} must be > 0, got {value!r}"
+                )
+            if integral and isinstance(value, float) and not value.is_integer():
+                raise InvalidBudget(
+                    f"budget.{name} must be an integer, got {value!r}"
+                )
+        return self
 
     def to_budget(self) -> Optional[Budget]:
         if (

@@ -157,6 +157,7 @@ class WorkerPool:
         kill_timeout: float = 300.0,
         kill_grace: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
+        on_result: Optional[Callable[[JobResult], None]] = None,
     ) -> list[JobResult]:
         """Run every job to a result; never raises for job-level trouble.
 
@@ -165,6 +166,13 @@ class WorkerPool:
         the attempt is killed at ``deadline + kill_grace`` — the worker
         gets a chance to abort cleanly (UNKNOWN with a snapshot) before
         the supervisor shoots it.
+
+        ``on_result`` streams each finalized result *as it decides*,
+        before slower batch-mates finish — the serving front-end uses
+        it to put responses on the wire immediately instead of holding
+        a whole micro-batch hostage to its slowest member.  Exceptions
+        it raises are swallowed (a broken reply sink must not take the
+        supervisor loop down with it).
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -225,6 +233,11 @@ class WorkerPool:
                 ) as sp:
                     pass
                 svc_telemetry.graft_spans(sp, blob)
+            if on_result is not None:
+                try:
+                    on_result(result)
+                except Exception:
+                    pass
 
         def fail_attempt(job_id: str, failure: JobFailure) -> None:
             """Route one failed attempt: retry, or finalize UNKNOWN."""

@@ -1,62 +1,206 @@
-"""``fast serve --stdin-jsonl``: a line-oriented job loop.
+"""``fast serve``: JSONL serving front-ends (stdin loop and socket).
 
 The minimal serving surface: one JSON object per input line describes a
-job, one JSON object per output line reports its result.  Request
+request, one JSON object per output line reports its outcome.  Request
 shape::
 
     {"id": "req-1", "kind": "run", "source": "...fast program text..."}
     {"id": "req-2", "kind": "emptiness", "file": "prog.fast",
+     "tenant": "team-a",
      "args": {"lang": "noTags"},
      "budget": {"deadline": 2.0, "max_solver_queries": 100000}}
+    {"id": "probe", "kind": "health"}
 
-``source`` carries program text inline; ``file`` reads it server-side.
-Responses are ``JobResult.to_dict()`` payloads; malformed requests get
-``{"id": ..., "error": ...}`` lines (the loop itself never dies on bad
-input — it is the same posture the worker pool takes toward bad jobs).
+``source`` carries program text inline (capped at
+``RequestLimits.max_source_bytes``); ``file`` reads it server-side,
+confined to ``RequestLimits.root`` — absolute paths and ``..`` escapes
+are rejected with an ``error`` line, because a serving endpoint that
+will read any path a client names is an arbitrary-file-read oracle.
 
-The service — pool, breakers, warm workers — persists across lines, so
-a poisonous request kind trips its breaker for subsequent requests
+Responses are :meth:`~repro.svc.job.JobResult.to_dict` payloads (plus
+an ``id`` echo), shed notices (``{"id": ..., "shed": true, "reason":
+..., "retry_after": ...}``), health snapshots, or ``{"id": ...,
+"error": ...}`` lines for malformed requests.  The loop itself never
+dies on bad input — the same posture the worker pool takes toward bad
+jobs.
+
+Both front-ends put every request through the same
+:class:`~repro.svc.gate.AdmissionGate`:
+
+* :func:`serve_lines` — the ``--stdin-jsonl`` loop: synchronous, one
+  request at a time, so its queue never builds, but deadline clamping,
+  tenant quotas, and the ``health`` kind behave identically to the
+  socket path.  Stdin EOF is the drain signal.
+
+* :class:`SocketFrontEnd` — ``--listen HOST:PORT``: one reader thread
+  per connection feeding a bounded pending queue, one dispatcher
+  thread owning the (single-threaded) supervisor pool.  Admission and
+  shedding happen on the connection thread — a shed request is
+  answered in microseconds however deep the backlog — and responses
+  stream back as each job decides.  SIGTERM initiates graceful drain:
+  stop admitting, finish what was admitted (up to the gate's drain
+  timeout), close the pool, exit 0.
+
+The service — pool, breakers, warm workers — persists across requests,
+so a poisonous request kind trips its breaker for subsequent requests
 exactly as it would in a long-running deployment.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import errno
 import json
+import os
+import queue
+import socket
 import sys
+import threading
 import time
-from typing import IO, Any, Iterator, Optional
+from dataclasses import dataclass
+from typing import IO, Any, Callable, Iterator, Optional
 
+from ..obs import metrics as obs_metrics
+from .gate import AdmissionGate, GateConfig, SHED_DRAINING, Shed, Ticket
 from .job import KINDS, BudgetSpec, JobSpec
 from .service import AnalysisService, ServiceConfig
 from .telemetry import ServeStats
 
+_OBS_CLIENT_GONE = obs_metrics.counter("svc.serve.client_gone")
+_OBS_BAD_REQUESTS = obs_metrics.counter("svc.serve.bad_requests")
 
-def parse_request(line: str, default_id: str) -> JobSpec:
-    """One JSONL request line -> a JobSpec (raises ValueError on junk)."""
+#: Budget keys a request may carry; anything else is a client error.
+_BUDGET_KEYS = ("deadline", "max_solver_queries", "max_steps")
+
+
+@dataclass(frozen=True)
+class RequestLimits:
+    """What a request may ask of the server's filesystem and memory.
+
+    * ``root`` — directory ``file`` requests are confined to; ``None``
+      rejects file requests outright (inline ``source`` only), which is
+      the right default for a network-facing endpoint.
+    * ``max_source_bytes`` — cap on inline source *and* on the size of
+      a file read server-side; a 2 GB "program" is a memory attack,
+      not a job.
+    """
+
+    root: Optional[str] = None
+    max_source_bytes: int = 1 << 20
+
+    @classmethod
+    def local(cls) -> "RequestLimits":
+        """The stdin-loop default: files confined to the cwd."""
+        return cls(root=os.getcwd())
+
+
+@dataclass
+class Request:
+    """One parsed request line: a health probe or a job + tenant."""
+
+    client_id: str
+    health: bool = False
+    spec: Optional[JobSpec] = None
+    tenant: str = "default"
+
+
+class RequestError(ValueError):
+    """A rejected request that still identified itself.
+
+    Carries the client's ``id`` so the error line correlates with the
+    request that caused it even though no job was built.
+    """
+
+    def __init__(self, message: str, client_id: str) -> None:
+        super().__init__(message)
+        self.client_id = client_id
+
+
+def _load_doc(line: str) -> dict[str, Any]:
     try:
         doc = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ValueError(f"bad JSON: {exc}") from exc
     if not isinstance(doc, dict):
         raise ValueError("request must be a JSON object")
+    return doc
+
+
+def _confined_read(path: str, limits: RequestLimits) -> str:
+    """Read a server-side file within the limits, or raise ValueError."""
+    if limits.root is None:
+        raise ValueError(
+            "'file' requests are disabled on this endpoint (no serve "
+            "root configured); send inline 'source' instead"
+        )
+    if not isinstance(path, str) or not path:
+        raise ValueError("'file' must be a non-empty string")
+    if os.path.isabs(path):
+        raise ValueError(
+            f"'file' must be relative to the serve root, got absolute "
+            f"path {path!r}"
+        )
+    root = os.path.realpath(limits.root)
+    resolved = os.path.realpath(os.path.join(root, path))
+    if resolved != root and not resolved.startswith(root + os.sep):
+        raise ValueError(f"'file' escapes the serve root: {path!r}")
+    try:
+        size = os.path.getsize(resolved)
+    except OSError as exc:
+        raise ValueError(f"cannot read 'file' {path!r}: {exc}") from exc
+    if size > limits.max_source_bytes:
+        raise ValueError(
+            f"'file' {path!r} is {size} bytes; the limit is "
+            f"{limits.max_source_bytes}"
+        )
+    with open(resolved, encoding="utf-8") as f:
+        return f.read()
+
+
+def _budget_from_doc(doc: dict[str, Any]) -> Optional[BudgetSpec]:
+    raw = doc.get("budget")
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ValueError("'budget' must be an object")
+    unknown = sorted(set(raw) - set(_BUDGET_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown budget field(s) {unknown} "
+            f"(expected one of {list(_BUDGET_KEYS)})"
+        )
+    return BudgetSpec(
+        deadline=raw.get("deadline"),
+        max_solver_queries=raw.get("max_solver_queries"),
+        max_steps=raw.get("max_steps"),
+    ).validated()
+
+
+def _spec_from_doc(
+    doc: dict[str, Any], default_id: str, limits: Optional[RequestLimits]
+) -> JobSpec:
     kind = doc.get("kind", "run")
     if kind not in KINDS:
         raise ValueError(f"unknown kind {kind!r} (expected one of {KINDS})")
     if "source" in doc:
         source = doc["source"]
+        if not isinstance(source, str):
+            raise ValueError("'source' must be a string")
+        if limits is not None:
+            size = len(source.encode("utf-8"))
+            if size > limits.max_source_bytes:
+                raise ValueError(
+                    f"inline 'source' is {size} bytes; the limit is "
+                    f"{limits.max_source_bytes}"
+                )
     elif "file" in doc:
-        with open(doc["file"]) as f:
-            source = f.read()
+        if limits is not None:
+            source = _confined_read(doc["file"], limits)
+        else:
+            with open(doc["file"]) as f:
+                source = f.read()
     else:
         raise ValueError("request needs 'source' or 'file'")
-    budget: Optional[BudgetSpec] = None
-    if isinstance(doc.get("budget"), dict):
-        b = doc["budget"]
-        budget = BudgetSpec(
-            deadline=b.get("deadline"),
-            max_solver_queries=b.get("max_solver_queries"),
-            max_steps=b.get("max_steps"),
-        )
     args = doc.get("args") or {}
     if not isinstance(args, dict):
         raise ValueError("'args' must be an object")
@@ -65,8 +209,36 @@ def parse_request(line: str, default_id: str) -> JobSpec:
         kind=kind,
         source=source,
         args=tuple(sorted((str(k), str(v)) for k, v in args.items())),
-        budget=budget,
+        budget=_budget_from_doc(doc),
     )
+
+
+def parse_request(
+    line: str, default_id: str, limits: Optional[RequestLimits] = None
+) -> JobSpec:
+    """One JSONL request line -> a JobSpec (raises ValueError on junk)."""
+    return _spec_from_doc(_load_doc(line), default_id, limits)
+
+
+def parse_line(
+    line: str, default_id: str, limits: Optional[RequestLimits] = None
+) -> Request:
+    """One JSONL line -> a :class:`Request` (health probe or job)."""
+    doc = _load_doc(line)
+    client_id = str(doc.get("id", default_id))
+    if doc.get("kind") == "health":
+        return Request(client_id, health=True)
+    try:
+        tenant = doc.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ValueError("'tenant' must be a non-empty string")
+        spec = _spec_from_doc(doc, default_id, limits)
+    except (ValueError, OSError) as exc:
+        raise RequestError(str(exc), client_id) from exc
+    return Request(client_id, spec=spec, tenant=tenant)
+
+
+# -- the stdin-JSONL loop ----------------------------------------------------
 
 
 def serve_lines(
@@ -74,12 +246,26 @@ def serve_lines(
     out: IO[str],
     config: Optional[ServiceConfig] = None,
     *,
+    gate_config: Optional[GateConfig] = None,
+    limits: Optional[RequestLimits] = None,
     stats: bool = False,
     stats_interval: float = 0.0,
     err: Optional[IO[str]] = None,
+    stop: Optional[threading.Event] = None,
     clock=time.monotonic,
 ) -> int:
     """Serve until the input ends; returns the number of jobs served.
+
+    Every request passes through an :class:`AdmissionGate` (quota and
+    deadline semantics identical to the socket front-end; the queue
+    bound is moot because this loop is synchronous).  ``stop`` — when
+    given — drains the loop from outside (the CLI sets it on SIGTERM):
+    the current job finishes, no further line is admitted.
+
+    A vanished client (``BrokenPipeError``/``EPIPE`` on ``out``) ends
+    the loop cleanly with the jobs-served count instead of a traceback:
+    dying because the consumer left is the one failure mode a serving
+    loop must not have.
 
     With ``stats_interval > 0`` a rolling ``[svc] ... jobs/s ... p95=...``
     line goes to ``err`` (default stderr) at most every that many
@@ -89,19 +275,54 @@ def serve_lines(
     """
     served = 0
     err = err if err is not None else sys.stderr
+    config = config or ServiceConfig()
+    gate = AdmissionGate(
+        gate_config or GateConfig(workers=config.jobs), clock=clock
+    )
     tracker = ServeStats(clock=clock) if (stats or stats_interval > 0) else None
     with AnalysisService(config) as svc:
         for index, line in enumerate(lines):
+            if stop is not None and stop.is_set():
+                gate.start_drain()
+                break
             line = line.strip()
             if not line:
                 continue
+            default_id = f"line-{index + 1}"
             try:
-                spec = parse_request(line, default_id=f"line-{index + 1}")
+                request = parse_line(line, default_id, limits)
             except (ValueError, OSError) as exc:
-                _emit(out, {"id": f"line-{index + 1}", "error": str(exc)})
+                _OBS_BAD_REQUESTS.inc()
+                error_id = getattr(exc, "client_id", default_id)
+                if not _emit(out, {"id": error_id, "error": str(exc)}):
+                    break
                 continue
-            result = svc.run_job(spec)
-            _emit(out, result.to_dict())
+            if request.health:
+                health = gate.health(svc.breakers, workers=config.jobs)
+                health["id"] = request.client_id
+                if not _emit(out, health):
+                    break
+                continue
+            decision = gate.admit(request.spec, request.tenant)
+            if isinstance(decision, Shed):
+                if tracker is not None:
+                    tracker.record_shed(decision.reason)
+                if not _emit(out, decision.response(request.client_id)):
+                    break
+                continue
+            released = gate.release(decision)
+            if isinstance(released, Shed):
+                if tracker is not None:
+                    tracker.record_shed(released.reason)
+                if not _emit(out, released.response(request.client_id)):
+                    break
+                continue
+            result = svc.run_job(released)
+            gate.note_served(result.duration)
+            doc = result.to_dict()
+            doc["id"] = request.client_id
+            if not _emit(out, doc):
+                break
             served += 1
             if tracker is not None:
                 tracker.record(result)
@@ -114,7 +335,348 @@ def serve_lines(
     return served
 
 
-def _emit(out: IO[str], doc: dict[str, Any]) -> None:
-    out.write(json.dumps(doc))
-    out.write("\n")
-    out.flush()
+def _emit(out: IO[str], doc: dict[str, Any]) -> bool:
+    """Write one response line; False when the client is gone (EPIPE)."""
+    try:
+        out.write(json.dumps(doc))
+        out.write("\n")
+        out.flush()
+        return True
+    except BrokenPipeError:
+        _OBS_CLIENT_GONE.inc()
+        return False
+    except OSError as exc:
+        if exc.errno in (errno.EPIPE, errno.ESHUTDOWN):
+            _OBS_CLIENT_GONE.inc()
+            return False
+        raise
+
+
+# -- the socket front-end ----------------------------------------------------
+
+
+class SocketFrontEnd:
+    """``fast serve --listen``: a threaded JSONL-over-TCP endpoint.
+
+    Threading model (chosen so the single-threaded supervisor stays
+    single-threaded):
+
+    * an **accept thread** hands each connection to a reader thread;
+    * **reader threads** parse lines and run the gate — health probes,
+      parse errors, and shed decisions are answered right here, without
+      the dispatcher, which is what keeps shed latency flat under any
+      backlog; admitted tickets go onto the pending queue (bounded by
+      the gate, so the queue object itself never grows past
+      ``max_queue``);
+    * one **dispatcher thread** owns the :class:`AnalysisService`: it
+      pulls micro-batches of up to ``jobs`` tickets, re-checks each
+      ticket's remaining deadline (queue time burned the budget; an
+      expired ticket sheds without dispatch), and streams each result
+      to its connection's writer as the pool finalizes it.
+
+    Responses carry the client's ``id``; internally every dispatched
+    job gets a unique sequence id so clients reusing ids (or two
+    clients picking the same id) cannot collide inside a pool batch.
+
+    Drain (:meth:`initiate_drain`, wired to SIGTERM by the CLI): the
+    listener closes, the gate sheds new requests with ``reason:
+    "draining"``, the dispatcher finishes the queue up to
+    ``drain_timeout``, any leftovers are shed, the pool closes, and
+    :meth:`wait` returns.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServiceConfig] = None,
+        gate_config: Optional[GateConfig] = None,
+        limits: Optional[RequestLimits] = None,
+        stats_interval: float = 0.0,
+        err: Optional[IO[str]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.gate = AdmissionGate(
+            gate_config or GateConfig(workers=self.config.jobs), clock=clock
+        )
+        self.limits = limits if limits is not None else RequestLimits()
+        self.clock = clock
+        self.stats_interval = stats_interval
+        self.err = err if err is not None else sys.stderr
+        self.tracker = ServeStats(clock=clock)
+        self.served = 0
+        self._queue: "queue.Queue[Ticket]" = queue.Queue()
+        self._listener = socket.create_server(
+            (host, port), reuse_port=False
+        )
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._draining = threading.Event()
+        self._done = threading.Event()
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SocketFrontEnd":
+        for target, name in (
+            (self._accept_loop, "serve-accept"),
+            (self._dispatch_loop, "serve-dispatch"),
+        ):
+            t = threading.Thread(target=target, name=name, daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def initiate_drain(self) -> None:
+        """Stop admitting; finish admitted work; then shut down."""
+        if self._draining.is_set():
+            return
+        self.gate.start_drain()
+        self._draining.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until drain completes; True when fully shut down."""
+        return self._done.wait(timeout)
+
+    def close(self) -> None:
+        """Hard stop: drain, wait briefly, close every connection."""
+        self.initiate_drain()
+        self._done.wait(self.gate.config.drain_timeout + 5.0)
+        with self._conns_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SocketFrontEnd":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- accept + connection readers ---------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._draining.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed: drain started
+            with self._conns_lock:
+                self._conns.add(conn)
+            t = threading.Thread(
+                target=self._read_loop, args=(conn,), daemon=True
+            )
+            t.start()
+
+    def _read_loop(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+        gone = threading.Event()
+
+        def reply(doc: dict[str, Any]) -> None:
+            if gone.is_set():
+                return
+            data = (json.dumps(doc) + "\n").encode("utf-8")
+            with write_lock:
+                try:
+                    conn.sendall(data)
+                except OSError:
+                    gone.set()
+                    _OBS_CLIENT_GONE.inc()
+
+        reader = conn.makefile("r", encoding="utf-8", errors="replace")
+        index = 0
+        try:
+            for line in reader:
+                index += 1
+                line = line.strip()
+                if not line:
+                    continue
+                self._handle_line(line, f"conn-{index}", reply)
+        except (OSError, ValueError):
+            pass  # connection torn down mid-read
+        finally:
+            try:
+                reader.close()
+            except OSError:
+                pass
+            # The socket itself stays open until drain/close: in-flight
+            # jobs admitted from this connection may still reply on the
+            # write half after the client half-closes its read side.
+
+    def _handle_line(
+        self,
+        line: str,
+        default_id: str,
+        reply: Callable[[dict[str, Any]], None],
+    ) -> None:
+        try:
+            request = parse_line(line, default_id, self.limits)
+        except (ValueError, OSError) as exc:
+            _OBS_BAD_REQUESTS.inc()
+            reply({"id": getattr(exc, "client_id", default_id),
+                   "error": str(exc)})
+            return
+        if request.health:
+            svc = getattr(self, "_svc", None)
+            health = self.gate.health(
+                svc.breakers if svc is not None else None,
+                workers=self.config.jobs,
+            )
+            health["id"] = request.client_id
+            reply(health)
+            return
+        decision = self.gate.admit(request.spec, request.tenant)
+        if isinstance(decision, Shed):
+            self.tracker.record_shed(decision.reason)
+            reply(decision.response(request.client_id))
+            return
+        decision.reply = reply
+        self._queue.put(decision)
+
+    # -- the dispatcher ----------------------------------------------------
+
+    def _next_internal_id(self) -> str:
+        with self._seq_lock:
+            self._seq += 1
+            return f"g{self._seq}"
+
+    def _gather(self, max_batch: int) -> list[Ticket]:
+        """Up to ``max_batch`` tickets; blocks briefly for the first."""
+        batch: list[Ticket] = []
+        try:
+            batch.append(self._queue.get(timeout=0.05))
+        except queue.Empty:
+            return batch
+        while len(batch) < max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        drain_deadline: Optional[float] = None
+        try:
+            with AnalysisService(self.config) as svc:
+                self._svc = svc
+                while True:
+                    if self._draining.is_set():
+                        if drain_deadline is None:
+                            drain_deadline = (
+                                self.clock() + self.gate.config.drain_timeout
+                            )
+                        if self.clock() >= drain_deadline:
+                            break
+                        if self._queue.empty() and self.gate.inflight == 0:
+                            break
+                    batch = self._gather(max(1, self.config.jobs))
+                    if not batch:
+                        continue
+                    self._dispatch_batch(svc, batch)
+        finally:
+            # Anything still queued when the drain deadline hit gets a
+            # well-formed shed response — never silence.
+            while True:
+                try:
+                    ticket = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                shed = self.gate.drain_shed(ticket)
+                if ticket.reply is not None:
+                    ticket.reply(shed.response(ticket.client_id))
+            self._done.set()
+
+    def _dispatch_batch(
+        self, svc: AnalysisService, batch: list[Ticket]
+    ) -> None:
+        specs: list[JobSpec] = []
+        tickets: dict[str, Ticket] = {}
+        for ticket in batch:
+            released = self.gate.release(ticket)
+            if isinstance(released, Shed):
+                self.tracker.record_shed(released.reason)
+                if ticket.reply is not None:
+                    ticket.reply(released.response(ticket.client_id))
+                continue
+            internal = self._next_internal_id()
+            specs.append(dataclasses.replace(released, job_id=internal))
+            tickets[internal] = ticket
+        if not specs:
+            return
+        started = self.clock()
+
+        def deliver(result) -> None:
+            ticket = tickets.get(result.job_id)
+            if ticket is None:
+                return
+            doc = result.to_dict()
+            doc["job_id"] = ticket.client_id
+            doc["id"] = ticket.client_id
+            if ticket.reply is not None:
+                ticket.reply(doc)
+            self.gate.note_served(
+                result.duration or (self.clock() - started)
+            )
+            self.served += 1
+            self.tracker.record(result)
+
+        svc.run_jobs(specs, on_result=deliver)
+        if self.tracker.due(self.stats_interval):
+            print(self.tracker.line(svc.breakers), file=self.err)
+            self.err.flush()
+
+
+def serve_socket(
+    host: str,
+    port: int,
+    config: Optional[ServiceConfig] = None,
+    *,
+    gate_config: Optional[GateConfig] = None,
+    limits: Optional[RequestLimits] = None,
+    stats: bool = False,
+    stats_interval: float = 0.0,
+    err: Optional[IO[str]] = None,
+    ready: Optional[Callable[["SocketFrontEnd"], None]] = None,
+) -> int:
+    """Run a :class:`SocketFrontEnd` until drained; returns jobs served.
+
+    ``ready`` is called with the live front-end once it is listening
+    (the CLI uses it to print the bound address and install SIGTERM).
+    """
+    front = SocketFrontEnd(
+        host,
+        port,
+        config,
+        gate_config,
+        limits,
+        stats_interval=stats_interval,
+        err=err,
+    )
+    front.start()
+    if ready is not None:
+        ready(front)
+    try:
+        while not front.wait(timeout=0.2):
+            pass
+    finally:
+        front.close()
+    if stats:
+        stream = err if err is not None else sys.stderr
+        svc = getattr(front, "_svc", None)
+        print(
+            front.tracker.summary(svc.breakers if svc else None), file=stream
+        )
+        stream.flush()
+    return front.served

@@ -109,18 +109,28 @@ class AnalysisService:
 
     # -- submission --------------------------------------------------------
 
-    def run_jobs(self, specs: list[JobSpec]) -> list[JobResult]:
-        """Run a batch with per-job isolation; results in input order."""
+    def run_jobs(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        """Run a batch with per-job isolation; results in input order.
+
+        ``on_result`` (optional) receives each finalized
+        :class:`JobResult` as it decides — see
+        :meth:`~repro.svc.pool.WorkerPool.run_jobs`.
+        """
         return self.pool.run_jobs(
             specs,
             retry=self.config.retry,
             breakers=self.breakers,
             kill_timeout=self.config.kill_timeout,
             kill_grace=self.config.kill_grace,
+            on_result=on_result,
         )
 
     def run_job(self, spec: JobSpec) -> JobResult:
         return self.run_jobs([spec])[0]
+
+    def breaker_states(self) -> dict[str, str]:
+        """Per-kind circuit-breaker states (for health reporting)."""
+        return {k: b.state for k, b in self.breakers.breakers.items()}
 
     @staticmethod
     def verdict_of(result: JobResult) -> Verdict:

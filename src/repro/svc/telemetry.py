@@ -431,6 +431,13 @@ class ServeStats:
         self.total_jobs = 0
         self.hists: dict[str, Histogram] = {}
         self.retries: dict[str, int] = {}
+        self.shed: dict[str, int] = {}
+        self.shed_total = 0
+
+    def record_shed(self, reason: str) -> None:
+        """One request shed by the admission gate (never dispatched)."""
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        self.shed_total += 1
 
     def record(self, result: JobResult) -> None:
         self.total_jobs += 1
@@ -450,6 +457,8 @@ class ServeStats:
         """One rolling stats line; resets the throughput window."""
         elapsed = max(self.clock() - self.window_started, 1e-9)
         parts = [f"{self.window_jobs / elapsed:.1f} jobs/s"]
+        if self.shed_total:
+            parts.append(f"shed={self.shed_total}")
         for kind in sorted(self.hists):
             h = self.hists[kind]
             parts.append(f"{kind} n={h.count} {format_quantiles(h)}")
@@ -493,6 +502,12 @@ class ServeStats:
             f"{self.total_jobs} jobs in {elapsed:.1f}s "
             f"({self.total_jobs / elapsed:.1f} jobs/s)"
         )
+        if self.shed_total:
+            breakdown = " ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.shed.items())
+            )
+            lines.append(f"shed: {self.shed_total} ({breakdown})")
         states = _breaker_states(breakers)
         if states:
             lines.append(

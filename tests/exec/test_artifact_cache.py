@@ -31,6 +31,7 @@ COUNTERS = (
     "exec.cache.hit",
     "exec.cache.miss",
     "exec.cache.store",
+    "exec.cache.disk_errors",
     "exec.artifact.builds",
     "fast.parse",
 )
@@ -106,6 +107,88 @@ class TestLayers:
         assert delta(before, "exec.cache.hit") == 0
         cached_artifact(EASY)
         assert delta(before, "exec.cache.hit") == 1
+
+
+class TestIntegrity:
+    """Disk corruption degrades to a counted miss — never a wrong program.
+
+    Every disk entry is a checksummed envelope; these tests vandalize
+    the stored bytes in the ways real disks do (truncation, bit flips)
+    and check the cache fails closed: recompile, count the incident
+    under ``exec.cache.disk_errors``, drop the bad entry.
+    """
+
+    def _entry_path(self):
+        return os.path.join(cache_dir(), f"{cache_key(EASY)}.json")
+
+    def _vandalize(self, mutate):
+        """Warm the disk entry, clear memory, and corrupt the file."""
+        cached_artifact(EASY)
+        DEFAULT_CACHE.clear()
+        path = self._entry_path()
+        with open(path, "rb") as f:
+            blob = f.read()
+        with open(path, "wb") as f:
+            f.write(mutate(blob))
+        return path
+
+    def test_truncated_entry_is_counted_miss(self):
+        path = self._vandalize(lambda blob: blob[: len(blob) // 2])
+        before = counts()
+        artifact = cached_artifact(EASY)
+        report = run_artifact(artifact)
+        assert report.ok
+        assert delta(before, "exec.cache.miss") == 1
+        assert delta(before, "exec.cache.disk_errors") == 1
+        assert delta(before, "exec.artifact.builds") == 1
+
+    def test_bit_flip_inside_payload_is_detected(self):
+        # Flip one bit deep inside the payload: still valid-enough JSON
+        # structure in many positions, but the checksum always catches
+        # it — a silently-altered artifact must never be revived.
+        def flip(blob):
+            i = (3 * len(blob)) // 4
+            return blob[:i] + bytes([blob[i] ^ 0x01]) + blob[i + 1 :]
+
+        self._vandalize(flip)
+        before = counts()
+        artifact = cached_artifact(EASY)
+        assert run_artifact(artifact).ok
+        assert delta(before, "exec.cache.hit") == 0
+        assert delta(before, "exec.cache.disk_errors") == 1
+        assert delta(before, "exec.artifact.builds") == 1
+
+    def test_unenveloped_legacy_entry_is_dropped(self):
+        # A pre-envelope cache file (raw payload, no checksum) is
+        # treated as corrupt: dropped, counted, recompiled.
+        import json
+
+        cached_artifact(EASY)
+        path = self._entry_path()
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)["payload"]
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        DEFAULT_CACHE.clear()
+        before = counts()
+        assert run_artifact(cached_artifact(EASY)).ok
+        assert delta(before, "exec.cache.disk_errors") == 1
+
+    def test_corrupt_entry_is_unlinked_and_rewritten(self):
+        path = self._vandalize(lambda blob: b"\x00" + blob)
+        before = counts()
+        cached_artifact(EASY)
+        # The bad entry was replaced by a fresh, loadable envelope.
+        DEFAULT_CACHE.clear()
+        assert cached_artifact(EASY) is not None
+        assert delta(before, "exec.cache.disk_errors") == 1
+        assert delta(before, "exec.cache.store") == 1
+
+    def test_missing_file_is_a_plain_miss_not_a_disk_error(self):
+        before = counts()
+        cached_artifact(EASY)  # no disk entry yet: plain miss
+        assert delta(before, "exec.cache.miss") == 1
+        assert delta(before, "exec.cache.disk_errors") == 0
 
 
 class TestBypasses:

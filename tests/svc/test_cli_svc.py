@@ -161,6 +161,68 @@ class TestServeCommand:
         assert doc["outcome"] == "PROVED"
         assert "served 1 jobs" in captured.err
 
+    def test_listen_wants_host_port(self, capsys):
+        assert main(["serve", "--listen", "nonsense"]) == EXIT_ERROR
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_listen_serves_and_drains_on_sigterm(self, tmp_path):
+        """The full deployment story: spawn the CLI, serve over TCP,
+        SIGTERM, graceful drain, exit 0."""
+        import os
+        import re
+        import signal
+        import socket
+        import subprocess
+        import sys as sys_mod
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        proc = subprocess.Popen(
+            [
+                sys_mod.executable,
+                "-m",
+                "repro.fast.cli",
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--jobs",
+                "1",
+                "--drain-timeout",
+                "15",
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+            assert match, f"no listen banner: {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            with socket.create_connection((host, port), timeout=30) as conn:
+                wire = conn.makefile("rw", encoding="utf-8", newline="\n")
+                wire.write(
+                    json.dumps(
+                        {"id": "r1", "kind": "run", "source": PASSING}
+                    )
+                    + "\n"
+                )
+                wire.flush()
+                reply = json.loads(wire.readline())
+                assert reply["id"] == "r1"
+                assert reply["outcome"] == "PROVED"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == EXIT_OK
+            assert "drained; served 1 jobs" in proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
     def test_stats_flag_prints_summary(self, monkeypatch, capsys):
         request = json.dumps(
             {"id": "r1", "kind": "run", "source": PASSING}

@@ -4,11 +4,19 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 
 import pytest
 
 from repro.svc import ServiceConfig
-from repro.svc.serve import parse_request, serve_lines
+from repro.svc.job import InvalidBudget
+from repro.svc.serve import (
+    RequestError,
+    RequestLimits,
+    parse_line,
+    parse_request,
+    serve_lines,
+)
 
 PASSING = """\
 type BT[v : Int]{L(0), N(2)}
@@ -64,6 +72,232 @@ class TestParseRequest:
             parse_request(line, "d")
 
 
+class TestPathConfinement:
+    """``file`` requests are confined to the serve root — a serving
+    endpoint that reads any path a client names is an arbitrary-file-
+    read oracle."""
+
+    def test_relative_file_under_root_is_read(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "p.fast").write_text(PASSING)
+        limits = RequestLimits(root=str(tmp_path))
+        spec = parse_request(
+            json.dumps({"file": "sub/p.fast"}), "d", limits
+        )
+        assert spec.source == PASSING
+
+    def test_absolute_path_is_rejected(self, tmp_path):
+        target = tmp_path / "p.fast"
+        target.write_text(PASSING)
+        limits = RequestLimits(root=str(tmp_path))
+        with pytest.raises(ValueError, match="absolute"):
+            parse_request(json.dumps({"file": str(target)}), "d", limits)
+
+    def test_dotdot_escape_is_rejected(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (tmp_path / "secret.fast").write_text("leak")
+        limits = RequestLimits(root=str(root))
+        with pytest.raises(ValueError, match="escapes the serve root"):
+            parse_request(
+                json.dumps({"file": "../secret.fast"}), "d", limits
+            )
+
+    def test_symlink_escape_is_rejected(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (tmp_path / "secret.fast").write_text("leak")
+        (root / "link.fast").symlink_to(tmp_path / "secret.fast")
+        limits = RequestLimits(root=str(root))
+        with pytest.raises(ValueError, match="escapes the serve root"):
+            parse_request(
+                json.dumps({"file": "link.fast"}), "d", limits
+            )
+
+    def test_no_root_disables_file_requests(self, tmp_path):
+        (tmp_path / "p.fast").write_text(PASSING)
+        limits = RequestLimits(root=None)
+        with pytest.raises(ValueError, match="disabled"):
+            parse_request(json.dumps({"file": "p.fast"}), "d", limits)
+
+    def test_oversized_inline_source_is_rejected(self):
+        limits = RequestLimits(max_source_bytes=16)
+        with pytest.raises(ValueError, match="limit is 16"):
+            parse_request(
+                json.dumps({"source": "x" * 64}), "d", limits
+            )
+
+    def test_oversized_file_is_rejected_before_reading(self, tmp_path):
+        (tmp_path / "big.fast").write_text("x" * 64)
+        limits = RequestLimits(root=str(tmp_path), max_source_bytes=16)
+        with pytest.raises(ValueError, match="limit is 16"):
+            parse_request(json.dumps({"file": "big.fast"}), "d", limits)
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        limits = RequestLimits(root=str(tmp_path))
+        with pytest.raises(ValueError, match="cannot read"):
+            parse_request(json.dumps({"file": "nope.fast"}), "d", limits)
+
+    def test_legacy_no_limits_still_reads_files(self, tmp_path):
+        # parse_request without limits keeps its historical behaviour
+        # (trusted local callers: fast batch, the test suite itself).
+        p = tmp_path / "p.fast"
+        p.write_text(PASSING)
+        spec = parse_request(json.dumps({"file": str(p)}), "d")
+        assert spec.source == PASSING
+
+
+class TestBudgetValidation:
+    """Budget fields are validated at parse time with a typed error —
+    garbage must bounce at the door, not explode inside a worker."""
+
+    @pytest.mark.parametrize(
+        "budget, match",
+        [
+            ({"deadline": -1}, "deadline"),
+            ({"deadline": 0}, "deadline"),
+            ({"deadline": "soon"}, "deadline"),
+            ({"deadline": float("nan")}, "deadline"),
+            ({"deadline": True}, "deadline"),
+            ({"max_steps": -5}, "max_steps"),
+            ({"max_steps": 2.5}, "max_steps"),
+            ({"max_solver_queries": 0}, "max_solver_queries"),
+            ({"max_solver_queries": "many"}, "max_solver_queries"),
+        ],
+    )
+    def test_bad_budget_raises_invalid_budget(self, budget, match):
+        line = json.dumps({"source": "x", "budget": budget})
+        with pytest.raises(InvalidBudget, match=match):
+            parse_request(line, "d")
+
+    def test_unknown_budget_key_is_rejected(self):
+        line = json.dumps({"source": "x", "budget": {"deadlnie": 2.0}})
+        with pytest.raises(ValueError, match="deadlnie"):
+            parse_request(line, "d")
+
+    def test_valid_budget_passes(self):
+        line = json.dumps(
+            {
+                "source": "x",
+                "budget": {
+                    "deadline": 1.5,
+                    "max_steps": 100,
+                    "max_solver_queries": 10,
+                },
+            }
+        )
+        spec = parse_request(line, "d")
+        assert spec.budget.deadline == 1.5
+
+    def test_invalid_budget_is_a_value_error(self):
+        # Typed, but still catchable by the generic request handler.
+        assert issubclass(InvalidBudget, ValueError)
+
+
+class TestParseLine:
+    def test_health_probe(self):
+        req = parse_line(json.dumps({"id": "h1", "kind": "health"}), "d")
+        assert req.health and req.client_id == "h1" and req.spec is None
+
+    def test_tenant_extraction(self):
+        req = parse_line(
+            json.dumps({"source": "x", "tenant": "team-a"}), "d"
+        )
+        assert req.tenant == "team-a"
+        assert req.spec.source == "x"
+
+    def test_bad_tenant_rejected(self):
+        with pytest.raises(RequestError, match="tenant"):
+            parse_line(json.dumps({"source": "x", "tenant": 7}), "d")
+
+    def test_request_error_carries_client_id(self):
+        # The error line must correlate with the request that caused
+        # it, even though no job was ever built.
+        with pytest.raises(RequestError) as info:
+            parse_line(json.dumps({"id": "req-9", "kind": "run"}), "d")
+        assert info.value.client_id == "req-9"
+
+
+class TestSocketFrontEnd:
+    """The TCP front-end, driven by a real client socket."""
+
+    def _connect(self, front):
+        import socket as socket_mod
+
+        conn = socket_mod.create_connection(
+            (front.host, front.port), timeout=30
+        )
+        return conn, conn.makefile("rw", encoding="utf-8", newline="\n")
+
+    def _ask(self, wire, doc):
+        wire.write(json.dumps(doc) + "\n")
+        wire.flush()
+        return json.loads(wire.readline())
+
+    def test_serve_health_error_and_drain(self):
+        from repro.svc import GateConfig
+        from repro.svc.serve import SocketFrontEnd
+
+        front = SocketFrontEnd(
+            config=ServiceConfig(jobs=1),
+            gate_config=GateConfig(workers=1, drain_timeout=10.0),
+        )
+        with front:
+            conn, wire = self._connect(front)
+            try:
+                health = self._ask(wire, {"id": "h", "kind": "health"})
+                assert health["id"] == "h" and health["ready"] is True
+                result = self._ask(
+                    wire, {"id": "job", "kind": "run", "source": PASSING}
+                )
+                assert result["id"] == "job"
+                assert result["outcome"] == "PROVED"
+                bad = self._ask(wire, {"id": "bad", "kind": "run"})
+                assert bad["id"] == "bad"
+                assert "'source' or 'file'" in bad["error"]
+                front.initiate_drain()
+                shed = self._ask(
+                    wire, {"id": "late", "kind": "run", "source": PASSING}
+                )
+                assert shed["shed"] is True
+                assert shed["reason"] == "draining"
+            finally:
+                conn.close()
+            assert front.wait(20.0)
+
+    def test_file_requests_disabled_without_root(self, tmp_path):
+        from repro.svc.serve import SocketFrontEnd
+
+        (tmp_path / "p.fast").write_text(PASSING)
+        front = SocketFrontEnd(config=ServiceConfig(jobs=1))
+        with front:
+            conn, wire = self._connect(front)
+            try:
+                reply = self._ask(wire, {"id": "f", "file": "p.fast"})
+                assert "disabled" in reply["error"]
+            finally:
+                conn.close()
+            front.initiate_drain()
+            assert front.wait(20.0)
+
+
+class _BrokenPipe(io.StringIO):
+    """An output stream whose client hangs up after N writes."""
+
+    def __init__(self, writes_before_break: int) -> None:
+        super().__init__()
+        self.remaining = writes_before_break
+
+    def write(self, s: str) -> int:
+        if self.remaining <= 0:
+            raise BrokenPipeError(32, "Broken pipe")
+        return super().write(s)
+
+    def flush(self) -> None:
+        self.remaining -= 1
+        super().flush()
+
+
 class TestServeLines:
     def test_mixed_good_and_bad_lines(self):
         lines = [
@@ -82,3 +316,102 @@ class TestServeLines:
         assert "unknown kind" in replies[2]["error"]
         # Error lines carry synthetic line-N ids for correlation.
         assert replies[1]["id"] == "line-3"
+
+    def test_error_line_keeps_the_client_id(self):
+        lines = [json.dumps({"id": "mine", "kind": "run"})]  # no source
+        out = io.StringIO()
+        serve_lines(iter(lines), out, ServiceConfig(jobs=1))
+        reply = json.loads(out.getvalue())
+        assert reply["id"] == "mine"
+        assert "'source' or 'file'" in reply["error"]
+
+    def test_health_request(self):
+        lines = [json.dumps({"id": "probe", "kind": "health"})]
+        out = io.StringIO()
+        served = serve_lines(iter(lines), out, ServiceConfig(jobs=1))
+        assert served == 0
+        doc = json.loads(out.getvalue())
+        assert doc["id"] == "probe"
+        assert doc["ready"] is True
+        assert doc["counters"]["admitted"] == 0
+        assert "breakers" in doc
+
+    def test_broken_pipe_ends_the_loop_cleanly(self):
+        # The client hangs up after the first reply: the loop must
+        # return its served count — no traceback, no further work.
+        lines = [
+            json.dumps({"id": f"r{i}", "kind": "run", "source": PASSING})
+            for i in range(4)
+        ]
+        out = _BrokenPipe(writes_before_break=1)
+        served = serve_lines(iter(lines), out, ServiceConfig(jobs=1))
+        assert served == 1
+        assert len(out.getvalue().splitlines()) == 1
+
+    def test_stop_event_drains_between_requests(self):
+        stop = threading.Event()
+        lines = [json.dumps({"id": "r1", "kind": "run", "source": PASSING})]
+
+        def lines_then_stop():
+            yield from lines
+            stop.set()
+            yield json.dumps(
+                {"id": "r2", "kind": "run", "source": PASSING}
+            )
+
+        out = io.StringIO()
+        served = serve_lines(
+            lines_then_stop(), out, ServiceConfig(jobs=1), stop=stop
+        )
+        assert served == 1  # r1 answered, r2 never admitted
+        replies = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert [r["id"] for r in replies] == ["r1"]
+
+    def test_deadline_ceiling_is_clamped_onto_jobs(self):
+        from repro.svc import GateConfig
+
+        lines = [
+            json.dumps(
+                {
+                    "id": "r1",
+                    "kind": "run",
+                    "source": PASSING,
+                    "budget": {"deadline": 9999.0},
+                }
+            )
+        ]
+        out = io.StringIO()
+        served = serve_lines(
+            iter(lines),
+            out,
+            ServiceConfig(jobs=1),
+            gate_config=GateConfig(max_deadline=30.0, workers=1),
+        )
+        assert served == 1
+        assert json.loads(out.getvalue())["outcome"] == "PROVED"
+
+    def test_quota_shed_over_stdin(self):
+        from repro.svc import GateConfig
+
+        lines = [
+            json.dumps({"id": f"r{i}", "kind": "run", "source": PASSING})
+            for i in range(3)
+        ]
+        out = io.StringIO()
+        served = serve_lines(
+            iter(lines),
+            out,
+            ServiceConfig(jobs=1),
+            gate_config=GateConfig(
+                tenant_rate=0.001, tenant_burst=2, workers=1
+            ),
+        )
+        replies = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert served == 2
+        assert [r.get("shed", False) for r in replies] == [
+            False,
+            False,
+            True,
+        ]
+        assert replies[2]["reason"] == "quota"
+        assert replies[2]["retry_after"] > 0
