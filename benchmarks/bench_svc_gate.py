@@ -203,6 +203,13 @@ def render(row: dict[str, float]) -> str:
 def test_gate_under_overload(report):
     row = measure()
     report("svc gate under ~2x+ overload", render(row))
+    # Machine shape for the diff gate: latency guards only compare
+    # between like hosts, so a differing core count annotates instead
+    # of failing (see repro.obs.diff).
+    obs_metrics.REGISTRY.gauge("bench.host_cpus").set(
+        float(os.cpu_count() or 1)
+    )
+    obs_metrics.REGISTRY.gauge("bench.pool_workers").set(2.0)
     # The partition is exact: every request is served or shed, none
     # vanish.  This is the invariant CI diff-gates at zero.
     assert row["unanswered"] == 0, (

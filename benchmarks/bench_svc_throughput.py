@@ -34,6 +34,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.obs import metrics as obs_metrics  # noqa: E402
 from repro.svc import (  # noqa: E402
     AnalysisService,
     JobSpec,
@@ -115,6 +116,15 @@ def render(rows: list[dict[str, float]]) -> str:
 def test_throughput_across_pool_sizes(report):
     rows = [measure(size) for size in POOL_SIZES]
     report("svc throughput (supervised pool)", render(rows))
+    # Throughput only compares between like hosts: record the machine
+    # shape into the snapshot so repro.obs.diff can annotate (instead
+    # of fail) when baseline and candidate core counts differ.
+    obs_metrics.REGISTRY.gauge("bench.host_cpus").set(
+        float(os.cpu_count() or 1)
+    )
+    obs_metrics.REGISTRY.gauge("bench.pool_workers").set(
+        float(max(POOL_SIZES))
+    )
     for row in rows:
         # Sanity gates only (see module docstring): everything decides,
         # nothing degrades, throughput is real.

@@ -12,11 +12,13 @@
   ``fast batch examples/ --jobs 8 --timeout 10 --json``;
 * ``serve`` — JSONL serving against a persistent pool with per-kind
   circuit breakers: ``--stdin-jsonl`` (one JSON request per input
-  line, one JSON result per output line) or ``--listen HOST:PORT``
+  line, one JSON result per output line), ``--listen HOST:PORT``
   (the same protocol over TCP, behind an admission gate: bounded
   queue with load shedding, per-tenant token-bucket quotas, a
-  deadline ceiling, a ``health`` request kind, and graceful drain on
-  SIGTERM).
+  deadline ceiling, ``health``/``stats`` request kinds, and graceful
+  drain on SIGTERM), or ``--http HOST:PORT`` (the same protocol over
+  HTTP/1.1: ``POST /v1/analyze``, ``GET /metrics`` Prometheus
+  exposition, ``GET /healthz``).
 
 ``run`` is the default: ``fast program.fast`` and
 ``fast --profile program.fast`` both work without naming a subcommand.
@@ -253,6 +255,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "picks a free port (printed to stderr)",
     )
     serve.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the same job protocol over HTTP/1.1: POST "
+        "/v1/analyze (one JSON request per body; shed -> 429/503 with "
+        "Retry-After), GET /metrics (Prometheus text exposition), GET "
+        "/healthz; PORT 0 picks a free port (printed to stderr)",
+    )
+    serve.add_argument(
         "--stats-interval",
         type=float,
         metavar="SECONDS",
@@ -413,13 +424,20 @@ def _serve_command(args: argparse.Namespace) -> int:
     import signal
     import threading
 
-    if not args.stdin_jsonl and not args.listen:
+    if not args.stdin_jsonl and not args.listen and not args.http:
         print(
-            "error: fast serve requires --stdin-jsonl or --listen HOST:PORT",
+            "error: fast serve requires --stdin-jsonl, --listen HOST:PORT, "
+            "or --http HOST:PORT",
             file=sys.stderr,
         )
         return EXIT_ERROR
-    from ..svc import GateConfig, RequestLimits, serve_lines, serve_socket
+    from ..svc import (
+        GateConfig,
+        RequestLimits,
+        serve_http,
+        serve_lines,
+        serve_socket,
+    )
 
     gate_config = GateConfig(
         max_queue=args.max_queue,
@@ -430,21 +448,25 @@ def _serve_command(args: argparse.Namespace) -> int:
         workers=args.jobs,
     )
 
-    if args.listen:
-        host, _, port_s = args.listen.rpartition(":")
+    if args.listen or args.http:
+        flag, value = (
+            ("--listen", args.listen) if args.listen else ("--http", args.http)
+        )
+        host, _, port_s = value.rpartition(":")
         if not host or not port_s.isdigit():
             print(
-                f"error: --listen wants HOST:PORT, got {args.listen!r}",
+                f"error: {flag} wants HOST:PORT, got {value!r}",
                 file=sys.stderr,
             )
             return EXIT_ERROR
         limits = RequestLimits(
             root=args.serve_root, max_source_bytes=args.max_source_bytes
         )
+        banner = "http listening on" if args.http else "listening on"
 
         def ready(front) -> None:
             print(
-                f"listening on {front.host}:{front.port} "
+                f"{banner} {front.host}:{front.port} "
                 f"(queue {args.max_queue}, deadline ceiling "
                 f"{args.max_deadline}s; SIGTERM drains)",
                 file=sys.stderr,
@@ -454,7 +476,8 @@ def _serve_command(args: argparse.Namespace) -> int:
                 for sig in (signal.SIGTERM, signal.SIGINT):
                     signal.signal(sig, lambda *_: front.initiate_drain())
 
-        served = serve_socket(
+        runner = serve_http if args.http else serve_socket
+        served = runner(
             host,
             int(port_s),
             config=_service_config(args),

@@ -33,10 +33,11 @@ from __future__ import annotations
 # NB: `diff` is deliberately not imported here — it doubles as the
 # `python -m repro.obs.diff` CLI, and importing it from the package
 # would trigger the runpy double-import warning in that mode.
-from . import export, journal, provenance
+from . import export, journal, live, provenance
 from .config import enabled, is_enabled, observed
 from .export import chrome_trace, collapsed_stacks, write_chrome_trace, write_flamegraph
 from .journal import Journal, journaled
+from .live import LiveStats, RollingWindow, render_prometheus
 from .metrics import (
     REGISTRY,
     Counter,
@@ -55,7 +56,17 @@ from .report import (
     render_trace,
     snapshot,
 )
-from .tracer import NULL_SPAN, Span, current, reset_trace, span, trace
+from .tracer import (
+    NULL_SPAN,
+    Span,
+    current,
+    current_trace_id,
+    instant,
+    reset_trace,
+    span,
+    trace,
+    trace_context,
+)
 
 
 def reset() -> None:
@@ -83,10 +94,17 @@ __all__ = [
     "observed",
     "span",
     "current",
+    "current_trace_id",
+    "trace_context",
+    "instant",
     "trace",
     "reset_trace",
     "Span",
     "NULL_SPAN",
+    "live",
+    "LiveStats",
+    "RollingWindow",
+    "render_prometheus",
     "counter",
     "gauge",
     "histogram",

@@ -169,6 +169,30 @@ def _jsonable(v: Any) -> Any:
     return str(v)
 
 
+def events_for_trace(
+    trace_id: str,
+    journal: Optional[Journal] = None,
+    *,
+    events: Optional[list[Event]] = None,
+) -> list[Event]:
+    """The journal events belonging to one request, by ``trace_id``.
+
+    A span/instant belongs to the request when its data dict carries
+    the id (the tracer's trace context stamps it); an ``E`` event whose
+    matching ``B`` was stamped belongs too, because B/E share the live
+    attrs dict.  Feed the result back to :func:`chrome_trace` via
+    ``events=`` to export a single request's merged track::
+
+        doc = chrome_trace(events=events_for_trace("req-7"))
+    """
+    events, _t0 = _resolve_events(journal, events)
+    return [
+        ev
+        for ev in events
+        if isinstance(ev[4], dict) and ev[4].get("trace_id") == trace_id
+    ]
+
+
 def write_chrome_trace(path: str, journal: Optional[Journal] = None) -> None:
     """Write :func:`chrome_trace` output to ``path`` as JSON."""
     with open(path, "w") as f:

@@ -38,6 +38,19 @@ Everything is off by default.  Enable with :func:`enable` /
 Enabling the journal also enables :mod:`repro.obs` recording — the
 span/counter call sites the journal listens to only fire while
 ``obs.enabled``.
+
+**Spill rotation.**  A long-lived ``fast serve`` process would grow the
+spill file without bound; setting ``max_bytes`` (env
+``REPRO_OBS_JOURNAL_MAX_BYTES``, with ``REPRO_OBS_JOURNAL_KEEP``
+rotated generations, default 3) caps it.  When a flush pushes the file
+past the cap, the journal *closes every open span* in the outgoing file
+with synthetic ``E`` events (data ``{"rotated": true}``), shifts
+``path`` → ``path.1`` → … → ``path.N`` (dropping beyond N), and
+*re-opens* the same spans with synthetic ``B`` events at the head of
+the fresh file — so every file on disk, current or rotated, has
+balanced B/E nesting per thread and loads into Perfetto on its own.
+The check runs at flush granularity, so a file may overshoot the cap
+by up to one buffered batch of lines.
 """
 
 from __future__ import annotations
@@ -66,21 +79,36 @@ class Journal:
         self,
         capacity: int = DEFAULT_CAPACITY,
         spill_path: str | None = None,
+        max_bytes: int | None = None,
+        keep: int = 3,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.capacity = capacity
         self.spill_path = spill_path
+        self.max_bytes = max_bytes
+        self.keep = max(1, keep)
         self.t0 = time.perf_counter()
         self.emitted = 0
         self.spilled = 0
+        self.rotations = 0
         self._lock = threading.Lock()
+        #: Spill mode: per-tid stacks of open span names, so rotation
+        #: can close and re-open them at the file boundary.
+        self._open_spans: dict[int, list[str]] = {}
         if spill_path is None:
             self._ring: deque[Event] = deque(maxlen=capacity)
             self._buffer: list[Event] | None = None
+            self._spill_bytes = 0
         else:
             self._ring = deque()  # unused in spill mode
             self._buffer = []
+            try:
+                self._spill_bytes = os.path.getsize(spill_path)
+            except OSError:
+                self._spill_bytes = 0
 
     # -- the hot path ------------------------------------------------------
 
@@ -118,21 +146,68 @@ class Journal:
 
     # -- spill handling ----------------------------------------------------
 
+    @staticmethod
+    def _line(ts: float, tid: int, ph: str, name: str, data: Any) -> str:
+        return json.dumps(
+            {"ts": ts, "tid": tid, "ph": ph, "name": name, "data": data},
+            default=str,
+        ) + "\n"
+
+    def _track_locked(self, tid: int, ph: str, name: str) -> None:
+        """Maintain the per-tid open-span stacks rotation relies on."""
+        if ph == "B":
+            self._open_spans.setdefault(tid, []).append(name)
+        elif ph == "E":
+            stack = self._open_spans.get(tid)
+            if stack:
+                stack.pop()
+
     def _flush_locked(self) -> None:
         assert self._buffer is not None and self.spill_path is not None
         if not self._buffer:
             return
         with open(self.spill_path, "a") as f:
             for ts, tid, ph, name, data in self._buffer:
-                f.write(
-                    json.dumps(
-                        {"ts": ts, "tid": tid, "ph": ph, "name": name, "data": data},
-                        default=str,
-                    )
-                )
-                f.write("\n")
+                written = f.write(self._line(ts, tid, ph, name, data))
+                self._spill_bytes += written
+                self._track_locked(tid, ph, name)
         self.spilled += len(self._buffer)
         self._buffer.clear()
+        if self.max_bytes is not None and self._spill_bytes >= self.max_bytes:
+            self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        """Close the current spill file balanced, shift, start fresh.
+
+        Every span still open at the boundary gets a synthetic ``E``
+        (innermost first) into the outgoing file and a synthetic ``B``
+        (outermost first) into the fresh one, both tagged
+        ``{"rotated": true}`` — per-file B/E nesting stays balanced on
+        both sides of the cut.
+        """
+        assert self.spill_path is not None
+        now = time.perf_counter()
+        with open(self.spill_path, "a") as f:
+            for tid, stack in self._open_spans.items():
+                for name in reversed(stack):
+                    f.write(self._line(now, tid, "E", name, {"rotated": True}))
+        # Shift path.N-1 -> path.N ... path -> path.1; drop beyond keep.
+        for i in range(self.keep, 0, -1):
+            src = self.spill_path if i == 1 else f"{self.spill_path}.{i - 1}"
+            dst = f"{self.spill_path}.{i}"
+            try:
+                os.replace(src, dst)
+            except OSError:
+                pass
+        self._spill_bytes = 0
+        with open(self.spill_path, "w") as f:
+            for tid, stack in self._open_spans.items():
+                for name in stack:
+                    written = f.write(
+                        self._line(now, tid, "B", name, {"rotated": True})
+                    )
+                    self._spill_bytes += written
+        self.rotations += 1
 
     def flush(self) -> None:
         """Spill mode: force buffered events to the JSONL file."""
@@ -158,7 +233,7 @@ class Journal:
 
     def stats(self) -> dict[str, Any]:
         """JSON-able summary, embedded in obs snapshots."""
-        return {
+        doc: dict[str, Any] = {
             "mode": "spill" if self._buffer is not None else "ring",
             "capacity": self.capacity,
             "emitted": self.emitted,
@@ -166,6 +241,12 @@ class Journal:
             "spilled": self.spilled,
             "in_memory": len(self._buffer if self._buffer is not None else self._ring),
         }
+        if self._buffer is not None:
+            doc["spill_bytes"] = self._spill_bytes
+            doc["rotations"] = self.rotations
+            if self.max_bytes is not None:
+                doc["max_bytes"] = self.max_bytes
+        return doc
 
     def clear(self) -> None:
         """Drop all in-memory events and reset the clock origin."""
@@ -186,7 +267,10 @@ ACTIVE: Optional[Journal] = None
 
 
 def enable(
-    capacity: int = DEFAULT_CAPACITY, spill_path: str | None = None
+    capacity: int = DEFAULT_CAPACITY,
+    spill_path: str | None = None,
+    max_bytes: int | None = None,
+    keep: int = 3,
 ) -> Journal:
     """Install a fresh journal as the process-wide active one.
 
@@ -194,7 +278,9 @@ def enable(
     only from instrumented call sites that run while obs is enabled.
     """
     global ACTIVE
-    ACTIVE = Journal(capacity=capacity, spill_path=spill_path)
+    ACTIVE = Journal(
+        capacity=capacity, spill_path=spill_path, max_bytes=max_bytes, keep=keep
+    )
     config.enabled(True)
     return ACTIVE
 
@@ -215,13 +301,18 @@ def active() -> Optional[Journal]:
 
 @contextmanager
 def journaled(
-    capacity: int = DEFAULT_CAPACITY, spill_path: str | None = None
+    capacity: int = DEFAULT_CAPACITY,
+    spill_path: str | None = None,
+    max_bytes: int | None = None,
+    keep: int = 3,
 ) -> Iterator[Journal]:
     """A journal (and obs recording) for the extent of a ``with`` block."""
     global ACTIVE
     previous = ACTIVE
     was_enabled = config.ENABLED
-    j = Journal(capacity=capacity, spill_path=spill_path)
+    j = Journal(
+        capacity=capacity, spill_path=spill_path, max_bytes=max_bytes, keep=keep
+    )
     ACTIVE = j
     config.enabled(True)
     try:
@@ -232,16 +323,28 @@ def journaled(
         config.enabled(was_enabled)
 
 
+def _env_int(name: str, default: int | None) -> int | None:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
 def _install_from_env() -> None:
     spec = os.environ.get("REPRO_OBS_JOURNAL", "")
     if not spec or spec in ("0", "false", "no"):
         return
-    try:
-        capacity = int(os.environ.get("REPRO_OBS_JOURNAL_CAPACITY", DEFAULT_CAPACITY))
-    except ValueError:
-        capacity = DEFAULT_CAPACITY
+    capacity = _env_int("REPRO_OBS_JOURNAL_CAPACITY", DEFAULT_CAPACITY)
+    assert capacity is not None
     spill = spec[len("spill:"):] if spec.startswith("spill:") else None
-    enable(capacity=capacity, spill_path=spill)
+    max_bytes = _env_int("REPRO_OBS_JOURNAL_MAX_BYTES", None)
+    if max_bytes is not None and max_bytes <= 0:
+        max_bytes = None
+    keep = _env_int("REPRO_OBS_JOURNAL_KEEP", 3) or 3
+    enable(capacity=capacity, spill_path=spill, max_bytes=max_bytes, keep=keep)
 
 
 _install_from_env()

@@ -14,13 +14,25 @@ worker threads never interleave.
 
 When recording is disabled (:mod:`repro.obs.config`), :func:`span`
 returns a shared no-op object and records nothing.
+
+**Request-scoped trace context.**  A serving front-end follows one
+request across threads and processes by its ``trace_id``.  The tracer
+holds a thread-local context id (:func:`trace_context` /
+:func:`current_trace_id`); while one is set, every span opened on the
+thread is stamped with a ``trace_id`` attribute automatically, so the
+whole subtree of work done on behalf of a request carries the id into
+journal events and Perfetto exports without each call site threading it
+through by hand.  The context travels wherever the code sends it
+explicitly — the service layer re-establishes it inside worker
+processes from the :class:`~repro.svc.job.JobSpec`.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Optional
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
 
 from . import config, journal
 
@@ -43,6 +55,8 @@ class Span:
 
     def __enter__(self) -> "Span":
         state = _state()
+        if state.trace_id is not None and "trace_id" not in self.attrs:
+            self.attrs["trace_id"] = state.trace_id
         parent = state.stack[-1] if state.stack else None
         (parent.children if parent is not None else state.roots).append(self)
         state.stack.append(self)
@@ -97,6 +111,7 @@ class _ThreadState(threading.local):
     def __init__(self) -> None:  # called once per thread
         self.roots: list[Span] = []
         self.stack: list[Span] = []
+        self.trace_id: Optional[str] = None
 
 
 _STATE = _ThreadState()
@@ -119,6 +134,48 @@ def current():
         return NULL_SPAN
     stack = _state().stack
     return stack[-1] if stack else NULL_SPAN
+
+
+def current_trace_id() -> Optional[str]:
+    """The request trace id bound to this thread, or None."""
+    return _state().trace_id
+
+
+@contextmanager
+def trace_context(trace_id: Optional[str]) -> Iterator[None]:
+    """Bind a request ``trace_id`` to this thread for a ``with`` block.
+
+    While bound, every span opened on the thread is stamped with a
+    ``trace_id`` attribute (unless the call site set one explicitly).
+    Contexts nest: the previous id is restored on exit.  Binding
+    ``None`` clears the context for the block.  Cheap enough to run
+    with recording off — one thread-local store either way.
+    """
+    state = _state()
+    previous = state.trace_id
+    state.trace_id = trace_id
+    try:
+        yield
+    finally:
+        state.trace_id = previous
+
+
+def instant(name: str, data: Optional[dict[str, Any]] = None) -> None:
+    """Journal one instant ("I") event, stamped with the trace context.
+
+    The trace-id counterpart of ``journal.emit``: decision points that
+    are not spans (a shed, a quota refusal, a deadline expiry) use this
+    so the request they belong to is followable in the exported trace.
+    No-op when no journal is active.
+    """
+    j = journal.ACTIVE
+    if j is None:
+        return
+    trace_id = _state().trace_id
+    if trace_id is not None:
+        data = dict(data) if data else {}
+        data.setdefault("trace_id", trace_id)
+    j.emit("I", name, data)
 
 
 def trace() -> list[Span]:

@@ -29,7 +29,10 @@ process survives anything a job does:
   snapshots, and graceful drain;
 * :mod:`~repro.svc.batch` / :mod:`~repro.svc.serve` — the engines of
   ``fast batch``, ``fast serve --stdin-jsonl``, and
-  ``fast serve --listen HOST:PORT`` (the socket JSONL front-end).
+  ``fast serve --listen HOST:PORT`` (the socket JSONL front-end);
+* :mod:`~repro.svc.http` — ``fast serve --http HOST:PORT``: the same
+  serving core behind an HTTP/1.1 surface (``POST /v1/analyze``,
+  ``GET /metrics`` Prometheus exposition, ``GET /healthz``).
 
 Quick use::
 
@@ -59,12 +62,15 @@ from .job import (
     KINDS,
     execute_job,
 )
+from .http import HttpFrontEnd, serve_http
 from .pool import WorkerPool
 from .retry import RetryPolicy
 from .serve import (
+    FrontEndBase,
     RequestError,
     RequestLimits,
     SocketFrontEnd,
+    mint_trace_id,
     parse_line,
     parse_request,
     serve_lines,
@@ -81,7 +87,9 @@ __all__ = [
     "BreakerRegistry",
     "BudgetSpec",
     "CircuitBreaker",
+    "FrontEndBase",
     "GateConfig",
+    "HttpFrontEnd",
     "InvalidBudget",
     "JobFailure",
     "JobResult",
@@ -103,9 +111,11 @@ __all__ = [
     "collect_program_paths",
     "execute_job",
     "latency_summary",
+    "mint_trace_id",
     "parse_line",
     "parse_request",
     "run_batch",
+    "serve_http",
     "serve_lines",
     "serve_socket",
 ]

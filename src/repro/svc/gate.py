@@ -60,6 +60,7 @@ from typing import Any, Callable, Optional
 
 from ..obs import config as obs_config
 from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from .job import BudgetSpec, JobSpec
 
 #: Shed reasons (the ``reason`` field of a shed response).
@@ -158,14 +159,21 @@ class Shed:
 
     reason: str
     retry_after: float
+    #: The request's trace id, echoed on the wire so a refusal is as
+    #: followable as a verdict (stamped by the gate from the bound
+    #: trace context at decision time).
+    trace_id: Optional[str] = None
 
     def response(self, client_id: str) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "id": client_id,
             "shed": True,
             "reason": self.reason,
             "retry_after": round(max(0.0, self.retry_after), 4),
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
 
 @dataclass
@@ -229,11 +237,29 @@ class AdmissionGate:
 
     # -- admission ---------------------------------------------------------
 
-    def _shed(self, reason: str, retry_after: float) -> Shed:
+    def _shed(
+        self,
+        reason: str,
+        retry_after: float,
+        tenant: Optional[str] = None,
+        stage: str = "admit",
+    ) -> Shed:
+        """Count one refusal and journal it as a trace-stamped instant.
+
+        The instant (``svc.gate.shed``) is how a refused request shows
+        up in the exported Perfetto track: sheds have no span of their
+        own, but the decision point — reason, stage (``admit`` vs
+        ``release``), tenant — is followable by ``trace_id`` alongside
+        the spans of requests that made it through.
+        """
         self.shed[reason] += 1
         if obs_config.ENABLED:
             _OBS_SHED[reason].inc()
-        return Shed(reason, retry_after)
+        data: dict[str, Any] = {"reason": reason, "stage": stage}
+        if tenant is not None:
+            data["tenant"] = tenant
+        obs_tracer.instant("svc.gate.shed", data)
+        return Shed(reason, retry_after, trace_id=obs_tracer.current_trace_id())
 
     def _queue_retry_after(self) -> float:
         """Expected time for the backlog to clear one slot."""
@@ -257,7 +283,9 @@ class AdmissionGate:
         """
         with self._lock:
             if self.draining:
-                return self._shed(SHED_DRAINING, self.config.drain_timeout)
+                return self._shed(
+                    SHED_DRAINING, self.config.drain_timeout, tenant
+                )
             if self.config.tenant_rate > 0:
                 bucket = self._buckets.get(tenant)
                 if bucket is None:
@@ -269,9 +297,11 @@ class AdmissionGate:
                     self._buckets[tenant] = bucket
                 ok, retry_after = bucket.try_take()
                 if not ok:
-                    return self._shed(SHED_QUOTA, retry_after)
+                    return self._shed(SHED_QUOTA, retry_after, tenant)
             if self._pending >= self.config.max_queue:
-                return self._shed(SHED_QUEUE_FULL, self._queue_retry_after())
+                return self._shed(
+                    SHED_QUEUE_FULL, self._queue_retry_after(), tenant
+                )
             now = self.clock()
             deadline = self.clamp(spec.budget)
             budget = spec.budget or BudgetSpec()
@@ -285,6 +315,14 @@ class AdmissionGate:
             if obs_config.ENABLED:
                 _OBS_ADMITTED.inc()
                 _OBS_QUEUE_DEPTH.add(1)
+            obs_tracer.instant(
+                "svc.gate.admit",
+                {
+                    "tenant": tenant,
+                    "deadline": round(deadline, 4),
+                    "queue_depth": self._pending,
+                },
+            )
             return Ticket(
                 spec=JobSpec(
                     job_id=spec.job_id,
@@ -292,6 +330,7 @@ class AdmissionGate:
                     source=spec.source,
                     args=spec.args,
                     budget=clamped,
+                    trace_id=spec.trace_id,
                 ),
                 client_id=spec.job_id,
                 tenant=tenant,
@@ -314,7 +353,9 @@ class AdmissionGate:
                 _OBS_QUEUE_DEPTH.add(-1)
             remaining = ticket.deadline_at - self.clock()
             if remaining <= 0:
-                return self._shed(SHED_DEADLINE, 0.0)
+                return self._shed(
+                    SHED_DEADLINE, 0.0, ticket.tenant, stage="release"
+                )
             self._inflight += 1
         budget = ticket.spec.budget or BudgetSpec()
         return JobSpec(
@@ -327,6 +368,7 @@ class AdmissionGate:
                 max_solver_queries=budget.max_solver_queries,
                 max_steps=budget.max_steps,
             ),
+            trace_id=ticket.spec.trace_id,
         )
 
     def note_served(self, duration: float) -> None:
@@ -350,7 +392,9 @@ class AdmissionGate:
             self._pending -= 1
             if obs_config.ENABLED:
                 _OBS_QUEUE_DEPTH.add(-1)
-            return self._shed(SHED_DRAINING, 0.0)
+            return self._shed(
+                SHED_DRAINING, 0.0, ticket.tenant, stage="drain"
+            )
 
     # -- drain & health ----------------------------------------------------
 

@@ -123,7 +123,10 @@ class JobSpec:
       ``("lang", "noTags")`` pairs (a tuple of pairs so the spec stays
       hashable and picklable);
     * ``budget`` — soft limits enforced *inside* the worker; the
-      supervisor's kill timeout sits above the deadline.
+      supervisor's kill timeout sits above the deadline;
+    * ``trace_id`` — the request-scoped trace id minted (or accepted)
+      at admission; it rides the spec into the worker so worker-side
+      spans and journal events carry the same id as the front-end's.
     """
 
     job_id: str
@@ -131,6 +134,7 @@ class JobSpec:
     source: str
     args: tuple[tuple[str, str], ...] = ()
     budget: Optional[BudgetSpec] = None
+    trace_id: Optional[str] = None
 
     def arg(self, name: str) -> str:
         for key, value in self.args:
@@ -203,9 +207,10 @@ class JobResult:
     attempts: int = 1
     attempt_failures: list[dict[str, Any]] = field(default_factory=list)
     telemetry: Optional[dict[str, Any]] = None
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "job_id": self.job_id,
             "kind": self.kind,
             "outcome": self.outcome,
@@ -219,6 +224,9 @@ class JobResult:
             "attempts": self.attempts,
             "attempt_failures": self.attempt_failures,
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
     def to_verdict(self) -> Verdict:
         """The result as the library's three-valued :class:`Verdict`.
@@ -366,6 +374,17 @@ def _dispatch(spec: JobSpec) -> dict[str, Any]:
 
 
 def execute_job(spec: JobSpec) -> JobResult:
+    """Run one job to a result; never raise.
+
+    The result always carries the spec's ``trace_id`` back out — the
+    worker side of request-scoped trace propagation.
+    """
+    result = _execute_job(spec)
+    result.trace_id = spec.trace_id
+    return result
+
+
+def _execute_job(spec: JobSpec) -> JobResult:
     """Run one job to a result; never raise.
 
     Everything a job can do wrong becomes a structured result:

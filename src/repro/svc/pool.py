@@ -205,6 +205,11 @@ class WorkerPool:
         ) -> None:
             state = states[job_id]
             result.attempts = state.attempt + 1
+            if result.trace_id is None:
+                # Fabricated results (crash past retries, open breaker,
+                # kill timeout) never rode through a worker; the spec
+                # still knows the request they belong to.
+                result.trace_id = state.spec.trace_id
             result.attempt_failures = state.failures
             results[job_id] = result
             if obs_config.ENABLED:
@@ -224,14 +229,18 @@ class WorkerPool:
                 # A zero-length span records the job in the trace tree;
                 # the worker's shipped span tree is grafted beneath it,
                 # so profile output shows what happened *inside* the job.
-                with obs_tracer.span(
-                    "svc.job",
-                    job=job_id,
-                    kind=state.spec.kind,
-                    outcome=result.outcome,
-                    attempts=result.attempts,
-                ) as sp:
-                    pass
+                # Binding the request's trace context stamps the span,
+                # closing the admission → dispatch → worker → merge
+                # chain under one trace_id.
+                with obs_tracer.trace_context(state.spec.trace_id):
+                    with obs_tracer.span(
+                        "svc.job",
+                        job=job_id,
+                        kind=state.spec.kind,
+                        outcome=result.outcome,
+                        attempts=result.attempts,
+                    ) as sp:
+                        pass
                 svc_telemetry.graft_spans(sp, blob)
             if on_result is not None:
                 try:
@@ -357,6 +366,15 @@ class WorkerPool:
                         idle.append(worker)
                         ready.appendleft(job_id)
                         continue
+                    dispatch_detail = {
+                        "job": job_id,
+                        "kind": state.spec.kind,
+                        "worker": worker.worker_id,
+                        "attempt": state.attempt,
+                    }
+                    if state.spec.trace_id is not None:
+                        dispatch_detail["trace_id"] = state.spec.trace_id
+                    _journal("svc.worker.dispatch", dispatch_detail)
                     if state.first_dispatched is None:
                         state.first_dispatched = clock()
                     busy[id(worker)] = (worker, job_id, clock() + attempt_cap)

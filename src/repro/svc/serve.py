@@ -53,6 +53,8 @@ import errno
 import json
 import os
 import queue
+import re
+import secrets
 import socket
 import sys
 import threading
@@ -61,6 +63,7 @@ from dataclasses import dataclass
 from typing import IO, Any, Callable, Iterator, Optional
 
 from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from .gate import AdmissionGate, GateConfig, SHED_DRAINING, Shed, Ticket
 from .job import KINDS, BudgetSpec, JobSpec
 from .service import AnalysisService, ServiceConfig
@@ -71,6 +74,33 @@ _OBS_BAD_REQUESTS = obs_metrics.counter("svc.serve.bad_requests")
 
 #: Budget keys a request may carry; anything else is a client error.
 _BUDGET_KEYS = ("deadline", "max_solver_queries", "max_steps")
+
+#: Client-supplied trace ids: printable, no whitespace, bounded — an id
+#: is a correlation token, not a payload channel.
+_TRACE_ID_RE = re.compile(r"^[\x21-\x7e]{1,128}$")
+
+
+def mint_trace_id() -> str:
+    """A fresh server-minted trace id (64 bits of hex)."""
+    return secrets.token_hex(8)
+
+
+def _trace_id_from_doc(doc: dict[str, Any]) -> str:
+    """The request's trace id: the client's if valid, else minted.
+
+    Raises ``ValueError`` on a malformed client id (wrong type, empty,
+    whitespace, oversized) — silently replacing it would break the
+    client's own correlation.
+    """
+    raw = doc.get("trace_id")
+    if raw is None:
+        return mint_trace_id()
+    if not isinstance(raw, str) or not _TRACE_ID_RE.match(raw):
+        raise ValueError(
+            "'trace_id' must be a non-empty printable string without "
+            "whitespace, at most 128 chars"
+        )
+    return raw
 
 
 @dataclass(frozen=True)
@@ -96,24 +126,33 @@ class RequestLimits:
 
 @dataclass
 class Request:
-    """One parsed request line: a health probe or a job + tenant."""
+    """One parsed request line: a probe (health/stats) or a job + tenant."""
 
     client_id: str
     health: bool = False
+    stats: bool = False
     spec: Optional[JobSpec] = None
     tenant: str = "default"
+    #: The request-scoped trace id: the client's (validated) or minted
+    #: at parse time.  Every response line derived from this request —
+    #: verdict, shed, health, error — echoes it.
+    trace_id: str = ""
 
 
 class RequestError(ValueError):
     """A rejected request that still identified itself.
 
-    Carries the client's ``id`` so the error line correlates with the
-    request that caused it even though no job was built.
+    Carries the client's ``id`` (and trace id, when one was readable)
+    so the error line correlates with the request that caused it even
+    though no job was built.
     """
 
-    def __init__(self, message: str, client_id: str) -> None:
+    def __init__(
+        self, message: str, client_id: str, trace_id: Optional[str] = None
+    ) -> None:
         super().__init__(message)
         self.client_id = client_id
+        self.trace_id = trace_id
 
 
 def _load_doc(line: str) -> dict[str, Any]:
@@ -177,7 +216,10 @@ def _budget_from_doc(doc: dict[str, Any]) -> Optional[BudgetSpec]:
 
 
 def _spec_from_doc(
-    doc: dict[str, Any], default_id: str, limits: Optional[RequestLimits]
+    doc: dict[str, Any],
+    default_id: str,
+    limits: Optional[RequestLimits],
+    trace_id: Optional[str] = None,
 ) -> JobSpec:
     kind = doc.get("kind", "run")
     if kind not in KINDS:
@@ -210,6 +252,7 @@ def _spec_from_doc(
         source=source,
         args=tuple(sorted((str(k), str(v)) for k, v in args.items())),
         budget=_budget_from_doc(doc),
+        trace_id=trace_id,
     )
 
 
@@ -223,19 +266,30 @@ def parse_request(
 def parse_line(
     line: str, default_id: str, limits: Optional[RequestLimits] = None
 ) -> Request:
-    """One JSONL line -> a :class:`Request` (health probe or job)."""
+    """One JSONL line -> a :class:`Request` (health/stats probe or job).
+
+    Every request gets a ``trace_id`` here — the client's (validated)
+    or a freshly minted one — so there is no code path past parsing
+    where a request is not followable.
+    """
     doc = _load_doc(line)
     client_id = str(doc.get("id", default_id))
+    try:
+        trace_id = _trace_id_from_doc(doc)
+    except ValueError as exc:
+        raise RequestError(str(exc), client_id) from exc
     if doc.get("kind") == "health":
-        return Request(client_id, health=True)
+        return Request(client_id, health=True, trace_id=trace_id)
+    if doc.get("kind") == "stats":
+        return Request(client_id, stats=True, trace_id=trace_id)
     try:
         tenant = doc.get("tenant", "default")
         if not isinstance(tenant, str) or not tenant:
             raise ValueError("'tenant' must be a non-empty string")
-        spec = _spec_from_doc(doc, default_id, limits)
+        spec = _spec_from_doc(doc, default_id, limits, trace_id=trace_id)
     except (ValueError, OSError) as exc:
-        raise RequestError(str(exc), client_id) from exc
-    return Request(client_id, spec=spec, tenant=tenant)
+        raise RequestError(str(exc), client_id, trace_id) from exc
+    return Request(client_id, spec=spec, tenant=tenant, trace_id=trace_id)
 
 
 # -- the stdin-JSONL loop ----------------------------------------------------
@@ -279,7 +333,9 @@ def serve_lines(
     gate = AdmissionGate(
         gate_config or GateConfig(workers=config.jobs), clock=clock
     )
-    tracker = ServeStats(clock=clock) if (stats or stats_interval > 0) else None
+    # The tracker always exists — the `stats` request kind reads its
+    # live windows whether or not operator stats output was asked for.
+    tracker = ServeStats(clock=clock)
     with AnalysisService(config) as svc:
         for index, line in enumerate(lines):
             if stop is not None and stop.is_set():
@@ -293,46 +349,75 @@ def serve_lines(
                 request = parse_line(line, default_id, limits)
             except (ValueError, OSError) as exc:
                 _OBS_BAD_REQUESTS.inc()
-                error_id = getattr(exc, "client_id", default_id)
-                if not _emit(out, {"id": error_id, "error": str(exc)}):
+                error_doc = {
+                    "id": getattr(exc, "client_id", default_id),
+                    "error": str(exc),
+                }
+                trace_id = getattr(exc, "trace_id", None)
+                if trace_id:
+                    error_doc["trace_id"] = trace_id
+                if not _emit(out, error_doc):
                     break
                 continue
             if request.health:
                 health = gate.health(svc.breakers, workers=config.jobs)
                 health["id"] = request.client_id
+                health["trace_id"] = request.trace_id
                 if not _emit(out, health):
                     break
                 continue
-            decision = gate.admit(request.spec, request.tenant)
-            if isinstance(decision, Shed):
-                if tracker is not None:
-                    tracker.record_shed(decision.reason)
-                if not _emit(out, decision.response(request.client_id)):
+            if request.stats:
+                if not _emit(out, stats_response(request, tracker, served)):
                     break
                 continue
-            released = gate.release(decision)
-            if isinstance(released, Shed):
-                if tracker is not None:
-                    tracker.record_shed(released.reason)
-                if not _emit(out, released.response(request.client_id)):
-                    break
-                continue
-            result = svc.run_job(released)
+            with obs_tracer.trace_context(request.trace_id):
+                with obs_tracer.span(
+                    "svc.admission",
+                    id=request.client_id,
+                    kind=request.spec.kind,
+                    tenant=request.tenant,
+                ):
+                    decision = gate.admit(request.spec, request.tenant)
+                if isinstance(decision, Shed):
+                    tracker.record_shed(decision.reason, request.tenant)
+                    if not _emit(out, decision.response(request.client_id)):
+                        break
+                    continue
+                with obs_tracer.span("svc.dispatch", id=request.client_id):
+                    released = gate.release(decision)
+                if isinstance(released, Shed):
+                    tracker.record_shed(released.reason, request.tenant)
+                    if not _emit(out, released.response(request.client_id)):
+                        break
+                    continue
+                result = svc.run_job(released)
             gate.note_served(result.duration)
             doc = result.to_dict()
             doc["id"] = request.client_id
+            doc.setdefault("trace_id", request.trace_id)
             if not _emit(out, doc):
                 break
             served += 1
-            if tracker is not None:
-                tracker.record(result)
-                if tracker.due(stats_interval):
-                    print(tracker.line(svc.breakers), file=err)
-                    err.flush()
-        if tracker is not None and stats:
-            print(tracker.summary(svc.breakers), file=err)
+            tracker.record(result, request.tenant)
+            if tracker.due(stats_interval):
+                err.write(tracker.line(svc.breakers) + "\n")
+                err.flush()
+        if stats:
+            err.write(tracker.summary(svc.breakers) + "\n")
             err.flush()
     return served
+
+
+def stats_response(
+    request: Request, tracker: ServeStats, served: int
+) -> dict[str, Any]:
+    """The payload of a ``stats`` request: the live window snapshot."""
+    return {
+        "id": request.client_id,
+        "trace_id": request.trace_id,
+        "served_total": served,
+        "stats": tracker.live.snapshot(),
+    }
 
 
 def _emit(out: IO[str], doc: dict[str, Any]) -> bool:
@@ -352,34 +437,39 @@ def _emit(out: IO[str], doc: dict[str, Any]) -> bool:
         raise
 
 
-# -- the socket front-end ----------------------------------------------------
+# -- the threaded front-end core ---------------------------------------------
 
 
-class SocketFrontEnd:
-    """``fast serve --listen``: a threaded JSONL-over-TCP endpoint.
+class FrontEndBase:
+    """The transport-agnostic serving core behind the socket and HTTP
+    front-ends: one :class:`AdmissionGate`, one bounded pending queue,
+    one dispatcher thread owning the (single-threaded)
+    :class:`AnalysisService`.
 
-    Threading model (chosen so the single-threaded supervisor stays
-    single-threaded):
+    A transport's job is only to turn its inbound payloads into calls
+    to :meth:`handle_line` with a ``reply`` callback, and to shut its
+    listener in :meth:`_shutdown_transport` — admission, quotas,
+    deadline propagation, trace-id handling, live stats, and drain
+    semantics live here once and cannot drift between transports.
 
-    * an **accept thread** hands each connection to a reader thread;
-    * **reader threads** parse lines and run the gate — health probes,
-      parse errors, and shed decisions are answered right here, without
-      the dispatcher, which is what keeps shed latency flat under any
-      backlog; admitted tickets go onto the pending queue (bounded by
-      the gate, so the queue object itself never grows past
-      ``max_queue``);
-    * one **dispatcher thread** owns the :class:`AnalysisService`: it
-      pulls micro-batches of up to ``jobs`` tickets, re-checks each
-      ticket's remaining deadline (queue time burned the budget; an
-      expired ticket sheds without dispatch), and streams each result
-      to its connection's writer as the pool finalizes it.
+    * **Caller threads** (connection readers, HTTP handler threads) run
+      parse + gate inline — health/stats probes, parse errors, and shed
+      decisions are answered right there, without the dispatcher, which
+      is what keeps refusal latency flat under any backlog; admitted
+      tickets go onto the pending queue (bounded by the gate, so the
+      queue object itself never grows past ``max_queue``).
+    * The **dispatcher thread** pulls micro-batches of up to ``jobs``
+      tickets, re-checks each ticket's remaining deadline (queue time
+      burned the budget; an expired ticket sheds without dispatch), and
+      streams each result to its ``reply`` as the pool finalizes it.
 
-    Responses carry the client's ``id``; internally every dispatched
-    job gets a unique sequence id so clients reusing ids (or two
-    clients picking the same id) cannot collide inside a pool batch.
+    Responses carry the client's ``id`` and the request's ``trace_id``;
+    internally every dispatched job gets a unique sequence id so
+    clients reusing ids (or two clients picking the same id) cannot
+    collide inside a pool batch.
 
     Drain (:meth:`initiate_drain`, wired to SIGTERM by the CLI): the
-    listener closes, the gate sheds new requests with ``reason:
+    transport closes, the gate sheds new requests with ``reason:
     "draining"``, the dispatcher finishes the queue up to
     ``drain_timeout``, any leftovers are shed, the pool closes, and
     :meth:`wait` returns.
@@ -387,8 +477,6 @@ class SocketFrontEnd:
 
     def __init__(
         self,
-        host: str = "127.0.0.1",
-        port: int = 0,
         config: Optional[ServiceConfig] = None,
         gate_config: Optional[GateConfig] = None,
         limits: Optional[RequestLimits] = None,
@@ -407,29 +495,24 @@ class SocketFrontEnd:
         self.tracker = ServeStats(clock=clock)
         self.served = 0
         self._queue: "queue.Queue[Ticket]" = queue.Queue()
-        self._listener = socket.create_server(
-            (host, port), reuse_port=False
-        )
-        self.host, self.port = self._listener.getsockname()[:2]
         self._draining = threading.Event()
         self._done = threading.Event()
-        self._conns: set[socket.socket] = set()
-        self._conns_lock = threading.Lock()
         self._seq = 0
         self._seq_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
 
     # -- lifecycle ---------------------------------------------------------
 
-    def start(self) -> "SocketFrontEnd":
-        for target, name in (
-            (self._accept_loop, "serve-accept"),
-            (self._dispatch_loop, "serve-dispatch"),
-        ):
-            t = threading.Thread(target=target, name=name, daemon=True)
-            t.start()
-            self._threads.append(t)
+    def start(self) -> "FrontEndBase":
+        t = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
         return self
+
+    def _shutdown_transport(self) -> None:
+        """Transport hook: stop accepting new payloads (idempotent)."""
 
     def initiate_drain(self) -> None:
         """Stop admitting; finish admitted work; then shut down."""
@@ -437,109 +520,92 @@ class SocketFrontEnd:
             return
         self.gate.start_drain()
         self._draining.set()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        self._shutdown_transport()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until drain completes; True when fully shut down."""
         return self._done.wait(timeout)
 
     def close(self) -> None:
-        """Hard stop: drain, wait briefly, close every connection."""
+        """Hard stop: drain and wait for the dispatcher to finish."""
         self.initiate_drain()
         self._done.wait(self.gate.config.drain_timeout + 5.0)
-        with self._conns_lock:
-            conns = list(self._conns)
-            self._conns.clear()
-        for conn in conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
 
-    def __enter__(self) -> "SocketFrontEnd":
+    def __enter__(self) -> "FrontEndBase":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- accept + connection readers ---------------------------------------
+    # -- operator views ----------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        while not self._draining.is_set():
-            try:
-                conn, _addr = self._listener.accept()
-            except OSError:
-                break  # listener closed: drain started
-            with self._conns_lock:
-                self._conns.add(conn)
-            t = threading.Thread(
-                target=self._read_loop, args=(conn,), daemon=True
-            )
-            t.start()
+    def health_doc(self) -> dict[str, Any]:
+        """The ``health`` ledger (gate counters + breaker states)."""
+        svc = getattr(self, "_svc", None)
+        return self.gate.health(
+            svc.breakers if svc is not None else None,
+            workers=self.config.jobs,
+        )
 
-    def _read_loop(self, conn: socket.socket) -> None:
-        write_lock = threading.Lock()
-        gone = threading.Event()
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of this front-end's state.
 
-        def reply(doc: dict[str, Any]) -> None:
-            if gone.is_set():
-                return
-            data = (json.dumps(doc) + "\n").encode("utf-8")
-            with write_lock:
-                try:
-                    conn.sendall(data)
-                except OSError:
-                    gone.set()
-                    _OBS_CLIENT_GONE.inc()
+        The ``svc_gate_*`` families come from the gate's own ledger
+        (valid with observability off, and exactly consistent with the
+        wire-level served/shed partition); the window gauges from the
+        live tracker; registry metrics ride along when obs recording is
+        on.
+        """
+        from ..obs import config as obs_config
+        from ..obs.live import render_prometheus
 
-        reader = conn.makefile("r", encoding="utf-8", errors="replace")
-        index = 0
-        try:
-            for line in reader:
-                index += 1
-                line = line.strip()
-                if not line:
-                    continue
-                self._handle_line(line, f"conn-{index}", reply)
-        except (OSError, ValueError):
-            pass  # connection torn down mid-read
-        finally:
-            try:
-                reader.close()
-            except OSError:
-                pass
-            # The socket itself stays open until drain/close: in-flight
-            # jobs admitted from this connection may still reply on the
-            # write half after the client half-closes its read side.
+        svc = getattr(self, "_svc", None)
+        return render_prometheus(
+            gate=self.gate,
+            breakers=svc.breakers if svc is not None else None,
+            live=self.tracker.live,
+            registry=obs_metrics.REGISTRY if obs_config.ENABLED else None,
+        )
 
-    def _handle_line(
+    # -- request handling (caller threads) ---------------------------------
+
+    def handle_line(
         self,
         line: str,
         default_id: str,
         reply: Callable[[dict[str, Any]], None],
     ) -> None:
+        """Parse one request payload and answer or enqueue it."""
         try:
             request = parse_line(line, default_id, self.limits)
         except (ValueError, OSError) as exc:
             _OBS_BAD_REQUESTS.inc()
-            reply({"id": getattr(exc, "client_id", default_id),
-                   "error": str(exc)})
+            doc = {"id": getattr(exc, "client_id", default_id),
+                   "error": str(exc)}
+            trace_id = getattr(exc, "trace_id", None)
+            if trace_id:
+                doc["trace_id"] = trace_id
+            reply(doc)
             return
         if request.health:
-            svc = getattr(self, "_svc", None)
-            health = self.gate.health(
-                svc.breakers if svc is not None else None,
-                workers=self.config.jobs,
-            )
+            health = self.health_doc()
             health["id"] = request.client_id
+            health["trace_id"] = request.trace_id
             reply(health)
             return
-        decision = self.gate.admit(request.spec, request.tenant)
+        if request.stats:
+            reply(stats_response(request, self.tracker, self.served))
+            return
+        with obs_tracer.trace_context(request.trace_id):
+            with obs_tracer.span(
+                "svc.admission",
+                id=request.client_id,
+                kind=request.spec.kind,
+                tenant=request.tenant,
+            ):
+                decision = self.gate.admit(request.spec, request.tenant)
         if isinstance(decision, Shed):
-            self.tracker.record_shed(decision.reason)
+            self.tracker.record_shed(decision.reason, request.tenant)
             reply(decision.response(request.client_id))
             return
         decision.reply = reply
@@ -604,9 +670,16 @@ class SocketFrontEnd:
         specs: list[JobSpec] = []
         tickets: dict[str, Ticket] = {}
         for ticket in batch:
-            released = self.gate.release(ticket)
+            with obs_tracer.trace_context(ticket.spec.trace_id):
+                with obs_tracer.span(
+                    "svc.dispatch",
+                    id=ticket.client_id,
+                    kind=ticket.spec.kind,
+                    tenant=ticket.tenant,
+                ):
+                    released = self.gate.release(ticket)
             if isinstance(released, Shed):
-                self.tracker.record_shed(released.reason)
+                self.tracker.record_shed(released.reason, ticket.tenant)
                 if ticket.reply is not None:
                     ticket.reply(released.response(ticket.client_id))
                 continue
@@ -624,18 +697,137 @@ class SocketFrontEnd:
             doc = result.to_dict()
             doc["job_id"] = ticket.client_id
             doc["id"] = ticket.client_id
+            # Fabricated results (crash past retries, open breaker)
+            # never saw the worker, so the spec's id fills the gap.
+            doc.setdefault("trace_id", ticket.spec.trace_id)
             if ticket.reply is not None:
                 ticket.reply(doc)
             self.gate.note_served(
                 result.duration or (self.clock() - started)
             )
             self.served += 1
-            self.tracker.record(result)
+            self.tracker.record(result, ticket.tenant)
 
         svc.run_jobs(specs, on_result=deliver)
         if self.tracker.due(self.stats_interval):
-            print(self.tracker.line(svc.breakers), file=self.err)
+            # One write call: stats output must never interleave with
+            # journal spill writes or other stderr traffic mid-line.
+            self.err.write(self.tracker.line(svc.breakers) + "\n")
             self.err.flush()
+
+
+# -- the socket front-end ----------------------------------------------------
+
+
+class SocketFrontEnd(FrontEndBase):
+    """``fast serve --listen``: a threaded JSONL-over-TCP endpoint.
+
+    The serving core (gate, dispatcher, drain) is
+    :class:`FrontEndBase`; this class adds the TCP transport — an
+    **accept thread** handing each connection to a **reader thread**
+    that feeds :meth:`handle_line` with a per-connection, write-locked
+    ``reply``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServiceConfig] = None,
+        gate_config: Optional[GateConfig] = None,
+        limits: Optional[RequestLimits] = None,
+        stats_interval: float = 0.0,
+        err: Optional[IO[str]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__(
+            config, gate_config, limits, stats_interval, err, clock
+        )
+        self._listener = socket.create_server(
+            (host, port), reuse_port=False
+        )
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SocketFrontEnd":
+        super().start()
+        t = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
+        return self
+
+    def _shutdown_transport(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Hard stop: drain, wait briefly, close every connection."""
+        super().close()
+        with self._conns_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- accept + connection readers ---------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._draining.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed: drain started
+            with self._conns_lock:
+                self._conns.add(conn)
+            t = threading.Thread(
+                target=self._read_loop, args=(conn,), daemon=True
+            )
+            t.start()
+
+    def _read_loop(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+        gone = threading.Event()
+
+        def reply(doc: dict[str, Any]) -> None:
+            if gone.is_set():
+                return
+            data = (json.dumps(doc) + "\n").encode("utf-8")
+            with write_lock:
+                try:
+                    conn.sendall(data)
+                except OSError:
+                    gone.set()
+                    _OBS_CLIENT_GONE.inc()
+
+        reader = conn.makefile("r", encoding="utf-8", errors="replace")
+        index = 0
+        try:
+            for line in reader:
+                index += 1
+                line = line.strip()
+                if not line:
+                    continue
+                self.handle_line(line, f"conn-{index}", reply)
+        except (OSError, ValueError):
+            pass  # connection torn down mid-read
+        finally:
+            try:
+                reader.close()
+            except OSError:
+                pass
+            # The socket itself stays open until drain/close: in-flight
+            # jobs admitted from this connection may still reply on the
+            # write half after the client half-closes its read side.
 
 
 def serve_socket(
@@ -675,8 +867,8 @@ def serve_socket(
     if stats:
         stream = err if err is not None else sys.stderr
         svc = getattr(front, "_svc", None)
-        print(
-            front.tracker.summary(svc.breakers if svc else None), file=stream
+        stream.write(
+            front.tracker.summary(svc.breakers if svc else None) + "\n"
         )
         stream.flush()
     return front.served

@@ -70,6 +70,7 @@ from ..obs import journal as obs_journal
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
 from ..obs.journal import Event, Journal
+from ..obs.live import LiveStats
 from ..obs.metrics import Counter, Gauge, Histogram, percentile
 from ..obs.report import span_to_dict
 from .job import JobResult, JobSpec, execute_job
@@ -224,7 +225,8 @@ def execute_with_telemetry(
     and obs flag are restored however the job exits.
     """
     if config is None or not config.enabled:
-        return execute_job(spec)
+        with obs_tracer.trace_context(spec.trace_id):
+            return execute_job(spec)
 
     previous_journal = obs_journal.ACTIVE
     was_enabled = obs_config.ENABLED
@@ -235,14 +237,19 @@ def execute_with_telemetry(
     obs_config.enabled(True)
     t_start = time.perf_counter()
     try:
-        with obs_tracer.span(
-            "svc.job",
-            job=spec.job_id,
-            kind=spec.kind,
-            attempt=attempt,
-            pid=os.getpid(),
-        ):
-            result = execute_job(spec)
+        # Re-establish the request's trace context inside the worker:
+        # the id rode in on the spec, and binding it here stamps the
+        # worker-side svc.job span (and everything under it) with the
+        # same trace_id the front-end stamped on its spans.
+        with obs_tracer.trace_context(spec.trace_id):
+            with obs_tracer.span(
+                "svc.job",
+                job=spec.job_id,
+                kind=spec.kind,
+                attempt=attempt,
+                pid=os.getpid(),
+            ):
+                result = execute_job(spec)
     finally:
         t_end = time.perf_counter()
         obs_journal.ACTIVE = previous_journal
@@ -417,13 +424,22 @@ class ServeStats:
     """Rolling per-kind latency/throughput stats for ``fast serve``.
 
     Independent of the global obs switch: stand-alone (unregistered,
-    un-journaled) histograms accumulate per-kind worker execution
-    times, and the tracker renders either a one-line rolling update
-    (``line()``, emitted every ``--stats-interval`` seconds) or the
-    ``fast top``-style final table (``summary()``).
+    un-journaled) histograms accumulate per-kind worker execution times
+    for the whole-run ``summary()`` table, and a
+    :class:`~repro.obs.live.LiveStats` window aggregator backs the
+    rolling ``line()`` updates — including one row per active tenant
+    over the short window, so a multi-tenant overload is visible *as*
+    it happens, not in the post-run table.
+
+    ``line()`` returns a complete, newline-joined block: the front-end
+    writes it with **one** ``write()`` call so stats output can never
+    interleave with journal spill writes or other stderr traffic.
     """
 
-    def __init__(self, clock=time.monotonic) -> None:
+    #: LiveStats window label the rolling line reports from.
+    LINE_WINDOW = "1m"
+
+    def __init__(self, clock=time.monotonic, live: Optional[LiveStats] = None) -> None:
         self.clock = clock
         self.started = clock()
         self.window_started = self.started
@@ -433,17 +449,22 @@ class ServeStats:
         self.retries: dict[str, int] = {}
         self.shed: dict[str, int] = {}
         self.shed_total = 0
+        self.live = live if live is not None else LiveStats(clock=clock)
 
-    def record_shed(self, reason: str) -> None:
+    def record_shed(self, reason: str, tenant: str = "default") -> None:
         """One request shed by the admission gate (never dispatched)."""
         self.shed[reason] = self.shed.get(reason, 0) + 1
         self.shed_total += 1
+        self.live.record_shed(reason, tenant)
 
-    def record(self, result: JobResult) -> None:
+    def record(self, result: JobResult, tenant: str = "default") -> None:
         self.total_jobs += 1
         self.window_jobs += 1
         self.retries[result.kind] = (
             self.retries.get(result.kind, 0) + max(0, result.attempts - 1)
+        )
+        self.live.record_served(
+            result.kind, tenant, result.duration, outcome=result.outcome
         )
         if result.worker_pid is not None:
             self.hists.setdefault(result.kind, Histogram()).observe(
@@ -453,8 +474,46 @@ class ServeStats:
     def due(self, interval: float) -> bool:
         return interval > 0 and self.clock() - self.window_started >= interval
 
+    def _tenant_rows(self) -> list[str]:
+        """One row per active tenant over the short live window."""
+        rows = []
+        label = self.LINE_WINDOW
+        if label not in {lbl for lbl, _ in self.live.windows}:
+            label = self.live.windows[0][0]
+        for tenant in self.live.tenants():
+            win = self.live.window(label, f"tenant:{tenant}")
+            if win is None:
+                continue
+            totals = win.totals()
+            served = totals.get("served", 0)
+            shed = totals.get("shed", 0)
+            if not served and not shed:
+                continue  # idle this window: no row
+            parts = [
+                f"tenant={tenant}",
+                f"window={label}",
+                f"served={served}",
+                f"shed={shed}",
+            ]
+            errors = totals.get("error", 0)
+            if errors:
+                parts.append(f"errors={errors}")
+            if win.sample_count():
+                q = win.quantiles()
+                parts.append(
+                    f"p50={q['p50'] * 1e3:.1f}ms p95={q['p95'] * 1e3:.1f}ms "
+                    f"p99={q['p99'] * 1e3:.1f}ms"
+                )
+            rows.append("[svc]   " + " ".join(parts))
+        return rows
+
     def line(self, breakers=None) -> str:
-        """One rolling stats line; resets the throughput window."""
+        """One rolling stats block; resets the throughput window.
+
+        The first line is the overall rate/kind summary; one indented
+        row per active tenant follows (the per-tenant live window).
+        The caller must emit the whole block with a single write.
+        """
         elapsed = max(self.clock() - self.window_started, 1e-9)
         parts = [f"{self.window_jobs / elapsed:.1f} jobs/s"]
         if self.shed_total:
@@ -470,7 +529,7 @@ class ServeStats:
             )
         self.window_started = self.clock()
         self.window_jobs = 0
-        return "[svc] " + " | ".join(parts)
+        return "\n".join(["[svc] " + " | ".join(parts)] + self._tenant_rows())
 
     def summary(self, breakers=None) -> str:
         """The ``fast top``-style closing table."""

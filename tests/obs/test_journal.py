@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -83,6 +84,136 @@ class TestJournal:
         assert j.events() == []
         assert j.emitted == 0
         assert j.dropped == 0
+
+
+def _spill_files(path: str) -> list[str]:
+    """The spill file plus its rotated generations, newest first."""
+    out = [path]
+    i = 1
+    while os.path.exists(f"{path}.{i}"):
+        out.append(f"{path}.{i}")
+        i += 1
+    return out
+
+
+def _assert_balanced(path: str) -> list[dict]:
+    """Parse one spill file; assert per-tid B/E nesting is balanced.
+
+    Returns the parsed lines.  Raises on an orphan ``E`` (pop of an
+    empty stack), a name mismatch at pop, or a span left open at EOF.
+    """
+    stacks: dict[int, list[str]] = {}
+    lines = [json.loads(l) for l in open(path)]
+    for doc in lines:
+        if doc["ph"] == "B":
+            stacks.setdefault(doc["tid"], []).append(doc["name"])
+        elif doc["ph"] == "E":
+            stack = stacks.get(doc["tid"])
+            assert stack, f"{path}: orphan E {doc['name']!r}"
+            assert stack[-1] == doc["name"], (
+                f"{path}: E {doc['name']!r} closes open {stack[-1]!r}"
+            )
+            stack.pop()
+    still_open = {t: s for t, s in stacks.items() if s}
+    assert not still_open, f"{path}: spans left open {still_open}"
+    return lines
+
+
+class TestSpillRotation:
+    def test_rotation_caps_file_and_keeps_n_generations(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        j = journal.Journal(
+            capacity=4, spill_path=path, max_bytes=512, keep=2
+        )
+        for i in range(400):  # far past several caps' worth of lines
+            j.emit("C", "n", i)
+        j.flush()
+        assert j.rotations >= 3
+        files = _spill_files(path)
+        # keep=2: current + at most 2 rotated generations, no .3 ever.
+        assert len(files) <= 3
+        assert not os.path.exists(f"{path}.3")
+        # Rotated generations hold one cap's worth (+ one flush batch
+        # of overshoot); only the current file may be mid-fill.
+        for rotated in files[1:]:
+            assert os.path.getsize(rotated) >= 512
+            assert os.path.getsize(rotated) < 512 * 2
+        stats = j.stats()
+        assert stats["rotations"] == j.rotations
+        assert stats["max_bytes"] == 512
+        assert stats["spill_bytes"] == os.path.getsize(path)
+
+    def test_every_file_keeps_balanced_nesting(self, tmp_path):
+        """A span open across rotations is closed/reopened at each cut."""
+        path = str(tmp_path / "events.jsonl")
+        j = journal.Journal(
+            capacity=2, spill_path=path, max_bytes=700, keep=5
+        )
+        j.emit("B", "serve")  # stays open across every rotation
+        for i in range(120):
+            j.emit("B", f"req-{i}")
+            j.emit("E", f"req-{i}")
+        j.emit("E", "serve")
+        j.flush()
+        assert j.rotations >= 2
+        files = _spill_files(path)
+        assert len(files) >= 3
+        for f in files:
+            _assert_balanced(f)
+        # The cut points are explicit: a file rotated out while "serve"
+        # was open ends by closing it synthetically, and its successor
+        # reopens it (a cut after the span closed reopens nothing).
+        oldest_first = list(reversed(files))
+        cuts = 0
+        for before, after in zip(oldest_first, oldest_first[1:]):
+            after_lines = [json.loads(l) for l in open(after)]
+            if not after_lines or after_lines[0]["data"] != {"rotated": True}:
+                continue
+            first = after_lines[0]
+            last = [json.loads(l) for l in open(before)][-1]
+            assert (first["ph"], first["name"]) == ("B", "serve")
+            assert (last["ph"], last["name"]) == ("E", "serve")
+            assert last["data"] == {"rotated": True}
+            cuts += 1
+        assert cuts >= 1, "no rotation happened while the span was open"
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        j = journal.Journal(capacity=4, spill_path=path)
+        for i in range(100):
+            j.emit("C", "n", i)
+        j.flush()
+        assert j.rotations == 0
+        assert _spill_files(path) == [path]
+        assert "max_bytes" not in j.stats()
+
+    def test_invalid_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            journal.Journal(
+                spill_path=str(tmp_path / "e.jsonl"), max_bytes=0
+            )
+
+    def test_env_install_rotation_knobs(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "spill.jsonl")
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", f"spill:{path}")
+        monkeypatch.setenv("REPRO_OBS_JOURNAL_MAX_BYTES", "4096")
+        monkeypatch.setenv("REPRO_OBS_JOURNAL_KEEP", "5")
+        journal._install_from_env()
+        j = journal.active()
+        assert j is not None
+        assert j.max_bytes == 4096
+        assert j.keep == 5
+
+    def test_env_nonpositive_max_bytes_means_unbounded(
+        self, monkeypatch, tmp_path
+    ):
+        path = str(tmp_path / "spill.jsonl")
+        monkeypatch.setenv("REPRO_OBS_JOURNAL", f"spill:{path}")
+        monkeypatch.setenv("REPRO_OBS_JOURNAL_MAX_BYTES", "0")
+        journal._install_from_env()
+        j = journal.active()
+        assert j is not None
+        assert j.max_bytes is None
 
 
 class TestModuleState:

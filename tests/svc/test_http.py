@@ -1,0 +1,403 @@
+"""Tests for the HTTP/1.1 front-end: endpoints, shed statuses, trace
+propagation, and ledger/metrics/wire coherence under overload chaos."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.guard.chaos import WorkerChaosPolicy
+from repro.obs import export, journal as obs_journal
+from repro.obs.live import parse_exposition
+from repro.svc import (
+    GateConfig,
+    HttpFrontEnd,
+    RequestLimits,
+    RetryPolicy,
+    ServiceConfig,
+)
+from repro.svc.gate import SHED_REASONS
+from repro.svc.job import PROVED, UNKNOWN
+
+PASSING = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+
+
+def _request(front, method, path, body=None, timeout=60.0):
+    """One HTTP request; returns (status, parsed-or-raw body, headers)."""
+    conn = http.client.HTTPConnection(front.host, front.port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if isinstance(body, dict) else body
+        conn.request(method, path, body=payload)
+        resp = conn.getresponse()
+        raw = resp.read().decode("utf-8")
+        headers = dict(resp.getheaders())
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            doc = raw
+        return resp.status, doc, headers
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def front():
+    fe = HttpFrontEnd(
+        config=ServiceConfig(jobs=1, retry=RetryPolicy(base_delay=0.01)),
+        gate_config=GateConfig(
+            max_queue=8, max_deadline=30.0, drain_timeout=20.0, workers=1
+        ),
+    )
+    fe.start()
+    yield fe
+    fe.close()
+
+
+class TestEndpoints:
+    def test_healthz_ready(self, front):
+        status, doc, _ = _request(front, "GET", "/healthz")
+        assert status == 200
+        assert doc["ready"] is True
+        assert "counters" in doc
+
+    def test_healthz_503_when_draining(self, front):
+        front.initiate_drain()
+        assert front.wait(30.0)
+        assert front.health_doc()["ready"] is False
+        # Transport is down post-drain; the doc itself is the contract.
+
+    def test_metrics_parses_and_has_gate_families(self, front):
+        _request(
+            front, "POST", "/v1/analyze",
+            {"id": "warm", "kind": "run", "source": PASSING},
+        )
+        status, text, headers = _request(front, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        fams = parse_exposition(text)
+        assert fams["svc_gate_served_total"][()] == 1.0
+        assert fams["svc_gate_ready"][()] == 1.0
+        assert "svc_window_served" in fams
+
+    def test_analyze_echoes_client_trace_id(self, front):
+        status, doc, _ = _request(
+            front, "POST", "/v1/analyze",
+            {"id": "r1", "kind": "run", "source": PASSING,
+             "trace_id": "client-trace-7"},
+        )
+        assert status == 200
+        assert doc["outcome"] == PROVED
+        assert doc["trace_id"] == "client-trace-7"
+        assert doc["id"] == "r1"
+
+    def test_analyze_mints_trace_id_when_absent(self, front):
+        status, doc, _ = _request(
+            front, "POST", "/v1/analyze",
+            {"id": "r2", "kind": "run", "source": PASSING},
+        )
+        assert status == 200
+        assert doc["trace_id"]  # server-minted, non-empty
+
+    def test_bad_kind_is_400_with_trace_id(self, front):
+        status, doc, _ = _request(
+            front, "POST", "/v1/analyze",
+            {"id": "bad", "kind": "nope", "source": "x",
+             "trace_id": "t-bad"},
+        )
+        assert status == 400
+        assert "error" in doc
+        assert doc["trace_id"] == "t-bad"
+
+    def test_malformed_trace_id_is_400(self, front):
+        status, doc, _ = _request(
+            front, "POST", "/v1/analyze",
+            {"id": "bad", "kind": "run", "source": PASSING,
+             "trace_id": "has space"},
+        )
+        assert status == 400
+        assert "trace_id" in doc["error"]
+
+    def test_bad_json_body_is_400(self, front):
+        status, doc, _ = _request(front, "POST", "/v1/analyze", "{nope")
+        assert status == 400
+        assert "error" in doc
+
+    def test_empty_body_is_400(self, front):
+        status, doc, _ = _request(front, "POST", "/v1/analyze", "")
+        assert status == 400
+
+    def test_unknown_paths_are_404(self, front):
+        status, _, _ = _request(front, "GET", "/v2/analyze")
+        assert status == 404
+        status, _, _ = _request(front, "POST", "/metrics")
+        assert status == 404
+
+    def test_oversized_body_is_413(self):
+        fe = HttpFrontEnd(
+            config=ServiceConfig(jobs=1),
+            gate_config=GateConfig(workers=1),
+            limits=RequestLimits(max_source_bytes=64),
+        )
+        fe.start()
+        try:
+            big = "x" * (64 * 1024 + 4096)
+            status, doc, _ = _request(
+                fe, "POST", "/v1/analyze",
+                {"id": "big", "kind": "run", "source": big},
+            )
+            assert status == 413
+        finally:
+            fe.close()
+
+    def test_stats_kind_returns_window_snapshot(self, front):
+        _request(
+            front, "POST", "/v1/analyze",
+            {"id": "w", "kind": "run", "source": PASSING},
+        )
+        status, doc, _ = _request(
+            front, "POST", "/v1/analyze", {"id": "s", "kind": "stats"}
+        )
+        assert status == 200
+        assert doc["served_total"] == 1
+        assert doc["stats"]["windows"]["5m"]["all"]["counts"]["served"] == 1
+
+    def test_quota_shed_is_429_with_retry_after(self):
+        fe = HttpFrontEnd(
+            config=ServiceConfig(jobs=1),
+            gate_config=GateConfig(
+                workers=1, tenant_rate=0.001, tenant_burst=1,
+                max_queue=8, drain_timeout=20.0,
+            ),
+        )
+        fe.start()
+        try:
+            status, _, _ = _request(
+                fe, "POST", "/v1/analyze",
+                {"id": "a", "kind": "run", "source": PASSING},
+            )
+            assert status == 200
+            status, doc, headers = _request(
+                fe, "POST", "/v1/analyze",
+                {"id": "b", "kind": "run", "source": PASSING,
+                 "trace_id": "quota-trace"},
+            )
+            assert status == 429
+            assert doc["shed"] is True
+            assert doc["reason"] == "quota"
+            assert doc["trace_id"] == "quota-trace"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            fe.close()
+
+
+class TestOverloadCoherence:
+    """Satellite: after a seeded overload-chaos run, the health ledger,
+    the /metrics exposition, and the wire-level served+shed partition
+    agree exactly (extends the exactly-one-response property)."""
+
+    SEED = 7
+
+    def _blast(self, front, n_threads, per_thread):
+        results = []
+        lock = threading.Lock()
+
+        def worker(t):
+            for i in range(per_thread):
+                status, doc, headers = _request(
+                    front, "POST", "/v1/analyze",
+                    {"id": f"t{t}-r{i}", "kind": "run", "source": PASSING,
+                     "trace_id": f"trace-t{t}-r{i}"},
+                    timeout=120.0,
+                )
+                with lock:
+                    results.append((status, doc, headers))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=180)
+            assert not t.is_alive(), "client wedged: request unanswered"
+        return results
+
+    def test_ledger_metrics_wire_agree(self):
+        front = HttpFrontEnd(
+            config=ServiceConfig(
+                jobs=2,
+                retry=RetryPolicy(
+                    max_retries=2, base_delay=0.01, seed=self.SEED
+                ),
+                worker_chaos=WorkerChaosPolicy(
+                    seed=self.SEED, kill_rate=0.15
+                ),
+            ),
+            gate_config=GateConfig(
+                max_queue=2, max_deadline=30.0, drain_timeout=30.0,
+                workers=2,
+            ),
+        )
+        front.start()
+        try:
+            results = self._blast(front, n_threads=6, per_thread=4)
+
+            served = shed = 0
+            for status, doc, headers in results:
+                if doc.get("shed"):
+                    shed += 1
+                    assert status in (429, 503)
+                    assert doc["reason"] in SHED_REASONS
+                    assert float(doc["retry_after"]) >= 0
+                    assert int(headers["Retry-After"]) >= 1
+                else:
+                    served += 1
+                    assert status == 200
+                    assert doc["outcome"] in (PROVED, UNKNOWN), doc
+                # Exactly-one-response, and every response is traceable.
+                assert doc["trace_id"].startswith("trace-t")
+            assert served + shed == 6 * 4
+
+            # Wire == health ledger.
+            health = front.health_doc()
+            counters = health["counters"]
+            assert counters["shed_total"] == shed
+            assert counters["admitted"] == (
+                served + counters["shed"]["deadline"]
+            )
+            assert counters["served"] == served
+
+            # Wire == /metrics (scraped over HTTP, parsed strictly).
+            status, text, _ = _request(front, "GET", "/metrics")
+            assert status == 200
+            fams = parse_exposition(text)
+            assert fams["svc_gate_served_total"][()] == float(served)
+            assert sum(fams["svc_gate_shed_total"].values()) == float(shed)
+            assert fams["svc_gate_admitted_total"][()] == float(
+                counters["admitted"]
+            )
+            # Live windows saw the same served stream (run kind only).
+            assert fams["svc_window_served"][
+                (("kind", "run"), ("window", "5m"))
+            ] == float(served)
+        finally:
+            front.close()
+
+
+class TestGoldenTraceChain:
+    """Acceptance: a client trace_id comes back in the response, and the
+    exported trace holds one contiguous span chain (admission →
+    dispatch → worker job → merge) all stamped with it."""
+
+    TRACE_ID = "golden-req-1"
+
+    def test_trace_chain_is_contiguous_and_stamped(self):
+        with obs_journal.journaled(capacity=1 << 16) as j:
+            front = HttpFrontEnd(
+                config=ServiceConfig(jobs=1),
+                gate_config=GateConfig(
+                    workers=1, max_queue=8, drain_timeout=20.0
+                ),
+            )
+            front.start()
+            try:
+                status, doc, _ = _request(
+                    front, "POST", "/v1/analyze",
+                    {"id": "g1", "kind": "run", "source": PASSING,
+                     "trace_id": self.TRACE_ID},
+                )
+                assert status == 200
+                assert doc["trace_id"] == self.TRACE_ID
+                assert doc["outcome"] == PROVED
+            finally:
+                front.close()
+
+        evs = export.events_for_trace(self.TRACE_ID, j)
+        assert evs, "no journal events carried the trace id"
+
+        # Every stamped event really carries the id.
+        for _ts, _tid, _ph, _name, data in evs:
+            assert data.get("trace_id") == self.TRACE_ID
+
+        # The chain: admission and dispatch spans on the front-end
+        # threads, the worker-side svc.job span (merged track), and the
+        # supervisor's zero-length svc.job finalize span (the merge
+        # point).
+        begins = [(ts, tid, name) for ts, tid, ph, name, _d in evs
+                  if ph == "B"]
+        admission = [b for b in begins if b[2] == "svc.admission"]
+        dispatch = [b for b in begins if b[2] == "svc.dispatch"]
+        jobs = [b for b in begins if b[2] == "svc.job"]
+        assert len(admission) == 1 and len(dispatch) == 1
+        assert len(jobs) >= 2  # worker-side span + supervisor finalize
+        host_tid = dispatch[0][1]
+        finalize = [b for b in jobs if b[1] == host_tid]
+        worker_jobs = [b for b in jobs if b[1] != host_tid]
+        assert finalize and worker_jobs
+        # Host-clock events order strictly: admission -> dispatch ->
+        # finalize (the merge point).
+        assert admission[0][0] <= dispatch[0][0] <= finalize[0][0]
+        # The worker span's timestamps are *aligned* to the host
+        # timeline via the clock handshake (error ~ rtt/2), so assert
+        # containment with slack rather than strict interleaving.
+        slack = 0.05
+        assert admission[0][0] - slack <= worker_jobs[0][0]
+        assert worker_jobs[0][0] <= finalize[0][0] + slack
+
+        # Admission-time instants ride the same id.
+        instants = {n for _ts, _tid, ph, n, _d in evs if ph == "I"}
+        assert "svc.gate.admit" in instants
+        assert "svc.worker.dispatch" in instants
+
+        # Every B has its E: the per-request export is balanced and
+        # renders to a loadable Perfetto document on its own.
+        doc = export.chrome_trace(events=evs)
+        per_tid_depth: dict[int, int] = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "B":
+                per_tid_depth[e["tid"]] = per_tid_depth.get(e["tid"], 0) + 1
+            elif e["ph"] == "E":
+                per_tid_depth[e["tid"]] -= 1
+                assert per_tid_depth[e["tid"]] >= 0
+        assert all(d == 0 for d in per_tid_depth.values())
+
+    def test_shed_decision_is_traceable(self):
+        """A quota shed leaves a journaled instant with the trace id."""
+        with obs_journal.journaled(capacity=1 << 14) as j:
+            front = HttpFrontEnd(
+                config=ServiceConfig(jobs=1),
+                gate_config=GateConfig(
+                    workers=1, tenant_rate=0.001, tenant_burst=1,
+                    drain_timeout=10.0,
+                ),
+            )
+            front.start()
+            try:
+                _request(
+                    front, "POST", "/v1/analyze",
+                    {"id": "a", "kind": "run", "source": PASSING},
+                )
+                status, doc, _ = _request(
+                    front, "POST", "/v1/analyze",
+                    {"id": "b", "kind": "run", "source": PASSING,
+                     "trace_id": "shed-trace"},
+                )
+                assert status == 429
+                assert doc["trace_id"] == "shed-trace"
+            finally:
+                front.close()
+        evs = export.events_for_trace("shed-trace", j)
+        sheds = [
+            (name, data) for _ts, _tid, ph, name, data in evs
+            if ph == "I" and name == "svc.gate.shed"
+        ]
+        assert sheds
+        assert sheds[0][1]["reason"] == "quota"

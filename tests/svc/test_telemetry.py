@@ -419,3 +419,108 @@ class TestGoldenTrace:
         assert result.outcome == PROVED
         assert result.telemetry is None
         assert pool.telemetry is None
+
+
+# -- rolling stats block (--stats) -------------------------------------------
+
+
+class _Clock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _result(kind="run", duration=0.02, outcome=PROVED):
+    return JobResult(
+        job_id="x", kind=kind, outcome=outcome, duration=duration,
+        attempts=1, worker_pid=1234,
+    )
+
+
+class TestServeStatsLine:
+    def test_line_has_one_row_per_active_tenant(self):
+        clock = _Clock()
+        stats = tel.ServeStats(clock=clock)
+        stats.record(_result(), tenant="team-a")
+        stats.record(_result(duration=0.04), tenant="team-a")
+        stats.record(_result(kind="emptiness"), tenant="team-b")
+        stats.record_shed("queue-full", tenant="team-b")
+        block = stats.line()
+        lines = block.splitlines()
+        assert lines[0].startswith("[svc] ")
+        tenant_rows = [l for l in lines[1:] if "tenant=" in l]
+        assert len(tenant_rows) == 2
+        row_a = next(l for l in tenant_rows if "tenant=team-a" in l)
+        row_b = next(l for l in tenant_rows if "tenant=team-b" in l)
+        assert "served=2" in row_a and "p50=" in row_a
+        assert "served=1" in row_b and "shed=1" in row_b
+        assert f"window={tel.ServeStats.LINE_WINDOW}" in row_a
+
+    def test_idle_tenants_age_out_of_the_block(self):
+        clock = _Clock()
+        stats = tel.ServeStats(clock=clock)
+        stats.record(_result(), tenant="team-a")
+        clock.advance(90.0)  # past the 1m live window
+        stats.record(_result(), tenant="team-b")
+        block = stats.line()
+        assert "tenant=team-b" in block
+        assert "tenant=team-a" not in block
+
+    def test_block_is_one_write_on_the_serving_path(self):
+        """serve_lines emits the whole multi-line block in a single
+        err.write() so concurrent stderr writers can't interleave a
+        partial stats line."""
+        import io
+
+        from repro.svc import GateConfig, ServiceConfig
+        from repro.svc.serve import serve_lines
+
+        class CountingErr(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.writes = []
+
+            def write(self, s):
+                self.writes.append(s)
+                return super().write(s)
+
+        req = json.dumps(
+            {"id": "s1", "kind": "run", "source": PASSING,
+             "tenant": "team-a"}
+        )
+        err = CountingErr()
+        out = io.StringIO()
+        serve_lines(
+            iter([req, req]), out, ServiceConfig(jobs=1),
+            gate_config=GateConfig(max_queue=4, workers=1),
+            stats=True, err=err,
+            stats_interval=1e-9,  # force a rolling line per request
+        )
+        blocks = [w for w in err.writes if "tenant=" in w]
+        assert blocks, "no stats block carried a tenant row"
+        for block in blocks:
+            # Complete block per write: starts at a line head, every
+            # embedded row intact, terminated by the newline the writer
+            # appended.
+            assert block.startswith("[svc]") or block.startswith("==")
+            assert block.endswith("\n")
+            for row in block.rstrip("\n").splitlines()[1:]:
+                assert row.startswith("[svc]") or row.startswith(" ") or (
+                    row and not row.startswith("tenant=")
+                )
+
+    def test_summary_keeps_shed_breakdown(self):
+        clock = _Clock()
+        stats = tel.ServeStats(clock=clock)
+        stats.record(_result(), tenant="t")
+        stats.record_shed("quota", tenant="t")
+        stats.record_shed("queue-full", tenant="t")
+        summary = stats.summary()
+        assert "shed: 2" in summary
+        assert "quota=1" in summary
+        assert "queue-full=1" in summary
