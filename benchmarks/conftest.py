@@ -66,6 +66,12 @@ def pytest_addoption(parser):
 
 
 def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "soak: long-running endurance benchmark (hundreds to thousands "
+        "of jobs through real worker pools); deselect with -m 'not soak' "
+        "for a quick benchmark pass",
+    )
     if config.getoption("--obs-json"):
         obs.enabled(True)
     if config.getoption("--trace-json"):

@@ -183,12 +183,14 @@ class ArtifactCache:
 
     # -- maintenance -------------------------------------------------------
 
-    def prewarm_from_disk(self, limit: int = 8) -> int:
-        """Load the most recent disk artifacts into memory (best effort).
+    def prewarm_plan(self, limit: int = 8) -> tuple[str, ...]:
+        """Keys of the most recent disk artifacts, newest first.
 
-        Workers call this at spawn so the first job for a recently-seen
-        program is a memory hit; counted under ``exec.cache.prewarm``,
-        not as hits.
+        A *plan* is cheap (one ``listdir`` + ``stat``s, no JSON loads)
+        and picklable, so a supervisor can compute it once and ship the
+        same key list to every spawned/recycled/respawned worker —
+        rather than each fresh worker re-scanning the cache directory
+        from scratch (see :meth:`prewarm_from_keys`).
         """
         directory = self._dir()
         try:
@@ -196,16 +198,26 @@ class ArtifactCache:
                 n for n in os.listdir(directory) if n.endswith(".json")
             ]
         except OSError:
-            return 0
+            return ()
         def mtime(name: str) -> float:
             try:
                 return os.path.getmtime(os.path.join(directory, name))
             except OSError:
                 return 0.0
         names.sort(key=mtime, reverse=True)
+        return tuple(
+            name[: -len(".json")] for name in names[: max(0, limit)]
+        )
+
+    def prewarm_from_keys(self, keys) -> int:
+        """Lift the given disk artifacts into memory (best effort).
+
+        Counted under ``exec.cache.prewarm``, not as hits; missing or
+        corrupt entries are skipped — a stale plan costs nothing but
+        the attempted loads.
+        """
         loaded = 0
-        for name in names[: max(0, limit)]:
-            key = name[: -len(".json")]
+        for key in keys:
             with self._lock:
                 if key in self._memory:
                     continue
@@ -215,6 +227,15 @@ class ArtifactCache:
                 _OBS_PREWARM.inc()
                 loaded += 1
         return loaded
+
+    def prewarm_from_disk(self, limit: int = 8) -> int:
+        """Load the most recent disk artifacts into memory (best effort).
+
+        Workers call this at spawn so the first job for a recently-seen
+        program is a memory hit; equivalent to executing a fresh
+        :meth:`prewarm_plan` immediately.
+        """
+        return self.prewarm_from_keys(self.prewarm_plan(limit))
 
     def clear(self, disk: bool = False) -> None:
         """Drop the memory layer; with ``disk=True`` also the disk layer."""

@@ -184,6 +184,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a per-kind latency/retry summary table (p50/p95/p99 "
         "and circuit-breaker states) to stderr when done",
     )
+    svc_common.add_argument(
+        "--worker-max-jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="proactively recycle a worker after serving N jobs "
+        "(default: never)",
+    )
+    svc_common.add_argument(
+        "--worker-max-rss",
+        metavar="SIZE",
+        default=None,
+        help="proactively recycle a worker whose resident set exceeds "
+        "SIZE (accepts suffixes: 64M, 1G, 4096; default: never)",
+    )
+    svc_common.add_argument(
+        "--worker-max-age",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="proactively recycle a worker older than SECONDS "
+        "(default: never)",
+    )
+    svc_common.add_argument(
+        "--worker-max-terms",
+        type=int,
+        metavar="N",
+        default=None,
+        help="in-worker hygiene: past N interned terms the worker "
+        "consistency-checks and flushes the term/solver/exec caches "
+        "between jobs (default: never)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="fast",
@@ -396,12 +428,27 @@ def _budget_spec(args: argparse.Namespace):
 
 
 def _service_config(args: argparse.Namespace):
-    from ..svc import RetryPolicy, ServiceConfig
+    from ..svc import LifecyclePolicy, RetryPolicy, ServiceConfig, parse_size
 
+    lifecycle = None
+    max_rss = getattr(args, "worker_max_rss", None)
+    if (
+        getattr(args, "worker_max_jobs", None) is not None
+        or max_rss is not None
+        or getattr(args, "worker_max_age", None) is not None
+        or getattr(args, "worker_max_terms", None) is not None
+    ):
+        lifecycle = LifecyclePolicy(
+            max_jobs=args.worker_max_jobs,
+            max_rss_bytes=parse_size(max_rss) if max_rss is not None else None,
+            max_age=args.worker_max_age,
+            max_terms=args.worker_max_terms,
+        )
     return ServiceConfig(
         jobs=args.jobs,
         kill_timeout=args.kill_timeout,
         retry=RetryPolicy(max_retries=args.retries),
+        lifecycle=lifecycle,
     )
 
 

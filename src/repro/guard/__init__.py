@@ -79,7 +79,7 @@ __all__ = [
 ]
 
 
-def check_solver_consistency(solver) -> dict[str, int]:
+def check_solver_consistency(solver, sample=None) -> dict[str, int]:
     """Verify a solver's memo tables and the shared intern table.
 
     The abort-safety contract: after *any* abort (budget exhaustion,
@@ -93,15 +93,25 @@ def check_solver_consistency(solver) -> dict[str, int]:
     * the process-wide intern table maps every structural key to a term
       that rebuilds to an equal node with an equal hash.
 
+    ``sample`` bounds the work per table (first N entries, and the
+    intern checker's own sampling) so hot paths — the worker hygiene
+    flush runs this between jobs — pay O(sample) instead of re-solving
+    an arbitrarily large sat cache; ``None`` checks everything.
+
     Returns the number of entries checked per table; raises
     ``AssertionError`` on any violation.
     """
+    import itertools
+
     from ..smt import terms as terms_mod
     from ..smt.solver import Model, Solver
 
+    def bounded(items):
+        return items if sample is None else itertools.islice(items, sample)
+
     checked = {"sat_cache": 0, "implies_cache": 0, "intern_table": 0}
     fresh = Solver(cache=False)
-    for formula, model in list(solver._sat_cache.items()):
+    for formula, model in bounded(list(solver._sat_cache.items())):
         assert isinstance(formula, terms_mod.Term), (
             f"sat cache key is not a Term: {formula!r}"
         )
@@ -115,7 +125,7 @@ def check_solver_consistency(solver) -> dict[str, int]:
                 f"cached model does not satisfy its formula: {formula!r}"
             )
         checked["sat_cache"] += 1
-    for key, value in list(solver._implies_cache.items()):
+    for key, value in bounded(list(solver._implies_cache.items())):
         assert (
             isinstance(key, tuple)
             and len(key) == 2
@@ -123,5 +133,10 @@ def check_solver_consistency(solver) -> dict[str, int]:
         ), f"bad implies cache key: {key!r}"
         assert isinstance(value, bool), f"bad implies cache value: {value!r}"
         checked["implies_cache"] += 1
-    checked["intern_table"] = terms_mod.check_intern_invariants()
+    if sample is None:
+        checked["intern_table"] = terms_mod.check_intern_invariants()
+    else:
+        checked["intern_table"] = terms_mod.check_intern_invariants(
+            sample=sample
+        )
     return checked

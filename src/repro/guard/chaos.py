@@ -15,12 +15,14 @@ Injections (all off by default, all reproducible from ``seed``):
   :class:`~repro.guard.budget.SolverUnknown`, a Z3-style give-up;
 * ``latency`` — sleep before each query (a slow solver must trip
   deadlines, not hang pipelines);
-* ``flush_rate`` — call ``solver.clear_cache()`` mid-flight.  This one
-  is *semantics-preserving*: results must not change when memo tables
-  evaporate at arbitrary query boundaries, which is exactly the
-  cache-consistency contract the abort-safety tests rely on.  The CI
-  chaos-smoke job runs the full tier-1 suite under latency + flush
-  injection and requires it to stay green.
+* ``flush_rate`` — run the coordinated cache flush
+  (:func:`repro.smt.flush_all_caches`: solver memos, intern table, and
+  exec LRU together) mid-flight.  This one is *semantics-preserving*:
+  results must not change when every memo table evaporates at an
+  arbitrary query boundary, which is exactly the cache-consistency
+  contract the abort-safety tests — and the long-haul worker hygiene
+  flush — rely on.  The CI chaos-smoke job runs the full tier-1 suite
+  under latency + flush injection and requires it to stay green.
 
 Since the analysis service (:mod:`repro.svc`) moved execution into
 subprocess workers, the harness also injects **worker-level** faults —
@@ -31,7 +33,10 @@ the kinds of failure a supervisor must survive, not a solver:
 * ``worker_hang_rate`` — the worker sleeps past the supervisor's kill
   timeout instead of answering;
 * ``worker_corrupt_rate`` — the worker replies with a garbage payload
-  instead of a :class:`~repro.svc.job.JobResult`.
+  instead of a :class:`~repro.svc.job.JobResult`;
+* ``worker_leak_rate`` / ``worker_leak_bytes`` — the worker pins a slab
+  of garbage in memory and then answers *correctly*: a slow leak, the
+  fault class the lifecycle layer's RSS recycle threshold exists for.
 
 Worker faults are decided by :class:`WorkerChaosPolicy` from the
 ``(seed, job_id, attempt)`` triple — not a sequential RNG — so the same
@@ -137,7 +142,13 @@ class ChaosPolicy:
             time.sleep(self.latency)
         if self.flush_rate and self._rng.random() < self.flush_rate:
             self._injected("flush", index)
-            solver.clear_cache()
+            # The coordinated flush (intern table + solver memos + exec
+            # LRU together) — injecting the full version here keeps the
+            # semantics-preserving contract honest for exactly the
+            # flush long-haul workers run between jobs.
+            from ..smt import flush_all_caches
+
+            flush_all_caches(solver=solver)
         if self.fault_after is not None and index == self.fault_after:
             self._injected("fault", index)
             raise SolverFault(
@@ -221,19 +232,27 @@ class WorkerChaosPolicy:
     kill_rate: float = 0.0
     hang_rate: float = 0.0
     corrupt_rate: float = 0.0
+    #: Probability an attempt deliberately *leaks*: the worker pins
+    #: ``leak_bytes`` of garbage in process memory and then runs the
+    #: job normally.  Unlike the other faults the reply is perfectly
+    #: valid — the damage is the growing RSS, which is what forces the
+    #: lifecycle layer's ``--worker-max-rss`` recycle path under test.
+    leak_rate: float = 0.0
+    #: Bytes pinned per fired leak.
+    leak_bytes: int = 8 << 20
     #: How long a "hung" worker sleeps; keep well above the supervisor's
     #: kill timeout (tests shrink both).
     hang_seconds: float = 3600.0
 
     def decide(self, job_id: str, attempt: int) -> Optional[str]:
-        """``'kill'`` / ``'hang'`` / ``'corrupt'`` / None for this attempt.
+        """``'kill'`` / ``'hang'`` / ``'corrupt'`` / ``'leak'`` / None.
 
         ``random.Random`` seeded with a string hashes it through
         SHA-512 (seeding version 2), so the draw is stable across
         processes and interpreter runs — no ``PYTHONHASHSEED``
         dependence.
         """
-        if not (self.kill_rate or self.hang_rate or self.corrupt_rate):
+        if not self.active:
             return None
         r = random.Random(f"{self.seed}:{job_id}:{attempt}").random()
         if r < self.kill_rate:
@@ -242,11 +261,24 @@ class WorkerChaosPolicy:
             return "hang"
         if r < self.kill_rate + self.hang_rate + self.corrupt_rate:
             return "corrupt"
+        if (
+            r
+            < self.kill_rate
+            + self.hang_rate
+            + self.corrupt_rate
+            + self.leak_rate
+        ):
+            return "leak"
         return None
 
     @property
     def active(self) -> bool:
-        return bool(self.kill_rate or self.hang_rate or self.corrupt_rate)
+        return bool(
+            self.kill_rate
+            or self.hang_rate
+            or self.corrupt_rate
+            or self.leak_rate
+        )
 
 
 @dataclass(frozen=True)
@@ -321,6 +353,8 @@ _WORKER_KEYS = {
     "worker_hang_rate": ("hang_rate", float),
     "worker_corrupt_rate": ("corrupt_rate", float),
     "worker_hang_seconds": ("hang_seconds", float),
+    "worker_leak_rate": ("leak_rate", float),
+    "worker_leak_bytes": ("leak_bytes", int),
 }
 
 #: Spec keys understood by :func:`overload_policy_from_spec`; ignored by

@@ -396,6 +396,7 @@ def render_prometheus(
     live: Optional[LiveStats] = None,
     registry: Any = None,
     extra: Optional[dict[str, float]] = None,
+    pool: Any = None,
 ) -> str:
     """The server's state in Prometheus text exposition format.
 
@@ -410,8 +411,46 @@ def render_prometheus(
       registered counter/gauge/histogram, name-sanitized under the
       ``repro_`` prefix (histograms as quantile gauges + _count/_sum).
     * ``extra`` — flat name -> value gauges (uptime, build info).
+    * ``pool`` — a :class:`~repro.svc.pool.WorkerPool`; per-worker
+      lifecycle gauges (``svc_worker_rss_bytes``,
+      ``svc_worker_generation``, ``svc_worker_jobs_served``, labelled
+      by worker id) and ``svc_recycles_total{reason=...}`` from the
+      pool's own ledger — like the gate, valid with obs off.
     """
     exp = _Exposition()
+    if pool is not None:
+        snapshot = pool.lifecycle_snapshot()
+        for row in snapshot["workers"]:
+            labels = {"worker": str(row["worker"])}
+            exp.add(
+                "svc_worker_generation", "gauge",
+                float(row["generation"]), labels=labels,
+                help_text="never-reused generation number per worker slot",
+            )
+            exp.add(
+                "svc_worker_jobs_served", "gauge",
+                float(row["jobs_served"]), labels=labels,
+                help_text="jobs served by the current generation",
+            )
+            if row["rss_bytes"] is not None:
+                exp.add(
+                    "svc_worker_rss_bytes", "gauge",
+                    float(row["rss_bytes"]), labels=labels,
+                    help_text="worker-self-reported resident set size",
+                )
+            if row["prewarm_ms"] is not None:
+                exp.add(
+                    "svc_worker_prewarm_ms", "gauge",
+                    float(row["prewarm_ms"]), labels=labels,
+                    help_text="artifact-cache prewarm time of the "
+                    "current generation",
+                )
+        for reason, count in sorted(snapshot["recycles"].items()):
+            exp.add(
+                "svc_recycles_total", "counter", float(count),
+                labels={"reason": reason},
+                help_text="proactive worker recycles by threshold",
+            )
     if gate is not None:
         health = gate.health(breakers)
         counters = health["counters"]

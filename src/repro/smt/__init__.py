@@ -5,6 +5,8 @@ This package replaces the paper's use of Z3 (Section 3.1 requires only a
 Boolean algebra).  See DESIGN.md for the substitution argument.
 """
 
+from typing import Optional
+
 from .builders import (
     FALSE,
     TRUE,
@@ -65,6 +67,60 @@ from .terms import (
     subst_cache_size,
 )
 
+def flush_all_caches(
+    solver: Optional[Solver] = None,
+    *,
+    check: bool = False,
+    check_sample: Optional[int] = 128,
+) -> dict[str, int]:
+    """Coordinated flush of every term-holding cache in the process.
+
+    :func:`~repro.smt.terms.clear_intern_table` alone is not enough for
+    memory hygiene: the solver's sat/implies memos and the exec
+    artifact LRU key and hold *term objects*, so a bare intern flush
+    leaves retired terms pinned (structural equality even lets the
+    stale entries keep hitting, which silently keeps the whole old
+    term DAG alive).  This clears, in one step:
+
+    * the given solver's (default: :data:`DEFAULT_SOLVER`) sat and
+      implies memos plus the shared substitution cache;
+    * the intern table itself (``TRUE``/``FALSE`` are re-seeded, so
+      identity fast paths on the canonical booleans survive);
+    * the exec compiled-artifact memory LRU (disk artifacts are
+      content-addressed and stay).
+
+    With ``check=True`` the solver and intern invariants are verified
+    *before* anything is dropped (:func:`repro.guard.
+    check_solver_consistency`, sampled at ``check_sample`` entries per
+    table) — the worker hygiene path uses this so a flush never papers
+    over corrupted cache state.
+
+    Returns the pre-flush sizes, keyed like ``cache_info()``.
+    """
+    target = solver if solver is not None else DEFAULT_SOLVER
+    sizes = {
+        "sat_cache": len(target._sat_cache),
+        "implies_cache": len(target._implies_cache),
+        "intern_table": intern_table_size(),
+        "substitution_cache": subst_cache_size(),
+    }
+    if check:
+        from ..guard import check_solver_consistency
+
+        check_solver_consistency(target, sample=check_sample)
+    target.clear_cache()
+    clear_intern_table()
+    try:
+        # Lazy import: repro.exec imports repro.smt, not vice versa.
+        from ..exec.cache import DEFAULT_CACHE
+
+        sizes["exec_memory_cache"] = len(DEFAULT_CACHE)
+        DEFAULT_CACHE.clear()
+    except Exception:
+        sizes["exec_memory_cache"] = 0
+    return sizes
+
+
 __all__ = [
     "BASIC_SORTS",
     "BOOL",
@@ -99,6 +155,7 @@ __all__ = [
     "clear_substitution_cache",
     "conjoin",
     "disjoin",
+    "flush_all_caches",
     "get_model",
     "intern_table_size",
     "interned",

@@ -13,6 +13,9 @@ process survives anything a job does:
   (and the hook where worker-level chaos faults fire);
 * :mod:`~repro.svc.pool` — the single-threaded supervisor: dispatch,
   wall-clock kill timeouts, crash detection, respawn;
+* :mod:`~repro.svc.lifecycle` — long-haul hygiene: worker generation
+  numbers, proactive recycling by jobs-served / RSS / age thresholds
+  (``--worker-max-*``), and the in-worker intern-table ceiling;
 * :mod:`~repro.svc.retry` — exponential backoff with full jitter for
   transient failures;
 * :mod:`~repro.svc.breaker` — per-analysis-kind circuit breakers
@@ -63,6 +66,7 @@ from .job import (
     execute_job,
 )
 from .http import HttpFrontEnd, serve_http
+from .lifecycle import LifecyclePolicy, current_rss_bytes, parse_size
 from .pool import WorkerPool
 from .retry import RetryPolicy
 from .serve import (
@@ -95,6 +99,7 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "KINDS",
+    "LifecyclePolicy",
     "RequestError",
     "RequestLimits",
     "RetryPolicy",
@@ -109,10 +114,12 @@ __all__ = [
     "build_specs",
     "chaos_from_env",
     "collect_program_paths",
+    "current_rss_bytes",
     "execute_job",
     "latency_summary",
     "mint_trace_id",
     "parse_line",
+    "parse_size",
     "parse_request",
     "run_batch",
     "serve_http",

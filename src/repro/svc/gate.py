@@ -414,14 +414,21 @@ class AdmissionGate:
             return self._inflight
 
     def health(
-        self, breakers: Any = None, workers: Optional[int] = None
+        self,
+        breakers: Any = None,
+        workers: Optional[int] = None,
+        pool: Any = None,
     ) -> dict[str, Any]:
         """The JSON-able payload of a ``health`` request.
 
         ``ready`` means "may I send you work and expect an answer" —
         false once draining.  Counters come from the gate's own
         bookkeeping (valid with observability off); breaker states are
-        read from the service's :class:`BreakerRegistry` when given.
+        read from the service's :class:`BreakerRegistry` when given;
+        with a ``pool`` the worker lifecycle snapshot (per-worker
+        generation / RSS / jobs served, recycle counts by reason) rides
+        along under ``"lifecycle"`` so an operator — or a probe — can
+        see recycling happen without scraping ``/metrics``.
         """
         with self._lock:
             shed_total = sum(self.shed.values())
@@ -448,4 +455,11 @@ class AdmissionGate:
             for kind, breaker in getattr(breakers, "breakers", {}).items():
                 states[kind] = breaker.state
         doc["breakers"] = states
+        if pool is not None:
+            snapshot = getattr(pool, "lifecycle_snapshot", None)
+            if callable(snapshot):
+                try:
+                    doc["lifecycle"] = snapshot()
+                except Exception:
+                    pass  # health must answer even mid-recycle
         return doc

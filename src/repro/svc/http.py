@@ -30,12 +30,15 @@ graceful drain are shared code, not a re-implementation:
 
 * ``GET /metrics`` — Prometheus text exposition
   (:func:`repro.obs.live.render_prometheus`): gate ledger counters,
-  rolling-window gauges and latency quantiles, breaker states, and the
-  obs registry when recording is on.
+  rolling-window gauges and latency quantiles, breaker states, worker
+  lifecycle gauges (``svc_worker_rss_bytes`` / ``svc_worker_generation``
+  per worker, ``svc_recycles_total`` by reason), and the obs registry
+  when recording is on.
 
-* ``GET /healthz`` — the ``health`` ledger as JSON; status 200 while
-  ready, 503 once draining (so orchestrator readiness probes fail over
-  before the drain deadline).
+* ``GET /healthz`` — the ``health`` ledger as JSON (including the
+  worker ``lifecycle`` snapshot); status 200 while ready, 503 once
+  draining (so orchestrator readiness probes fail over before the
+  drain deadline).
 """
 
 from __future__ import annotations

@@ -208,6 +208,11 @@ class JobResult:
     attempt_failures: list[dict[str, Any]] = field(default_factory=list)
     telemetry: Optional[dict[str, Any]] = None
     trace_id: Optional[str] = None
+    #: Worker self-report for the lifecycle layer, attached after every
+    #: executed job: ``{"rss_bytes": int|None, "intern_terms": int,
+    #: "flushes": int}``.  Unlike ``telemetry`` it is present even with
+    #: obs off — the supervisor's RSS recycle threshold depends on it.
+    hygiene: Optional[dict[str, Any]] = None
 
     def to_dict(self) -> dict[str, Any]:
         doc = {
@@ -226,6 +231,8 @@ class JobResult:
         }
         if self.trace_id is not None:
             doc["trace_id"] = self.trace_id
+        if self.hygiene is not None:
+            doc["hygiene"] = self.hygiene
         return doc
 
     def to_verdict(self) -> Verdict:

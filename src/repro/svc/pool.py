@@ -46,6 +46,7 @@ from ..obs import tracer as obs_tracer
 from . import telemetry as svc_telemetry
 from .breaker import BreakerRegistry
 from .job import ERROR, JobFailure, JobResult, JobSpec, REFUTED, UNKNOWN
+from .lifecycle import RECYCLE_REASONS, LifecyclePolicy
 from .retry import RetryPolicy
 from .telemetry import TelemetryConfig
 from .worker import Worker, default_start_method
@@ -61,6 +62,15 @@ _OBS_CRASHES = obs_metrics.counter("svc.worker_crashes")
 _OBS_TIMEOUTS = obs_metrics.counter("svc.worker_timeouts")
 _OBS_CORRUPT = obs_metrics.counter("svc.corrupt_results")
 _OBS_LATENCY = obs_metrics.histogram("svc.job_latency")
+_OBS_RECYCLES = obs_metrics.counter("svc.recycles")
+_OBS_RECYCLES_BY = {
+    reason: obs_metrics.counter(f"svc.recycles.{reason}")
+    for reason in RECYCLE_REASONS
+}
+_OBS_WORKER_RSS = obs_metrics.gauge("svc.worker.rss_bytes")
+_OBS_WORKER_GEN = obs_metrics.gauge("svc.worker.generation")
+_OBS_PREWARM_MS = obs_metrics.histogram("svc.worker.prewarm_ms")
+_OBS_RECYCLE_PAUSE = obs_metrics.histogram("svc.recycle_pause_ms")
 
 
 def _journal(event: str, detail: dict) -> None:
@@ -89,12 +99,14 @@ class WorkerPool:
         start_method: Optional[str] = None,
         telemetry: Optional[TelemetryConfig] = None,
         prewarm: bool = True,
+        lifecycle: Optional[LifecyclePolicy] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.size = size
         self.chaos = chaos
         self.prewarm = prewarm
+        self.lifecycle = lifecycle
         # Telemetry defaults from the obs state at construction time:
         # pools built while recording is on ship worker journals back.
         self.telemetry = (
@@ -105,6 +117,11 @@ class WorkerPool:
             start_method or default_start_method()
         )
         self.workers: list[Worker] = []
+        #: Proactive recycles by reason; plain counts (valid with obs
+        #: off), mirrored to ``svc.recycles*`` obs counters.
+        self.recycles: dict[str, int] = {r: 0 for r in RECYCLE_REASONS}
+        #: Wall-clock cost of each recycle (spawn + swap + retire).
+        self.recycle_pause_s: list[float] = []
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -112,23 +129,170 @@ class WorkerPool:
     def _note_spawn(self, worker: Worker) -> None:
         if obs_config.ENABLED:
             _OBS_SPAWNS.inc()
-        _journal(
-            "svc.worker.spawn",
-            {"worker": worker.worker_id, "pid": worker.pid},
+            _OBS_WORKER_GEN.set(float(worker.generation))
+            if worker.prewarm_ms is not None:
+                _OBS_PREWARM_MS.observe(worker.prewarm_ms)
+        detail = {
+            "worker": worker.worker_id,
+            "pid": worker.pid,
+            "generation": worker.generation,
+        }
+        if worker.prewarm_ms is not None:
+            detail["prewarm_ms"] = round(worker.prewarm_ms, 3)
+        _journal("svc.worker.spawn", detail)
+
+    def _new_worker(self) -> Worker:
+        """Build (and spawn) a worker, sharing the pool's prewarm plan.
+
+        The first worker computes the artifact-key plan from disk; every
+        later spawn — pool growth, crash respawn, proactive recycle —
+        reuses it, so replacement workers warm in one pass without
+        re-scanning the cache directory.
+        """
+        worker = Worker(
+            self.ctx,
+            self.chaos,
+            self.telemetry,
+            prewarm=self.prewarm,
+            lifecycle=self.lifecycle,
+            prewarm_plan=self._shared_prewarm_plan(),
         )
+        return worker
+
+    def _shared_prewarm_plan(self) -> Optional[tuple]:
+        for w in self.workers:
+            if w.prewarm_plan is not None:
+                return w.prewarm_plan
+        return None
 
     def _ensure_workers(self) -> None:
         while len(self.workers) < self.size:
-            worker = Worker(
-                self.ctx, self.chaos, self.telemetry, prewarm=self.prewarm
-            )
+            worker = self._new_worker()
             self.workers.append(worker)
             self._note_spawn(worker)
 
     def _respawn(self, worker: Worker) -> None:
         worker.kill()
+        if worker.prewarm_plan is None:
+            worker.prewarm_plan = self._shared_prewarm_plan()
         worker.spawn()
         self._note_spawn(worker)
+
+    # -- proactive recycling ----------------------------------------------
+
+    def _note_hygiene(self, worker: Worker, result: JobResult) -> None:
+        """Absorb a reply's worker self-report into the handle + obs."""
+        worker.jobs_served += 1
+        report = result.hygiene
+        if isinstance(report, dict):
+            rss = report.get("rss_bytes")
+            if isinstance(rss, int):
+                worker.rss_bytes = rss
+                if obs_config.ENABLED:
+                    _OBS_WORKER_RSS.set(float(rss))
+
+    def _maybe_recycle(self, worker: Worker) -> Worker:
+        """Recycle an *idle* worker that crossed a threshold.
+
+        Returns the worker now occupying the slot (the replacement, or
+        the untouched original).  Only idle workers are considered, so
+        "retirement waits for the in-flight job" holds trivially — a
+        busy worker is re-examined once its reply is finalized, and a
+        busy worker that never replies is the kill-timeout path's
+        problem, not ours.
+        """
+        policy = self.lifecycle
+        if policy is None or not policy.active() or not worker.alive:
+            return worker
+        reason = policy.recycle_reason(
+            jobs_served=worker.jobs_served,
+            rss_bytes=worker.rss_bytes,
+            age=worker.age,
+        )
+        if reason is None:
+            return worker
+        return self._recycle(worker, reason)
+
+    def _recycle(self, worker: Worker, reason: str) -> Worker:
+        """Seamlessly replace one idle worker: spawn first, retire second.
+
+        The replacement is fully spawned, prewarmed, and handshaken
+        (the spawn-time ping doubles as a readiness barrier) *before*
+        the old worker leaves the pool, so capacity never dips and no
+        job can be dispatched into the gap.  Generation numbers come
+        from a process-wide counter and are never reused.
+        """
+        t0 = time.monotonic()
+        replacement = self._prepare_replacement(worker)
+        self.workers[self.workers.index(worker)] = replacement
+        self._note_spawn(replacement)
+        worker.stop()
+        pause = time.monotonic() - t0
+        self.recycles[reason] = self.recycles.get(reason, 0) + 1
+        self.recycle_pause_s.append(pause)
+        if obs_config.ENABLED:
+            _OBS_RECYCLES.inc()
+            counter = _OBS_RECYCLES_BY.get(reason)
+            if counter is not None:
+                counter.inc()
+            _OBS_RECYCLE_PAUSE.observe(pause * 1e3)
+        _journal(
+            "svc.worker.recycle",
+            {
+                "worker": worker.worker_id,
+                "reason": reason,
+                "old_generation": worker.generation,
+                "new_generation": replacement.generation,
+                "jobs_served": worker.jobs_served,
+                "rss_bytes": worker.rss_bytes,
+                "age_s": round(worker.age, 3),
+                "pause_ms": round(pause * 1e3, 3),
+            },
+        )
+        return replacement
+
+    def _prepare_replacement(self, worker: Worker) -> Worker:
+        """Spawn + prewarm the replacement while the old worker stands.
+
+        Split out so chaos tests can interpose (e.g. SIGKILL a sibling
+        exactly while the replacement is prewarming).
+        """
+        return self._new_worker()
+
+    def lifecycle_snapshot(self) -> dict[str, Any]:
+        """Per-worker lifecycle state for health docs and /metrics."""
+        workers = []
+        for w in self.workers:
+            workers.append(
+                {
+                    "worker": w.worker_id,
+                    "pid": w.pid,
+                    "generation": w.generation,
+                    "jobs_served": w.jobs_served,
+                    "rss_bytes": w.rss_bytes,
+                    "age_s": round(w.age, 3),
+                    "prewarm_ms": (
+                        round(w.prewarm_ms, 3)
+                        if w.prewarm_ms is not None
+                        else None
+                    ),
+                    "alive": w.alive,
+                }
+            )
+        policy = None
+        if self.lifecycle is not None:
+            policy = {
+                "max_jobs": self.lifecycle.max_jobs,
+                "max_rss_bytes": self.lifecycle.max_rss_bytes,
+                "max_age": self.lifecycle.max_age,
+                "max_terms": self.lifecycle.max_terms,
+            }
+        return {
+            "workers": workers,
+            "recycles": dict(self.recycles),
+            "recycles_total": sum(self.recycles.values()),
+            "policy": policy,
+        }
 
     def close(self) -> None:
         """Stop every worker (politely, then by force)."""
@@ -291,6 +455,7 @@ class WorkerPool:
                 and payload.job_id == job_id
             ):
                 breakers.get(state.spec.kind).record_success()
+                self._note_hygiene(worker, payload)
                 # Fold the worker's telemetry blob (journal fragment,
                 # metric deltas) into host obs state before the span is
                 # recorded; crash-safe — a mangled blob merges nothing.
@@ -321,6 +486,14 @@ class WorkerPool:
                 while delayed and delayed[0][0] <= now:
                     _, _, job_id = heapq.heappop(delayed)
                     ready.append(job_id)
+
+                # Proactively recycle idle workers that crossed a
+                # lifecycle threshold — replacement first, then retire,
+                # so the dispatch below never sees reduced capacity.
+                if self.lifecycle is not None and self.lifecycle.active():
+                    for w in list(self.workers):
+                        if id(w) not in busy:
+                            self._maybe_recycle(w)
 
                 # Dispatch to idle workers.
                 idle = [

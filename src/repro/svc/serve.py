@@ -540,11 +540,12 @@ class FrontEndBase:
     # -- operator views ----------------------------------------------------
 
     def health_doc(self) -> dict[str, Any]:
-        """The ``health`` ledger (gate counters + breaker states)."""
+        """The ``health`` ledger (gate + breakers + worker lifecycle)."""
         svc = getattr(self, "_svc", None)
         return self.gate.health(
             svc.breakers if svc is not None else None,
             workers=self.config.jobs,
+            pool=svc.pool if svc is not None else None,
         )
 
     def metrics_text(self) -> str:
@@ -565,6 +566,7 @@ class FrontEndBase:
             breakers=svc.breakers if svc is not None else None,
             live=self.tracker.live,
             registry=obs_metrics.REGISTRY if obs_config.ENABLED else None,
+            pool=svc.pool if svc is not None else None,
         )
 
     # -- request handling (caller threads) ---------------------------------

@@ -28,6 +28,7 @@ from ..guard import Verdict
 from ..guard.chaos import WorkerChaosPolicy, worker_policy_from_spec
 from .breaker import BreakerConfig, BreakerRegistry
 from .job import JobResult, JobSpec
+from .lifecycle import LifecyclePolicy
 from .pool import WorkerPool
 from .retry import RetryPolicy
 from .telemetry import TelemetryConfig, default_config as default_telemetry
@@ -62,6 +63,10 @@ class ServiceConfig:
     #: Artifact-cache pre-warming: workers load recent disk artifacts
     #: at spawn, and ``fast batch`` compiles shared sources up front.
     prewarm: bool = True
+    #: Proactive worker recycling thresholds (jobs / RSS / age) plus
+    #: the in-worker intern-table ceiling; None = workers live forever
+    #: (the pre-lifecycle behaviour).
+    lifecycle: Optional[LifecyclePolicy] = None
 
     def resolved_chaos(self) -> Optional[WorkerChaosPolicy]:
         return self.worker_chaos if self.worker_chaos is not None else chaos_from_env()
@@ -92,6 +97,7 @@ class AnalysisService:
             start_method=self.config.start_method,
             telemetry=self.config.resolved_telemetry(),
             prewarm=self.config.prewarm,
+            lifecycle=self.config.lifecycle,
         )
         self.breakers = BreakerRegistry(config=self.config.breaker)
 
@@ -131,6 +137,10 @@ class AnalysisService:
     def breaker_states(self) -> dict[str, str]:
         """Per-kind circuit-breaker states (for health reporting)."""
         return {k: b.state for k, b in self.breakers.breakers.items()}
+
+    def lifecycle_snapshot(self) -> dict:
+        """Per-worker generation/RSS/age state (for health reporting)."""
+        return self.pool.lifecycle_snapshot()
 
     @staticmethod
     def verdict_of(result: JobResult) -> Verdict:

@@ -14,7 +14,18 @@ configured, each received ``(job, attempt)`` first consults it and may
 * SIGKILL itself (``kill`` — the supervisor sees a dead sentinel),
 * sleep past the supervisor's kill timeout (``hang``),
 * reply with a garbage payload (``corrupt`` — exercising reply
-  validation).
+  validation),
+* pin a slab of garbage in memory and then answer correctly (``leak``
+  — exercising the lifecycle layer's RSS recycle threshold).
+
+Lifecycle: every spawn — initial, crash respawn, proactive recycle —
+takes a fresh, never-reused **generation** number, and the handle
+tracks ``jobs_served`` / ``spawned_at`` / last self-reported RSS so the
+pool can retire workers that cross :class:`~repro.svc.lifecycle.
+LifecyclePolicy` thresholds.  The worker side runs hygiene between
+jobs: past ``max_terms`` interned terms it consistency-checks the
+caches and then flushes them all in one coordinated step
+(:func:`repro.smt.flush_all_caches`).
 
 The default start method is ``fork`` where available (Linux): workers
 inherit the warmed import state and the hash-consed term table for
@@ -33,6 +44,7 @@ from typing import Any, Optional
 
 from ..guard.chaos import WorkerChaosPolicy
 from .job import JobSpec
+from .lifecycle import LifecyclePolicy, current_rss_bytes, next_generation
 from .telemetry import (
     CLOCK_PING,
     TelemetryConfig,
@@ -40,10 +52,15 @@ from .telemetry import (
     execute_with_telemetry,
     is_ping,
     make_pong,
+    prewarm_ms_from_pong,
 )
 
 #: Payload a chaos-corrupted worker sends instead of a JobResult.
 _CORRUPT_PAYLOAD = ("\x00corrupt\x00", "injected by WorkerChaosPolicy")
+
+#: Chaos-leaked slabs; module-level so they stay pinned for the life of
+#: the worker process, exactly like a real leak would.
+_LEAKED: list[bytearray] = []
 
 _worker_ids = itertools.count(1)
 
@@ -86,36 +103,94 @@ def _reset_inherited_state() -> None:
         pass
 
 
-def _prewarm_artifact_cache() -> None:
+def _prewarm_artifact_cache(plan=None) -> Optional[float]:
     """Best-effort: lift recent disk artifacts into the memory cache.
 
     Runs once at worker start, so the first job for a recently-analyzed
     program skips even the disk read.  A forked worker already shares
     the parent's memory layer; this only adds what landed on disk in
-    earlier processes.  Strictly optional — any failure (no cache dir,
-    torn files, a broken deserializer) leaves the worker fully
-    functional on the cold path.
+    earlier processes.  With an explicit ``plan`` (a key tuple computed
+    supervisor-side, see :meth:`ArtifactCache.prewarm_plan`) the worker
+    skips the directory scan and warms in one pass — respawns and
+    recycles reuse the first spawn's plan.  Strictly optional — any
+    failure (no cache dir, torn files, a broken deserializer) leaves
+    the worker fully functional on the cold path.
+
+    Returns the prewarm duration in milliseconds (None on failure),
+    which rides the clock pong back as ``svc.worker.prewarm_ms``.
     """
     try:
         from ..exec import config as exec_config
         from ..exec.cache import DEFAULT_CACHE
 
+        t0 = time.perf_counter()
         if exec_config.cache_enabled():
-            DEFAULT_CACHE.prewarm_from_disk()
+            if plan is not None:
+                DEFAULT_CACHE.prewarm_from_keys(plan)
+            else:
+                DEFAULT_CACHE.prewarm_from_disk()
+        return (time.perf_counter() - t0) * 1e3
     except Exception:
-        pass
+        return None
+
+
+def _hygiene_report(flushes: int) -> dict:
+    """The per-job self-report the supervisor's RSS threshold reads."""
+    try:
+        from ..smt import terms as terms_mod
+
+        intern_terms = terms_mod.intern_table_size()
+    except Exception:
+        intern_terms = -1
+    return {
+        "rss_bytes": current_rss_bytes(),
+        "intern_terms": intern_terms,
+        "flushes": flushes,
+    }
+
+
+def _maybe_flush_between_jobs(lifecycle: Optional[LifecyclePolicy]) -> bool:
+    """In-worker memory hygiene: bounded intern table between jobs.
+
+    When the interned-term count crosses ``lifecycle.max_terms``, the
+    caches are first verified (sampled
+    :func:`repro.guard.check_solver_consistency` — the abort-safety
+    machinery, so a flush can never paper over corrupted state) and
+    then dropped together via :func:`repro.smt.flush_all_caches`.
+    Consistency violations propagate: a worker whose caches fail the
+    check dies loudly and is respawned, rather than serving from
+    suspect state.
+    """
+    if lifecycle is None or lifecycle.max_terms is None:
+        return False
+    from ..smt import terms as terms_mod
+
+    if terms_mod.intern_table_size() <= lifecycle.max_terms:
+        return False
+    from ..smt import flush_all_caches
+
+    flush_all_caches(check=True)
+    return True
 
 
 def _worker_main(
     conn,
     chaos: Optional[WorkerChaosPolicy],
     telemetry: Optional[TelemetryConfig] = None,
-    prewarm: bool = True,
+    prewarm=True,
+    lifecycle: Optional[LifecyclePolicy] = None,
 ) -> None:
-    """The worker loop; exits on a ``None`` message or a closed pipe."""
+    """The worker loop; exits on a ``None`` message or a closed pipe.
+
+    ``prewarm`` is False (skip), True (scan the disk cache), or a
+    tuple of cache keys (warm exactly those, no scan).
+    """
     _reset_inherited_state()
+    prewarm_ms: Optional[float] = None
     if prewarm:
-        _prewarm_artifact_cache()
+        plan = prewarm if isinstance(prewarm, (tuple, list)) else None
+        prewarm_ms = _prewarm_artifact_cache(plan)
+    flushes = 0
     while True:
         try:
             message = conn.recv()
@@ -126,9 +201,10 @@ def _worker_main(
         if is_ping(message):
             # Clock handshake: reply with our pid and perf_counter so
             # the supervisor can align this worker's telemetry
-            # timestamps onto its own timeline.
+            # timestamps onto its own timeline (plus the prewarm time,
+            # for `svc.worker.prewarm_ms`).
             try:
-                conn.send(make_pong())
+                conn.send(make_pong(prewarm_ms))
             except (BrokenPipeError, OSError):
                 break
             continue
@@ -144,7 +220,11 @@ def _worker_main(
             except (BrokenPipeError, OSError):
                 break
             continue
+        if fault == "leak":
+            # Pin garbage, then answer correctly: the damage is RSS.
+            _LEAKED.append(bytearray(chaos.leak_bytes))
         result = execute_with_telemetry(spec, attempt, telemetry)
+        result.hygiene = _hygiene_report(flushes)
         try:
             conn.send(result)
         except (BrokenPipeError, OSError):
@@ -157,6 +237,10 @@ def _worker_main(
                 conn.send(result)
             except Exception:
                 break
+        # Hygiene runs *after* the reply is on the wire, so the flush
+        # cost lands in idle time, never in a job's latency.
+        if _maybe_flush_between_jobs(lifecycle):
+            flushes += 1
     conn.close()
 
 
@@ -172,11 +256,14 @@ class Worker:
         chaos: Optional[WorkerChaosPolicy] = None,
         telemetry: Optional[TelemetryConfig] = None,
         prewarm: bool = True,
+        lifecycle: Optional[LifecyclePolicy] = None,
+        prewarm_plan: Optional[tuple] = None,
     ) -> None:
         self.ctx = ctx
         self.chaos = chaos
         self.telemetry = telemetry
         self.prewarm = prewarm
+        self.lifecycle = lifecycle
         self.worker_id = next(_worker_ids)
         self.spawns = 0
         self.process: Any = None
@@ -184,14 +271,53 @@ class Worker:
         #: Worker->supervisor ``perf_counter`` offset, from the spawn
         #: handshake; None when telemetry is off or the pong never came.
         self.clock_offset: Optional[float] = None
+        #: Never-reused generation number, fresh per (re)spawn.
+        self.generation: int = 0
+        #: Supervisor-clock timestamp of the last (re)spawn.
+        self.spawned_at: float = 0.0
+        #: Valid replies finalized since the last (re)spawn.
+        self.jobs_served: int = 0
+        #: Last RSS the worker self-reported (bytes), None before the
+        #: first reply of this generation.
+        self.rss_bytes: Optional[int] = None
+        #: Worker-timed artifact prewarm for this generation (ms).
+        self.prewarm_ms: Optional[float] = None
+        #: Cached artifact-key plan: computed once at first spawn (or
+        #: inherited from the pool), then reused by every respawn/
+        #: recycle so replacement workers warm in one pass without
+        #: re-scanning the cache directory.
+        self.prewarm_plan: Optional[tuple] = (
+            tuple(prewarm_plan) if prewarm_plan is not None else None
+        )
         self.spawn()
+
+    def _resolve_prewarm(self):
+        """What to ship as ``_worker_main``'s prewarm argument."""
+        if not self.prewarm:
+            return False
+        if self.prewarm_plan is None:
+            try:
+                from ..exec import config as exec_config
+                from ..exec.cache import DEFAULT_CACHE
+
+                if exec_config.cache_enabled():
+                    self.prewarm_plan = DEFAULT_CACHE.prewarm_plan()
+            except Exception:
+                self.prewarm_plan = None
+        return self.prewarm_plan if self.prewarm_plan is not None else True
 
     def spawn(self) -> None:
         """(Re)start the child process with a fresh pipe."""
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         self.process = self.ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.chaos, self.telemetry, self.prewarm),
+            args=(
+                child_conn,
+                self.chaos,
+                self.telemetry,
+                self._resolve_prewarm(),
+                self.lifecycle,
+            ),
             daemon=True,
             name=f"repro-svc-worker-{self.worker_id}",
         )
@@ -199,18 +325,25 @@ class Worker:
         child_conn.close()
         self.conn = parent_conn
         self.spawns += 1
+        self.generation = next_generation()
+        self.spawned_at = time.monotonic()
+        self.jobs_served = 0
+        self.rss_bytes = None
+        self.prewarm_ms = None
         self.clock_offset = None
-        if self.telemetry is not None and self.telemetry.enabled:
-            self._handshake()
+        self._handshake()
 
     def _handshake(self) -> None:
-        """Ping the fresh worker and estimate its clock offset.
+        """Ping the fresh worker; absorb its clock offset + prewarm time.
 
-        Best-effort: a worker that dies or stalls before ponging just
-        leaves ``clock_offset`` at None (telemetry merges fall back to
-        right-edge alignment) — job dispatch proceeds regardless, and a
-        late pong is absorbed by the pool's reply loop via
-        :meth:`note_pong`.
+        Doubles as the *readiness barrier*: the worker only answers the
+        ping once its loop is up, i.e. after prewarm completed — which
+        is what lets a recycle retire the old worker knowing its
+        replacement is genuinely warm.  Best-effort: a worker that dies
+        or stalls before ponging just leaves ``clock_offset`` at None
+        (telemetry merges fall back to right-edge alignment) — job
+        dispatch proceeds regardless, and a late pong is absorbed by
+        the pool's reply loop via :meth:`note_pong`.
         """
         try:
             t_sent = time.perf_counter()
@@ -221,6 +354,7 @@ class Worker:
                 self.clock_offset = clock_offset_from_pong(
                     payload, t_sent, t_received
                 )
+                self.prewarm_ms = prewarm_ms_from_pong(payload)
         except (BrokenPipeError, EOFError, OSError):
             pass
 
@@ -231,6 +365,13 @@ class Worker:
         offset = clock_offset_from_pong(payload, t_now, t_now)
         if offset is not None and self.clock_offset is None:
             self.clock_offset = offset
+        if self.prewarm_ms is None:
+            self.prewarm_ms = prewarm_ms_from_pong(payload)
+
+    @property
+    def age(self) -> float:
+        """Seconds since this generation (re)spawned."""
+        return time.monotonic() - self.spawned_at
 
     # -- state -------------------------------------------------------------
 

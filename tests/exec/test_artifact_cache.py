@@ -252,3 +252,57 @@ def test_version_salt_changes_key(monkeypatch):
     key = cache_key(EASY)
     monkeypatch.setattr(cache_mod, "_SALT", "other-version:other-schema")
     assert cache_mod.cache_key(EASY) != key
+
+
+class TestPrewarmPlan:
+    """The plan/apply split that worker respawns ride.
+
+    A supervisor computes the key plan once (cheap: listdir + stats)
+    and ships the same tuple to every spawned or recycled worker, so
+    replacements warm in one pass with no directory re-scan.
+    """
+
+    def test_plan_lists_newest_first_without_loading(self):
+        cached_artifact(EASY)
+        cached_artifact(OTHER)
+        before = counts()
+        plan = DEFAULT_CACHE.prewarm_plan()
+        assert set(plan) == {cache_key(EASY), cache_key(OTHER)}
+        assert plan[0] == cache_key(OTHER)  # newest first
+        # Planning is metadata-only: no hits, no prewarm loads.
+        assert delta(before, "exec.cache.hit") == 0
+
+    def test_plan_respects_limit(self):
+        for source in (EASY, OTHER, THIRD):
+            cached_artifact(source)
+        assert len(DEFAULT_CACHE.prewarm_plan(limit=2)) == 2
+
+    def test_plan_on_empty_dir_is_empty(self):
+        assert DEFAULT_CACHE.prewarm_plan() == ()
+
+    def test_prewarm_from_keys_lifts_exactly_the_plan(self):
+        cached_artifact(EASY)
+        cached_artifact(OTHER)
+        plan = DEFAULT_CACHE.prewarm_plan()
+        DEFAULT_CACHE.clear()
+        loaded = DEFAULT_CACHE.prewarm_from_keys(plan)
+        assert loaded == 2
+        assert len(DEFAULT_CACHE) == 2
+
+    def test_stale_plan_entries_are_skipped(self):
+        cached_artifact(EASY)
+        plan = DEFAULT_CACHE.prewarm_plan() + ("not-a-real-key",)
+        DEFAULT_CACHE.clear()
+        assert DEFAULT_CACHE.prewarm_from_keys(plan) == 1
+
+    def test_in_memory_entries_are_not_reloaded(self):
+        cached_artifact(EASY)
+        plan = DEFAULT_CACHE.prewarm_plan()
+        # Still resident: applying the plan loads nothing.
+        assert DEFAULT_CACHE.prewarm_from_keys(plan) == 0
+
+    def test_prewarm_from_disk_is_plan_plus_apply(self):
+        cached_artifact(EASY)
+        cached_artifact(OTHER)
+        DEFAULT_CACHE.clear()
+        assert DEFAULT_CACHE.prewarm_from_disk() == 2

@@ -159,3 +159,45 @@ class TestProcessWideInjection:
                 solver.is_sat(probe)
         assert solver.is_sat(probe)  # patch removed
         check_solver_consistency(solver)
+
+
+class TestWorkerLeakFault:
+    """The ``leak`` worker fault: pin memory, answer correctly."""
+
+    def test_leak_rate_activates_the_policy(self):
+        from repro.guard.chaos import WorkerChaosPolicy
+
+        assert not WorkerChaosPolicy().active
+        assert WorkerChaosPolicy(leak_rate=0.5).active
+
+    def test_leak_band_sits_after_the_fatal_faults(self):
+        from repro.guard.chaos import WorkerChaosPolicy
+
+        policy = WorkerChaosPolicy(seed=3, leak_rate=1.0)
+        assert policy.decide("any-job", 0) == "leak"
+        mixed = WorkerChaosPolicy(seed=3, kill_rate=1.0, leak_rate=1.0)
+        # Cumulative bands: a certain kill shadows a certain leak.
+        assert mixed.decide("any-job", 0) == "kill"
+
+    def test_leak_is_deterministic_per_job_and_attempt(self):
+        from repro.guard.chaos import WorkerChaosPolicy
+
+        a = WorkerChaosPolicy(seed=9, leak_rate=0.5)
+        b = WorkerChaosPolicy(seed=9, leak_rate=0.5)
+        schedule = [a.decide(f"j{i}", 0) for i in range(50)]
+        assert schedule == [b.decide(f"j{i}", 0) for i in range(50)]
+        assert "leak" in schedule
+        assert None in schedule
+
+    def test_worker_spec_keys_parse(self):
+        from repro.guard.chaos import worker_policy_from_spec
+
+        policy = worker_policy_from_spec(
+            "seed=7, worker_leak_rate=0.25, worker_leak_bytes=1048576"
+        )
+        assert policy is not None
+        assert policy.seed == 7
+        assert policy.leak_rate == 0.25
+        assert policy.leak_bytes == 1 << 20
+        # Solver-only specs stay None: leak knobs never leak sideways.
+        assert worker_policy_from_spec("seed=7, flush_rate=0.1") is None

@@ -1,0 +1,129 @@
+"""The coordinated cache flush (:func:`repro.smt.flush_all_caches`).
+
+A bare intern-table flush is not memory hygiene: the solver's
+sat/implies memos and the exec artifact LRU hold term objects, so the
+retired term DAG stays pinned (and structurally-equal stale entries
+keep *hitting*).  The coordinated flush must drop all of them together,
+re-seed the canonical booleans, and — the regression that matters —
+leave every verdict unchanged when the same queries are re-solved from
+cold caches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smt import (
+    FALSE,
+    INT,
+    TRUE,
+    Solver,
+    flush_all_caches,
+    mk_and,
+    mk_gt,
+    mk_int,
+    mk_lt,
+    mk_var,
+)
+from repro.smt import terms as terms_mod
+
+x = mk_var("x", INT)
+
+
+def busy_queries(solver):
+    """A mixed batch whose verdicts we can replay after a flush."""
+    f_sat = mk_and(mk_gt(x, mk_int(0)), mk_lt(x, mk_int(10)))
+    f_unsat = mk_and(mk_gt(x, mk_int(5)), mk_lt(x, mk_int(3)))
+    return {
+        "sat": solver.is_sat(f_sat),
+        "unsat": solver.is_sat(f_unsat),
+        "implies": solver.implies(mk_gt(x, mk_int(3)), mk_gt(x, mk_int(0))),
+        "not_implies": solver.implies(
+            mk_gt(x, mk_int(0)), mk_gt(x, mk_int(3))
+        ),
+    }
+
+
+class TestCoordinatedFlush:
+    def test_all_four_caches_drop_together(self):
+        solver = Solver()
+        busy_queries(solver)
+        assert len(solver._sat_cache) > 0
+        assert len(solver._implies_cache) > 0
+        assert terms_mod.intern_table_size() > 2
+
+        sizes = flush_all_caches(solver=solver)
+
+        assert sizes["sat_cache"] > 0
+        assert sizes["implies_cache"] > 0
+        assert sizes["intern_table"] > 2
+        assert len(solver._sat_cache) == 0
+        assert len(solver._implies_cache) == 0
+        # Only the re-seeded canonical booleans survive.
+        assert terms_mod.intern_table_size() == 2
+        assert terms_mod.subst_cache_size() == 0
+
+    def test_exec_memory_lru_is_part_of_the_flush(self):
+        from repro.exec.cache import DEFAULT_CACHE, cached_artifact
+
+        source = """\
+type BT[v : Int]{L(0), N(2)}
+lang pos : BT { N(l, r) where (v > 0) given (pos l) (pos r) | L() }
+assert-false (is-empty pos)
+"""
+        cached_artifact(source)
+        assert len(DEFAULT_CACHE) == 1
+        sizes = flush_all_caches()
+        assert sizes["exec_memory_cache"] == 1
+        assert len(DEFAULT_CACHE) == 0
+
+    def test_verdicts_identical_after_flush(self):
+        solver = Solver()
+        before = busy_queries(solver)
+        flush_all_caches(solver=solver)
+        after = busy_queries(solver)
+        assert after == before
+        assert before == {
+            "sat": True,
+            "unsat": False,
+            "implies": True,
+            "not_implies": False,
+        }
+
+    def test_canonical_booleans_keep_identity(self):
+        from repro.smt import mk_bool
+
+        flush_all_caches()
+        assert mk_bool(True) is TRUE
+        assert mk_bool(False) is FALSE
+
+    @pytest.mark.cache_sensitive
+    def test_no_stale_hits_after_flush(self):
+        solver = Solver()
+        f = mk_gt(x, mk_int(0))
+        solver.is_sat(f)
+        solver.is_sat(f)
+        assert solver.stats.cache_hits > 0
+        flush_all_caches(solver=solver)
+        hits_before = solver.stats.cache_hits
+        # The structurally-identical formula must MISS after the flush
+        # (the stale-entry-keeps-hitting failure mode this guards).
+        solver.is_sat(mk_gt(mk_var("x", INT), mk_int(0)))
+        assert solver.stats.cache_hits == hits_before
+
+    def test_consistency_check_mode(self):
+        solver = Solver()
+        busy_queries(solver)
+        sizes = flush_all_caches(solver=solver, check=True, check_sample=16)
+        assert sizes["sat_cache"] > 0
+        assert len(solver._sat_cache) == 0
+
+    def test_corrupted_cache_fails_the_checked_flush(self):
+        solver = Solver()
+        f = mk_gt(x, mk_int(0))
+        solver.is_sat(f)
+        # Poison the memo: claim the satisfiable formula is UNSAT.
+        key = next(iter(solver._sat_cache))
+        solver._sat_cache[key] = False
+        with pytest.raises(AssertionError):
+            flush_all_caches(solver=solver, check=True)
